@@ -1,0 +1,29 @@
+//! Collision-resolution strategies for the baseline tables.
+
+/// How a table resolves a full set of candidate locations (§II.B of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KickPolicy {
+    /// Evict a uniformly random candidate, re-inserting the victim; on
+    /// subsequent steps the bucket the victim came from is excluded so the
+    /// walk cannot immediately undo itself. This is the strategy the
+    /// paper's experiments use (§III.D: "in this paper random-walk is
+    /// used").
+    #[default]
+    RandomWalk,
+    /// Breadth-first search for the shortest relocation path, then execute
+    /// the moves from the path's end backwards. Finds minimal paths but
+    /// costs many exploratory reads — the "inefficient in practice"
+    /// original strategy the paper contrasts random-walk with.
+    Bfs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_random_walk() {
+        assert_eq!(KickPolicy::default(), KickPolicy::RandomWalk);
+    }
+}

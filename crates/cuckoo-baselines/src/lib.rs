@@ -1,0 +1,32 @@
+//! # cuckoo-baselines — the single-copy comparison schemes
+//!
+//! The McCuckoo paper (ICDE 2019) evaluates against two baselines it also
+//! implemented itself (§IV): **standard d-ary Cuckoo hashing** (ternary in
+//! the experiments) and the **blocked Cuckoo hash table (BCHT)** of
+//! Erlingsson et al. (3 hash functions × 3 slots). This crate implements
+//! both from scratch, plus the *Cuckoo-hashing-with-a-stash* (CHS) variant
+//! of Kirsch–Mitzenmacher–Wieder that the paper discusses as the standard
+//! failure-handling remedy (small on-chip stash, default size 4).
+//!
+//! All tables are instrumented with [`mem_model::MemMeter`] using the same
+//! cost model as the McCuckoo implementation so the paper's access-count
+//! figures (Figs. 9–14) compare like for like:
+//!
+//! * reading one bucket (all slots) = 1 off-chip read,
+//! * writing one bucket = 1 off-chip write,
+//! * CHS's small stash is on-chip: probing it is a `stash_read`, never an
+//!   off-chip access.
+//!
+//! Collision resolution supports the two classic strategies the paper
+//! describes (§II.B): blind **random-walk** eviction and **BFS** search
+//! for a shortest relocation path.
+
+pub mod bcht;
+pub mod bloom_guided;
+pub mod dary;
+pub mod kick;
+
+pub use bcht::{Bcht, BchtConfig};
+pub use bloom_guided::{BloomGuidedCuckoo, CountingBloom};
+pub use dary::{CuckooConfig, DaryCuckoo};
+pub use kick::KickPolicy;

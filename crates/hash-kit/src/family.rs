@@ -1,0 +1,262 @@
+//! Bucket-index families: the `d` hash functions of a cuckoo table.
+//!
+//! A [`BucketFamily`] maps a key to one bucket index per sub-table,
+//! `h_i : K → [0, n)`, i = 0..d. Three constructions are provided:
+//!
+//! * [`FamilyKind::Independent`] — `d` independently seeded digests
+//!   (the paper's BOB-hash setup);
+//! * [`FamilyKind::DoubleHashing`] — `h_i = h1 + i·h2 mod n`, the
+//!   cheaper scheme of Mitzenmacher, Panagiotou & Walzer (paper ref \[21\]),
+//!   which the paper cites as a way to alleviate hash computation;
+//! * [`FamilyKind::FpgaModulo`] — the "much simpler hash that only
+//!   involves modulo and bit operations" used for the paper's FPGA
+//!   implementation (§IV.A.2): per-function bit rotation + odd-constant
+//!   multiply, reduced mod n.
+//!
+//! Bucket reduction uses the multiply-high ("fastrange") method so that
+//! non-power-of-two table lengths stay uniform.
+
+use serde::{Deserialize, Serialize};
+
+use crate::key::KeyHash;
+use crate::splitmix::{mix64, SplitMix64};
+
+/// Which construction a [`BucketFamily`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FamilyKind {
+    /// `d` independently seeded full digests (default; matches the paper's
+    /// software evaluation).
+    #[default]
+    Independent,
+    /// Two digests combined as `h1 + i·h2` (paper ref \[21\]).
+    DoubleHashing,
+    /// Rotate-multiply-modulo, mimicking the paper's FPGA hash.
+    FpgaModulo,
+}
+
+/// `d` bucket-index functions over a table of `n` buckets per sub-table.
+#[derive(Debug, Clone)]
+pub struct BucketFamily {
+    kind: FamilyKind,
+    seeds: Vec<u64>,
+    n: u64,
+}
+
+impl BucketFamily {
+    /// Build a family of `d` functions onto `[0, n)`, deterministically
+    /// derived from `master_seed`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `n == 0`.
+    pub fn new(kind: FamilyKind, d: usize, n: usize, master_seed: u64) -> Self {
+        assert!(d > 0, "need at least one hash function");
+        assert!(n > 0, "table length must be positive");
+        let mut s = SplitMix64::new(master_seed ^ 0xC0FF_EE11_D00D_F00D);
+        let seed_count = match kind {
+            FamilyKind::Independent => d,
+            FamilyKind::DoubleHashing => 2,
+            FamilyKind::FpgaModulo => d,
+        };
+        let seeds = (0..seed_count).map(|_| s.next_u64()).collect();
+        Self {
+            kind,
+            seeds,
+            n: n as u64,
+        }
+    }
+
+    /// Number of hash functions `d`.
+    pub fn d(&self) -> usize {
+        match self.kind {
+            FamilyKind::DoubleHashing => usize::MAX, // any i is valid; callers bound it
+            _ => self.seeds.len(),
+        }
+    }
+
+    /// Sub-table length `n`.
+    pub fn table_len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The construction kind of this family.
+    pub fn kind(&self) -> FamilyKind {
+        self.kind
+    }
+
+    /// Reduce a 64-bit digest onto `[0, n)` (multiply-high).
+    #[inline]
+    fn reduce(&self, h: u64) -> usize {
+        (((h as u128) * (self.n as u128)) >> 64) as usize
+    }
+
+    /// Bucket index of `key` under hash function `i`.
+    #[inline]
+    pub fn bucket<K: KeyHash + ?Sized>(&self, key: &K, i: usize) -> usize {
+        match self.kind {
+            FamilyKind::Independent => self.reduce(key.hash_seeded(self.seeds[i])),
+            FamilyKind::DoubleHashing => {
+                let h1 = key.hash_seeded(self.seeds[0]);
+                // h2 must be made odd so i·h2 walks the whole ring.
+                let h2 = key.hash_seeded(self.seeds[1]) | 1;
+                self.reduce(h1.wrapping_add((i as u64).wrapping_mul(h2)))
+            }
+            FamilyKind::FpgaModulo => {
+                let h = key.hash_seeded(self.seeds[i] & 0xFFFF); // narrow seed: "simple" hash
+                let rotated = h.rotate_left((i as u32 * 13) % 61 + 1);
+                let mixed = rotated.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1);
+                (mixed % self.n) as usize
+            }
+        }
+    }
+
+    /// All `d` candidate buckets of `key`, in function order, written into
+    /// `out` (avoids allocating in hot paths). `out.len()` determines how
+    /// many functions are evaluated.
+    #[inline]
+    pub fn buckets_into<K: KeyHash + ?Sized>(&self, key: &K, out: &mut [usize]) {
+        match self.kind {
+            FamilyKind::DoubleHashing => {
+                let h1 = key.hash_seeded(self.seeds[0]);
+                let h2 = key.hash_seeded(self.seeds[1]) | 1;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = self.reduce(h1.wrapping_add((i as u64).wrapping_mul(h2)));
+                }
+            }
+            _ => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = self.bucket(key, i);
+                }
+            }
+        }
+    }
+
+    /// Derive a fresh family with the same shape but a different seed
+    /// (what a full rehash would use).
+    pub fn reseeded(&self, new_master_seed: u64) -> Self {
+        self.reseeded_with_len(new_master_seed, self.n as usize)
+    }
+
+    /// Reseed *and* change the sub-table length (what a resizing rehash
+    /// uses). The construction kind and function count are preserved.
+    pub fn reseeded_with_len(&self, new_master_seed: u64, new_len: usize) -> Self {
+        let d = match self.kind {
+            FamilyKind::DoubleHashing => 2,
+            _ => self.seeds.len(),
+        };
+        Self::new(self.kind, d, new_len, mix64(new_master_seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_range(kind: FamilyKind) {
+        let n = 1009; // prime, non-power-of-two
+        let fam = BucketFamily::new(kind, 3, n, 7);
+        let mut out = [0usize; 3];
+        for k in 0u64..5_000 {
+            fam.buckets_into(&k, &mut out);
+            for &b in &out {
+                assert!(b < n);
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_stay_in_range() {
+        check_range(FamilyKind::Independent);
+        check_range(FamilyKind::DoubleHashing);
+        check_range(FamilyKind::FpgaModulo);
+    }
+
+    #[test]
+    fn functions_are_distinct() {
+        for kind in [
+            FamilyKind::Independent,
+            FamilyKind::DoubleHashing,
+            FamilyKind::FpgaModulo,
+        ] {
+            let fam = BucketFamily::new(kind, 3, 4096, 11);
+            let mut all_same = 0;
+            for k in 0u64..1000 {
+                let b0 = fam.bucket(&k, 0);
+                let b1 = fam.bucket(&k, 1);
+                let b2 = fam.bucket(&k, 2);
+                if b0 == b1 && b1 == b2 {
+                    all_same += 1;
+                }
+            }
+            assert!(all_same < 5, "{kind:?}: {all_same} keys mapped identically");
+        }
+    }
+
+    #[test]
+    fn buckets_into_matches_bucket() {
+        for kind in [
+            FamilyKind::Independent,
+            FamilyKind::DoubleHashing,
+            FamilyKind::FpgaModulo,
+        ] {
+            let fam = BucketFamily::new(kind, 4, 777, 3);
+            let mut out = [0usize; 4];
+            for k in 0u64..200 {
+                fam.buckets_into(&k, &mut out);
+                for (i, &o) in out.iter().enumerate() {
+                    assert_eq!(o, fam.bucket(&k, i), "{kind:?} fn {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = BucketFamily::new(FamilyKind::Independent, 3, 512, 99);
+        let b = BucketFamily::new(FamilyKind::Independent, 3, 512, 99);
+        for k in 0u64..100 {
+            for i in 0..3 {
+                assert_eq!(a.bucket(&k, i), b.bucket(&k, i));
+            }
+        }
+    }
+
+    #[test]
+    fn reseeded_family_differs() {
+        let a = BucketFamily::new(FamilyKind::Independent, 3, 512, 1);
+        let b = a.reseeded(2);
+        let diffs = (0u64..200)
+            .filter(|k| (0..3).any(|i| a.bucket(k, i) != b.bucket(k, i)))
+            .count();
+        assert!(diffs > 150, "reseed changed only {diffs}/200 keys");
+    }
+
+    #[test]
+    fn load_spread_is_uniform() {
+        // Fill 3×1024 buckets with 30k keys; min/max occupancy per function
+        // should be within a sane band of the mean (≈9.8).
+        let n = 1024;
+        let fam = BucketFamily::new(FamilyKind::Independent, 3, n, 5);
+        for i in 0..3 {
+            let mut counts = vec![0u32; n];
+            for k in 0u64..10_000 {
+                counts[fam.bucket(&k, i)] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            assert!(max < 30, "fn {i} max bucket occupancy {max}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "table length")]
+    fn zero_length_table_panics() {
+        let _ = BucketFamily::new(FamilyKind::Independent, 3, 0, 0);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let fam = BucketFamily::new(FamilyKind::Independent, 3, 256, 8);
+        let b1 = fam.bucket(&"alpha", 0);
+        let b2 = fam.bucket(&"alpha", 0);
+        assert_eq!(b1, b2);
+    }
+}

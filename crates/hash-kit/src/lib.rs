@@ -1,0 +1,85 @@
+//! # hash-kit — hash functions for the McCuckoo reproduction
+//!
+//! The McCuckoo paper (ICDE 2019) uses "BOB Hash" — Bob Jenkins' public
+//! domain hash functions — in its software evaluation, and a simple
+//! modulo/bit-ops hash in its FPGA implementation. This crate implements
+//! every hash primitive the reproduction needs from scratch:
+//!
+//! * [`lookup2`] — Jenkins' 1996 `hash()` ("evahash"/BOB hash),
+//! * [`lookup3`] — Jenkins' 2006 `hashlittle`/`hashlittle2`,
+//! * [`splitmix`] — SplitMix64 mixer/stream (used for seeding and as a
+//!   fast integer finalizer),
+//! * [`multiply_shift`] — classic universal multiply-shift hashing,
+//! * [`tabulation`] — simple tabulation hashing (3-independent),
+//! * [`family`] — [`BucketFamily`](family::BucketFamily): `d` independent
+//!   bucket-index functions as required by a `d`-ary cuckoo table, plus a
+//!   double-hashing variant (Mitzenmacher et al., SWAT 2018) and the
+//!   FPGA-style modulo family.
+//!
+//! Keys are hashed through the [`KeyHash`] trait, which produces a 64-bit
+//! digest under a caller-supplied seed. Implementations are provided for the
+//! integer types, tuples used by the DocWords-like workload, strings and
+//! byte slices.
+
+pub mod family;
+pub mod key;
+pub mod lookup2;
+pub mod lookup3;
+pub mod multiply_shift;
+pub mod splitmix;
+pub mod tabulation;
+
+pub use family::{BucketFamily, FamilyKind};
+pub use key::KeyHash;
+pub use splitmix::{mix64, SplitMix64};
+
+#[cfg(test)]
+mod avalanche_tests {
+    use super::*;
+
+    /// Count, over `samples` random inputs and all 64 input bit positions,
+    /// the mean fraction of output bits flipped when one input bit flips.
+    fn avalanche<F: Fn(u64) -> u64>(f: F, samples: u64) -> f64 {
+        let mut rng = SplitMix64::new(0xA5A5_5A5A_DEAD_BEEF);
+        let mut flipped = 0u64;
+        let mut total = 0u64;
+        for _ in 0..samples {
+            let x = rng.next_u64();
+            let hx = f(x);
+            for bit in 0..64 {
+                let hy = f(x ^ (1u64 << bit));
+                flipped += (hx ^ hy).count_ones() as u64;
+                total += 64;
+            }
+        }
+        flipped as f64 / total as f64
+    }
+
+    #[test]
+    fn splitmix_avalanche_is_near_half() {
+        let frac = avalanche(mix64, 64);
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "avalanche fraction {frac} too far from 0.5"
+        );
+    }
+
+    #[test]
+    fn lookup3_avalanche_is_near_half() {
+        let frac = avalanche(|x| lookup3::hash_u64(x, 0), 64);
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "avalanche fraction {frac} too far from 0.5"
+        );
+    }
+
+    #[test]
+    fn tabulation_avalanche_is_near_half() {
+        let t = tabulation::Tabulation::new(42);
+        let frac = avalanche(|x| t.hash(x), 64);
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "avalanche fraction {frac} too far from 0.5"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Bob Jenkins' 2006 `lookup3` — `hashlittle`/`hashlittle2`, implemented
+//! from the published public-domain reference (`lookup3.c`).
+//!
+//! `hashlittle2` produces 64 bits per pass and is the default digest
+//! behind [`crate::KeyHash`] for byte-string keys.
+
+#[inline]
+fn rot(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+#[inline]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+#[inline]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 24));
+}
+
+/// Read up to 4 bytes little-endian; missing bytes are zero.
+#[inline]
+fn le_partial(bytes: &[u8]) -> u32 {
+    let mut v = 0u32;
+    for (i, &byte) in bytes.iter().take(4).enumerate() {
+        v |= (byte as u32) << (8 * i);
+    }
+    v
+}
+
+/// `hashlittle2`: hash a byte key into two 32-bit values.
+///
+/// `(pc, pb)` are the two seed words; the returned pair is `(c, b)` — the
+/// primary and secondary hash. `hashlittle(key, s) == hashlittle2(key, s, 0).0`.
+pub fn hashlittle2(key: &[u8], pc: u32, pb: u32) -> (u32, u32) {
+    let len = key.len();
+    let init = 0xDEAD_BEEFu32.wrapping_add(len as u32).wrapping_add(pc);
+    let mut a = init;
+    let mut b = init;
+    let mut c = init.wrapping_add(pb);
+
+    let mut rest = key;
+    while rest.len() > 12 {
+        a = a.wrapping_add(u32::from_le_bytes(rest[0..4].try_into().unwrap()));
+        b = b.wrapping_add(u32::from_le_bytes(rest[4..8].try_into().unwrap()));
+        c = c.wrapping_add(u32::from_le_bytes(rest[8..12].try_into().unwrap()));
+        mix(&mut a, &mut b, &mut c);
+        rest = &rest[12..];
+    }
+
+    // Final block: 0..=12 bytes. The reference returns (c, b) without the
+    // final mix only for a zero-length key.
+    if rest.is_empty() {
+        return (c, b);
+    }
+    a = a.wrapping_add(le_partial(rest));
+    if rest.len() > 4 {
+        b = b.wrapping_add(le_partial(&rest[4..]));
+    }
+    if rest.len() > 8 {
+        c = c.wrapping_add(le_partial(&rest[8..]));
+    }
+    final_mix(&mut a, &mut b, &mut c);
+    (c, b)
+}
+
+/// `hashlittle`: the primary 32-bit hash.
+///
+/// ```
+/// // Reference vectors from the published lookup3.c:
+/// assert_eq!(hash_kit::lookup3::hashlittle(b"", 0), 0xDEADBEEF);
+/// assert_eq!(
+///     hash_kit::lookup3::hashlittle(b"Four score and seven years ago", 0),
+///     0x17770551,
+/// );
+/// ```
+pub fn hashlittle(key: &[u8], initval: u32) -> u32 {
+    hashlittle2(key, initval, 0).0
+}
+
+/// Hash a byte key to 64 bits in one pass (`(c as high, b as low)` of
+/// `hashlittle2`, seeded from the 64-bit seed's two halves).
+pub fn hash_bytes_u64(key: &[u8], seed: u64) -> u64 {
+    let (c, b) = hashlittle2(key, seed as u32, (seed >> 32) as u32);
+    ((c as u64) << 32) | b as u64
+}
+
+/// Hash a `u64` key (little-endian bytes) to 64 bits.
+pub fn hash_u64(key: u64, seed: u64) -> u64 {
+    hash_bytes_u64(&key.to_le_bytes(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors published in the lookup3.c source comments:
+    /// hashlittle("", 0) = 0xdeadbeef, hashlittle("", 0xdeadbeef) =
+    /// 0xbd5b7dde, and the "Four score and seven years ago" vectors.
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(hashlittle(b"", 0), 0xDEAD_BEEF);
+        assert_eq!(hashlittle(b"", 0xDEAD_BEEF), 0xBD5B_7DDE);
+        assert_eq!(
+            hashlittle2(b"", 0xDEAD_BEEF, 0xDEAD_BEEF),
+            (0x9C09_3CCD, 0xBD5B_7DDE)
+        );
+        assert_eq!(
+            hashlittle(b"Four score and seven years ago", 0),
+            0x1777_0551
+        );
+        assert_eq!(
+            hashlittle(b"Four score and seven years ago", 1),
+            0xCD62_8161
+        );
+    }
+
+    #[test]
+    fn incremental_lengths_all_distinct() {
+        let data = [0x5Au8; 40];
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=40 {
+            assert!(
+                seen.insert(hashlittle(&data[..len], 0)),
+                "collision at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        let k = b"mccuckoo";
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            assert!(seen.insert(hash_bytes_u64(k, seed)));
+        }
+    }
+
+    #[test]
+    fn u64_key_path_matches_byte_path() {
+        for k in [0u64, 1, 42, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(hash_u64(k, 9), hash_bytes_u64(&k.to_le_bytes(), 9));
+        }
+    }
+
+    #[test]
+    fn distribution_over_buckets_is_roughly_uniform() {
+        let n = 65_536u64;
+        let mut counts = [0u32; 256];
+        for i in 0..n {
+            counts[(hash_u64(i, 0) & 0xFF) as usize] += 1;
+        }
+        let mean = (n / 256) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < mean * 0.3,
+                "bucket {i} count {c} far from mean {mean}"
+            );
+        }
+    }
+}

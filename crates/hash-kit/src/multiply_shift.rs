@@ -1,0 +1,88 @@
+//! Universal multiply-shift hashing (Dietzfelbinger et al.).
+//!
+//! `h(x) = ((a * x + b) mod 2^128) >> 64` with odd `a` gives a fast,
+//! provably universal hash for 64-bit keys. Used as the cheap integer-key
+//! family in [`crate::family::BucketFamily`] and heavily exercised by the
+//! benchmarks where hash cost must not dominate.
+
+use crate::splitmix::SplitMix64;
+
+/// One multiply-shift function: `x ↦ high64(a·x + b)` with odd `a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShift {
+    a: u128,
+    b: u128,
+}
+
+impl MultiplyShift {
+    /// Draw a function from the family, deterministically from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = SplitMix64::new(seed);
+        let a = ((s.next_u64() as u128) << 64 | s.next_u64() as u128) | 1; // odd
+        let b = (s.next_u64() as u128) << 64 | s.next_u64() as u128;
+        Self { a, b }
+    }
+
+    /// Hash a 64-bit key to 64 bits.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        (self.a.wrapping_mul(x as u128).wrapping_add(self.b) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h1 = MultiplyShift::from_seed(5);
+        let h2 = MultiplyShift::from_seed(5);
+        let h3 = MultiplyShift::from_seed(6);
+        for x in 0..100u64 {
+            assert_eq!(h1.hash(x), h2.hash(x));
+        }
+        assert!((0..100u64).any(|x| h1.hash(x) != h3.hash(x)));
+    }
+
+    #[test]
+    fn multiplier_is_odd() {
+        for seed in 0..32u64 {
+            assert_eq!(MultiplyShift::from_seed(seed).a & 1, 1);
+        }
+    }
+
+    #[test]
+    fn low_bit_keys_spread_over_high_bits() {
+        // Sequential keys must not land in sequential buckets: top bits
+        // should look uniform over a small bucket count.
+        let h = MultiplyShift::from_seed(11);
+        let mut counts = [0u32; 64];
+        for x in 0..64_000u64 {
+            counts[(h.hash(x) >> 58) as usize] += 1;
+        }
+        let mean = 1000.0;
+        for &c in &counts {
+            assert!((c as f64 - mean).abs() < mean * 0.35, "count {c}");
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate_is_small() {
+        // Empirical universality check: for random pairs the collision
+        // probability on 16 output bits should be close to 2^-16.
+        let mut s = SplitMix64::new(77);
+        let h = MultiplyShift::from_seed(13);
+        let mut collisions = 0u32;
+        let trials = 200_000;
+        for _ in 0..trials {
+            let x = s.next_u64();
+            let y = s.next_u64();
+            if x != y && (h.hash(x) >> 48) == (h.hash(y) >> 48) {
+                collisions += 1;
+            }
+        }
+        // Expectation ≈ trials / 65536 ≈ 3. Allow generous slack.
+        assert!(collisions < 30, "collisions {collisions}");
+    }
+}

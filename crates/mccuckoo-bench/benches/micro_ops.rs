@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks: raw wall-clock cost of the three core
+//! operations per scheme at a moderate 50% load, plus `std::HashMap` as
+//! an orientation point. These complement the paper's access-count
+//! figures with host-CPU timings.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mccuckoo_bench::{AnyTable, Scheme};
+use std::hint::black_box;
+use workloads::UniqueKeys;
+
+const CAP: usize = 90_000;
+const LOAD: f64 = 0.5;
+
+fn filled(scheme: Scheme, seed: u64, deletion: bool) -> (AnyTable, Vec<u64>) {
+    let mut t = AnyTable::build(scheme, CAP, seed, 500, deletion);
+    let mut keys = UniqueKeys::new(seed);
+    let n = (CAP as f64 * LOAD) as usize;
+    let ks = keys.take_vec(n);
+    for &k in &ks {
+        t.insert_new(k, k);
+    }
+    (t, ks)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_at_50pct");
+    for scheme in Scheme::ALL {
+        g.bench_function(scheme.label(), |b| {
+            b.iter_batched(
+                || {
+                    let (t, _) = filled(scheme, 1, false);
+                    let mut keys = UniqueKeys::new(99);
+                    keys.take_vec((CAP as f64 * LOAD) as usize); // skip used range
+                    (t, keys)
+                },
+                |(mut t, mut keys)| {
+                    for _ in 0..1000 {
+                        let k = keys.next_key();
+                        black_box(t.insert_new(k, k));
+                    }
+                    t
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup_hit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup_hit_at_50pct");
+    for scheme in Scheme::ALL {
+        let (t, ks) = filled(scheme, 2, false);
+        g.bench_function(scheme.label(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % ks.len();
+                black_box(t.get(&ks[i]))
+            });
+        });
+    }
+    // Orientation point: std HashMap.
+    let mut map = std::collections::HashMap::new();
+    let ks = UniqueKeys::new(2).take_vec((CAP as f64 * LOAD) as usize);
+    for &k in &ks {
+        map.insert(k, k);
+    }
+    g.bench_function("std::HashMap", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ks.len();
+            black_box(map.get(&ks[i]))
+        });
+    });
+    g.finish();
+}
+
+fn bench_lookup_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup_miss_at_50pct");
+    for scheme in Scheme::ALL {
+        let (t, _) = filled(scheme, 3, false);
+        let gen = UniqueKeys::new(3);
+        g.bench_function(scheme.label(), |b| {
+            let mut j = 0u64;
+            b.iter(|| {
+                j += 1;
+                black_box(t.get(&gen.absent_key(j)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remove_at_50pct");
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        g.bench_function(scheme.label(), |b| {
+            b.iter_batched(
+                || filled(scheme, 4, true),
+                |(mut t, ks)| {
+                    for k in ks.iter().take(1000) {
+                        black_box(t.remove(k));
+                    }
+                    t
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup_hit,
+    bench_lookup_miss,
+    bench_remove
+);
+criterion_main!(benches);

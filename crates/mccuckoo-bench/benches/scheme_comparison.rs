@@ -1,0 +1,72 @@
+//! Criterion comparison across load levels: insertion throughput while
+//! filling into a given band, and lookup throughput at high load — the
+//! wall-clock companion to Figs. 9/12.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mccuckoo_bench::{AnyTable, Scheme};
+use std::hint::black_box;
+use workloads::UniqueKeys;
+
+const CAP: usize = 90_000;
+
+fn bench_fill_band(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fill_segment_1k");
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        for band in [0.3f64, 0.6, 0.85] {
+            if band > scheme.max_sweep_load() {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(scheme.label(), format!("{}%", (band * 100.0) as u32)),
+                &band,
+                |b, &band| {
+                    b.iter_batched(
+                        || {
+                            let mut t = AnyTable::build(scheme, CAP, 7, 500, false);
+                            let mut keys = UniqueKeys::new(7);
+                            let n = (CAP as f64 * band) as usize;
+                            for &k in &keys.take_vec(n) {
+                                t.insert_new(k, k);
+                            }
+                            (t, keys)
+                        },
+                        |(mut t, mut keys)| {
+                            for _ in 0..1000 {
+                                let k = keys.next_key();
+                                black_box(t.insert_new(k, k));
+                            }
+                            t
+                        },
+                        BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_lookup_at_high_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup_hit_at_85pct");
+    for scheme in Scheme::ALL {
+        let band = 0.85f64.min(scheme.max_sweep_load());
+        let mut t = AnyTable::build(scheme, CAP, 8, 500, false);
+        let mut keys = UniqueKeys::new(8);
+        let ks = keys.take_vec((CAP as f64 * band) as usize);
+        for &k in &ks {
+            t.insert_new(k, k);
+        }
+        g.bench_function(scheme.label(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % ks.len();
+                black_box(t.get(&ks[i]))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fill_band, bench_lookup_at_high_load);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: lookup partition pruning on/off (single-slot McCuckoo).
+//!
+//! `get` applies lookup rules 2–3 (partition by counter value, probe at
+//! most S−V+1); `get_unpruned` probes every non-empty candidate like a
+//! single-copy table. Both keep rule 1 (the Bloom shortcut), isolating
+//! the pruning contribution of Theorem 3.
+
+use mccuckoo_bench::harness::Config;
+use mccuckoo_bench::report::{f4, write_csv, Table};
+use mccuckoo_core::{McConfig, McCuckoo};
+use workloads::DocWordsLike;
+
+fn main() {
+    let cfg = Config::from_env();
+    let bands = [0.2f64, 0.4, 0.6, 0.8, 0.9];
+    let mut table = Table::new(
+        "Ablation: reads per hit lookup, pruned vs unpruned",
+        &["load", "pruned (rules 2-3)", "unpruned", "saving"],
+    );
+    let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(cfg.cap / 3, 220));
+    let mut gen = DocWordsLike::nytimes_like(230);
+    let mut keys: Vec<u64> = Vec::new();
+    let mut inserted = 0usize;
+    for &band in &bands {
+        let target = (band * cfg.cap as f64).round() as usize;
+        while inserted < target {
+            let k = gen.next_key();
+            let _ = t.insert_new(k, k);
+            keys.push(k);
+            inserted += 1;
+        }
+        let sample: Vec<u64> = keys
+            .iter()
+            .step_by((keys.len() / cfg.lookups.min(keys.len())).max(1))
+            .copied()
+            .collect();
+        let before = t.meter().snapshot();
+        for k in &sample {
+            assert!(t.get(k).is_some());
+        }
+        let pruned = (t.meter().snapshot() - before).offchip_reads as f64 / sample.len() as f64;
+        let before = t.meter().snapshot();
+        for k in &sample {
+            assert!(t.get_unpruned(k).is_some());
+        }
+        let unpruned = (t.meter().snapshot() - before).offchip_reads as f64 / sample.len() as f64;
+        table.row(vec![
+            format!("{:.0}%", band * 100.0),
+            f4(pruned),
+            f4(unpruned),
+            format!("{:.1}%", (1.0 - pruned / unpruned) * 100.0),
+        ]);
+    }
+    table.print();
+    write_csv("ablation_pruning", &table);
+}

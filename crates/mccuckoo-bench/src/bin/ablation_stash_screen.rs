@@ -1,0 +1,47 @@
+//! Ablation: stash pre-screening effectiveness (§III.E).
+//!
+//! At overload, stashed items exist and every failed main-table lookup
+//! would have to consult the stash if there were no screening (what an
+//! on-chip-stash design like CHS does). We report, per load level: how
+//! many items are stashed, what fraction of absent-key lookups the
+//! counter + flag screen lets through to the stash, and the implied
+//! stash traffic with screening vs without (= one visit per miss).
+
+use mccuckoo_bench::harness::{fill_sweep, measure_lookup_misses, Config};
+use mccuckoo_bench::report::{pct4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Ablation: stash screening (absent-key lookups)",
+        &[
+            "load",
+            "stash items",
+            "screened visit rate",
+            "unscreened visit rate",
+            "traffic reduction",
+        ],
+    );
+    for load_pct in [90u32, 92, 94, 96, 98, 100] {
+        let band = load_pct as f64 / 100.0;
+        let mut t = AnyTable::build(Scheme::McCuckoo, cfg.cap, 260, 100, false);
+        fill_sweep(&mut t, &[band], 270, |_, _| {});
+        let (_, delta) = measure_lookup_misses(&t, 270, cfg.lookups);
+        let screened = delta.stash_visits as f64 / cfg.lookups as f64;
+        let unscreened = 1.0; // every miss would check an unscreened stash
+        table.row(vec![
+            format!("{load_pct}%"),
+            t.stash_len().to_string(),
+            pct4(screened),
+            pct4(unscreened),
+            if screened == 0.0 {
+                "inf".to_string()
+            } else {
+                format!("{:.2}x", unscreened / screened)
+            },
+        ]);
+    }
+    table.print();
+    write_csv("ablation_stash_screen", &table);
+}

@@ -1,0 +1,95 @@
+//! Concurrency scaling (§III.H): aggregate read throughput of the
+//! one-writer-many-readers table as reader count grows, with and
+//! without a concurrent writer churning the table.
+//!
+//! Every read validates the availability guarantee (stable keys are
+//! always found); throughput is wall-clock, so run with `--release`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mccuckoo_bench::report::{f2, write_csv, Table};
+use mccuckoo_core::{ConcurrentMcCuckoo, McConfig};
+use workloads::UniqueKeys;
+
+const TABLE_N: usize = 1 << 16;
+const STABLE: usize = 120_000;
+const RUN_MILLIS: u64 = 800;
+
+fn run(readers: usize, with_writer: bool) -> f64 {
+    let table: Arc<ConcurrentMcCuckoo<u64, u64>> =
+        Arc::new(ConcurrentMcCuckoo::new(McConfig::paper(TABLE_N, 31)));
+    let mut keys = UniqueKeys::new(32);
+    let stable: Arc<Vec<u64>> = Arc::new(keys.take_vec(STABLE));
+    for &k in stable.iter() {
+        table.insert(k, k ^ 0xF00D).expect("warmup");
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let table = table.clone();
+            let stable = stable.clone();
+            let stop = stop.clone();
+            let reads = reads.clone();
+            scope.spawn(move || {
+                let mut i = r;
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = stable[i % stable.len()];
+                    assert_eq!(table.get(&k), Some(k ^ 0xF00D), "availability violated");
+                    local += 1;
+                    i += 13;
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        if with_writer {
+            let table = table.clone();
+            let stop = stop.clone();
+            scope.spawn(move || {
+                let mut churn = UniqueKeys::new(33);
+                let mut window: Vec<u64> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let k = churn.next_key();
+                    if table.insert(k, k).is_ok() {
+                        window.push(k);
+                    }
+                    if window.len() > 20_000 {
+                        let victim = window.swap_remove(0);
+                        table.remove(&victim);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(RUN_MILLIS));
+        stop.store(true, Ordering::Relaxed);
+    });
+    reads.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut table = Table::new(
+        "Concurrency scaling: validated read throughput (Mops)",
+        &["readers", "read-only", "with writer churn"],
+    );
+    let mut counts = vec![1usize, 2, 4];
+    if cores > 5 {
+        counts.push(cores - 1);
+    }
+    for readers in counts {
+        table.row(vec![
+            readers.to_string(),
+            f2(run(readers, false)),
+            f2(run(readers, true)),
+        ]);
+    }
+    table.print();
+    write_csv("concurrency_scaling", &table);
+    println!(
+        "({cores} logical cores available; every read asserts the §III.H availability guarantee)"
+    );
+}

@@ -1,0 +1,96 @@
+//! Fig. 10 — memory accesses per insertion vs load ratio:
+//! (a) off-chip reads, (b) off-chip writes.
+//!
+//! Expected shape: multi-copy reads ≈ 0 at low load (the counters reveal
+//! empty buckets without probing) and stay below single-copy at high
+//! load; multi-copy writes start higher (redundant copies) and cross
+//! below single-copy near half load as kick-out writes take over.
+
+use mccuckoo_bench::harness::{fill_sweep, Config};
+use mccuckoo_bench::report::{f4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut reads_tbl = Table::new(
+        "Fig. 10a: off-chip reads per insertion",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let mut writes_tbl = Table::new(
+        "Fig. 10b: off-chip writes per insertion",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let mut reads: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut writes: Vec<Vec<(f64, f64)>> = Vec::new();
+    for scheme in Scheme::ALL {
+        let bands = cfg.bands(scheme);
+        let mut rs = vec![0.0; bands.len()];
+        let mut ws = vec![0.0; bands.len()];
+        for run in 0..cfg.runs {
+            let mut t = AnyTable::build(scheme, cfg.cap, 30 + run, cfg.maxloop, false);
+            let stats = fill_sweep(&mut t, &bands, 40 + run, |_, _| {});
+            for (i, s) in stats.iter().enumerate() {
+                rs[i] += s.reads_per_insert;
+                ws[i] += s.writes_per_insert;
+            }
+        }
+        reads.push(
+            bands
+                .iter()
+                .zip(rs)
+                .map(|(&b, v)| (b, v / cfg.runs as f64))
+                .collect(),
+        );
+        writes.push(
+            bands
+                .iter()
+                .zip(ws)
+                .map(|(&b, v)| (b, v / cfg.runs as f64))
+                .collect(),
+        );
+    }
+    let all_bands = cfg.bands(Scheme::BMcCuckoo);
+    for (i, &band) in all_bands.iter().enumerate() {
+        let cell = |s: &Vec<(f64, f64)>| {
+            s.get(i)
+                .map(|&(_, v)| f4(v))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        reads_tbl.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(&reads[0]),
+            cell(&reads[1]),
+            cell(&reads[2]),
+            cell(&reads[3]),
+        ]);
+        writes_tbl.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(&writes[0]),
+            cell(&writes[1]),
+            cell(&writes[2]),
+            cell(&writes[3]),
+        ]);
+    }
+    reads_tbl.print();
+    println!();
+    writes_tbl.print();
+    write_csv("fig10a_insert_reads", &reads_tbl);
+    write_csv("fig10b_insert_writes", &writes_tbl);
+
+    // Report the write crossover the paper describes ("at about half
+    // load for single-slot schemes").
+    for (pair, label) in [
+        ((0usize, 1usize), "Cuckoo/McCuckoo"),
+        ((2, 3), "BCHT/B-McCuckoo"),
+    ] {
+        let cross = writes[pair.0]
+            .iter()
+            .zip(&writes[pair.1])
+            .find(|((_, single), (_, multi))| multi <= single)
+            .map(|((b, _), _)| *b);
+        match cross {
+            Some(b) => println!("write crossover for {label}: ~{:.0}% load", b * 100.0),
+            None => println!("write crossover for {label}: not reached in sweep"),
+        }
+    }
+}

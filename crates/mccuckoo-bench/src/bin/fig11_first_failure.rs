@@ -1,0 +1,33 @@
+//! Fig. 11 — load ratio at the first insertion failure, as a function of
+//! maxloop ∈ {50, 100, 200, 300, 400, 500}.
+//!
+//! Expected shape: all schemes reach higher failure-free load with a
+//! larger budget; the multi-copy schemes reach any given load with a
+//! smaller maxloop than their single-copy counterparts, and the blocked
+//! schemes sit far above the single-slot ones.
+
+use mccuckoo_bench::harness::{first_failure_load, mean, Config};
+use mccuckoo_bench::report::{pct4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let maxloops = [50u32, 100, 200, 300, 400, 500];
+    let mut table = Table::new(
+        "Fig. 11: load ratio at first insertion failure vs maxloop",
+        &["maxloop", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    for &ml in &maxloops {
+        let mut cells = vec![ml.to_string()];
+        for scheme in Scheme::ALL {
+            let load = mean((0..cfg.runs).map(|r| {
+                let mut t = AnyTable::build(scheme, cfg.cap, 50 + r, ml, false);
+                first_failure_load(&mut t, 60 + r)
+            }));
+            cells.push(pct4(load));
+        }
+        table.row(cells);
+    }
+    table.print();
+    write_csv("fig11_first_failure", &table);
+}

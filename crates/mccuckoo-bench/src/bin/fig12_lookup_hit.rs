@@ -1,0 +1,59 @@
+//! Fig. 12 — off-chip memory accesses per lookup for *existing* items vs
+//! load ratio.
+//!
+//! Expected shape: the multi-copy schemes probe fewer buckets because
+//! the counters exclude impossible candidates and redundant copies are
+//! hit sooner; the advantage narrows as the table saturates with
+//! single-copy items.
+
+use mccuckoo_bench::harness::{fill_sweep, measure_lookup_hits, Config};
+use mccuckoo_bench::report::{f4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Fig. 12: off-chip reads per lookup (existing items)",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+    for scheme in Scheme::ALL {
+        let bands = cfg.bands(scheme);
+        let mut sums = vec![0.0; bands.len()];
+        for run in 0..cfg.runs {
+            let mut t = AnyTable::build(scheme, cfg.cap, 70 + run, cfg.maxloop, false);
+            let mut i = 0usize;
+            let lookups = cfg.lookups;
+            let seed = 80 + run;
+            fill_sweep(&mut t, &bands, seed, |tab, stats| {
+                let inserted = (stats.load * tab.capacity() as f64).round() as u64;
+                sums[i] += measure_lookup_hits(tab, seed, inserted, lookups);
+                i += 1;
+            });
+        }
+        series.push(
+            bands
+                .iter()
+                .zip(sums)
+                .map(|(&b, s)| (b, s / cfg.runs as f64))
+                .collect(),
+        );
+    }
+    let all_bands = cfg.bands(Scheme::BMcCuckoo);
+    for (i, &band) in all_bands.iter().enumerate() {
+        let cell = |s: &Vec<(f64, f64)>| {
+            s.get(i)
+                .map(|&(_, v)| f4(v))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        table.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+            cell(&series[3]),
+        ]);
+    }
+    table.print();
+    write_csv("fig12_lookup_hit", &table);
+}

@@ -1,0 +1,62 @@
+//! Fig. 13 — off-chip memory accesses per lookup for *non-existing*
+//! items vs load ratio.
+//!
+//! Expected shape: the single-copy schemes always pay d (resp. d bucket)
+//! reads to prove absence; McCuckoo's counters act as a Bloom filter and
+//! reject most absent keys with **zero** off-chip reads at low load,
+//! climbing slowly as empties disappear. B-McCuckoo benefits only from
+//! the bucket-sum-zero skip (Algorithm 2), so its curve rises fast at
+//! high load — exactly the paper's remark that at very high load the
+//! blocked variant may as well "do the lookup the old way".
+
+use mccuckoo_bench::harness::{fill_sweep, measure_lookup_misses, Config};
+use mccuckoo_bench::report::{f4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Fig. 13: off-chip reads per lookup (non-existing items)",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+    for scheme in Scheme::ALL {
+        let bands = cfg.bands(scheme);
+        let mut sums = vec![0.0; bands.len()];
+        for run in 0..cfg.runs {
+            let mut t = AnyTable::build(scheme, cfg.cap, 90 + run, cfg.maxloop, false);
+            let mut i = 0usize;
+            let lookups = cfg.lookups;
+            let seed = 100 + run;
+            fill_sweep(&mut t, &bands, seed, |tab, _| {
+                let (reads, _) = measure_lookup_misses(tab, seed, lookups);
+                sums[i] += reads;
+                i += 1;
+            });
+        }
+        series.push(
+            bands
+                .iter()
+                .zip(sums)
+                .map(|(&b, s)| (b, s / cfg.runs as f64))
+                .collect(),
+        );
+    }
+    let all_bands = cfg.bands(Scheme::BMcCuckoo);
+    for (i, &band) in all_bands.iter().enumerate() {
+        let cell = |s: &Vec<(f64, f64)>| {
+            s.get(i)
+                .map(|&(_, v)| f4(v))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        table.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+            cell(&series[3]),
+        ]);
+    }
+    table.print();
+    write_csv("fig13_lookup_miss", &table);
+}

@@ -1,0 +1,71 @@
+//! Fig. 14 — off-chip memory accesses per deletion vs load ratio.
+//!
+//! Expected shape: the multi-copy schemes read *more* per deletion
+//! (every copy must be confirmed) but write **zero** — deletion is pure
+//! counter bookkeeping — while the single-copy schemes always pay one
+//! write. The paper shows exactly this trade.
+
+use mccuckoo_bench::harness::{fill_sweep, measure_deletions, Config};
+use mccuckoo_bench::report::{f4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut reads_tbl = Table::new(
+        "Fig. 14: off-chip reads per deletion",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let mut writes_tbl = Table::new(
+        "Fig. 14 (companion): off-chip writes per deletion",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let all_bands = cfg.bands(Scheme::BMcCuckoo);
+    // Deletions are destructive, so each (scheme, band, run) gets a
+    // fresh fill.
+    let mut reads: Vec<Vec<Option<f64>>> = vec![vec![None; all_bands.len()]; 4];
+    let mut writes: Vec<Vec<Option<f64>>> = vec![vec![None; all_bands.len()]; 4];
+    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+        for (bi, &band) in all_bands.iter().enumerate() {
+            if band > scheme.max_sweep_load() {
+                continue;
+            }
+            let mut rsum = 0.0;
+            let mut wsum = 0.0;
+            for run in 0..cfg.runs {
+                let mut t = AnyTable::build(scheme, cfg.cap, 110 + run, cfg.maxloop, true);
+                let seed = 120 + run;
+                fill_sweep(&mut t, &[band], seed, |_, _| {});
+                // The table's real capacity can differ from cfg.cap by a
+                // rounding remainder (cap/9*9); derive from the table.
+                let inserted = (band * t.capacity() as f64).round() as u64;
+                let (r, w) = measure_deletions(&mut t, seed, inserted, cfg.lookups.min(20_000));
+                rsum += r;
+                wsum += w;
+            }
+            reads[si][bi] = Some(rsum / cfg.runs as f64);
+            writes[si][bi] = Some(wsum / cfg.runs as f64);
+        }
+    }
+    for (bi, &band) in all_bands.iter().enumerate() {
+        let cell = |v: Option<f64>| v.map(f4).unwrap_or_else(|| "-".to_string());
+        reads_tbl.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(reads[0][bi]),
+            cell(reads[1][bi]),
+            cell(reads[2][bi]),
+            cell(reads[3][bi]),
+        ]);
+        writes_tbl.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(writes[0][bi]),
+            cell(writes[1][bi]),
+            cell(writes[2][bi]),
+            cell(writes[3][bi]),
+        ]);
+    }
+    reads_tbl.print();
+    println!();
+    writes_tbl.print();
+    write_csv("fig14_delete_reads", &reads_tbl);
+    write_csv("fig14_delete_writes", &writes_tbl);
+}

@@ -1,0 +1,81 @@
+//! Fig. 15 — insertion latency vs load ratio, and insertion throughput
+//! vs record size at 50% load, under the Stratix-V platform model
+//! (DESIGN.md §3 explains the FPGA substitution).
+//!
+//! Expected shape: multi-copy insertion is *cheap in latency* because
+//! writes are posted (1 CLK) while reads stall the pipeline (18 CLK) —
+//! McCuckoo trades stalling reads for posted writes. B-McCuckoo's
+//! latency runs slightly above BCHT at moderate load (the counter
+//! checking is not paid back while kick-outs are rare), matching the
+//! paper's observation.
+
+use mccuckoo_bench::harness::{fill_sweep, Config};
+use mccuckoo_bench::report::{f2, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+use mem_model::{MemStats, PlatformModel};
+
+fn main() {
+    let cfg = Config::from_env();
+    let platform = PlatformModel::stratix_v();
+    let record = 8u64; // paper's base record size
+
+    // (a) insertion latency vs load.
+    let mut lat_tbl = Table::new(
+        "Fig. 15a: insertion latency (ns) vs load, 8 B records",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+    // Also capture each scheme's 45–50% band stats for part (b).
+    let mut half_load_delta: Vec<(MemStats, u64)> = Vec::new();
+    for scheme in Scheme::ALL {
+        let bands = cfg.bands(scheme);
+        // Blocked schemes fetch whole buckets: 3 records per access.
+        let bucket_bytes = record * if scheme.blocked() { 3 } else { 1 };
+        let mut t = AnyTable::build(scheme, cfg.cap, 170, cfg.maxloop, false);
+        let stats = fill_sweep(&mut t, &bands, 180, |_, _| {});
+        let mut points = Vec::new();
+        for s in &stats {
+            let lat = platform.cost(s.delta, bucket_bytes, s.inserts).ns_per_op();
+            points.push((s.load, lat));
+            if (s.load - 0.5).abs() < 1e-9 {
+                half_load_delta.push((s.delta, s.inserts));
+            }
+        }
+        series.push(points);
+    }
+    let all_bands = cfg.bands(Scheme::BMcCuckoo);
+    for (i, &band) in all_bands.iter().enumerate() {
+        let cell = |s: &Vec<(f64, f64)>| {
+            s.get(i)
+                .map(|&(_, v)| f2(v))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        lat_tbl.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+            cell(&series[3]),
+        ]);
+    }
+    lat_tbl.print();
+    write_csv("fig15a_insert_latency", &lat_tbl);
+    println!();
+
+    // (b) insertion throughput (Mops) vs record size at 50% load.
+    let mut thr_tbl = Table::new(
+        "Fig. 15b: insertion throughput (Mops) vs record size at 50% load",
+        &["record B", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    for size in [8u64, 16, 32, 64, 128] {
+        let mut cells = vec![size.to_string()];
+        for (i, (delta, ops)) in half_load_delta.iter().enumerate() {
+            // Blocked schemes fetch whole buckets: 3 records per access.
+            let bucket_bytes = size * if i >= 2 { 3 } else { 1 };
+            cells.push(f2(platform.cost(*delta, bucket_bytes, *ops).mops()));
+        }
+        thr_tbl.row(cells);
+    }
+    thr_tbl.print();
+    write_csv("fig15b_insert_throughput", &thr_tbl);
+}

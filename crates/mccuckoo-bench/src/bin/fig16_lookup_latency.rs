@@ -1,0 +1,82 @@
+//! Fig. 16 — lookup latency (a, b) and throughput (c, d) for existing
+//! and non-existing items as record size grows, at 50% load, under the
+//! Stratix-V platform model.
+//!
+//! Expected shape: checking fewer buckets pays off more as records grow
+//! (each skipped bucket saves more transfer time), so the multi-copy
+//! schemes' throughput advantage widens with record size — most
+//! dramatically for non-existing items, which McCuckoo's counters
+//! mostly reject without any off-chip access. The counter-checking
+//! overhead shows up as a small constant latency adder, the paper's
+//! "added lookup time ... due to the checking on the counters".
+
+use mccuckoo_bench::harness::{
+    fill_sweep, measure_lookup_hits_stats, measure_lookup_misses, Config,
+};
+use mccuckoo_bench::report::{f2, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+use mem_model::{MemStats, PlatformModel};
+
+fn main() {
+    let cfg = Config::from_env();
+    let platform = PlatformModel::stratix_v();
+    let band = 0.5f64;
+    // Gather per-scheme lookup traces once; cost them per record size.
+    let mut hit_traces: Vec<(MemStats, u64)> = Vec::new();
+    let mut miss_traces: Vec<(MemStats, u64)> = Vec::new();
+    for scheme in Scheme::ALL {
+        let mut t = AnyTable::build(scheme, cfg.cap, 190, cfg.maxloop, false);
+        fill_sweep(&mut t, &[band], 200, |_, _| {});
+        let inserted = (band * t.capacity() as f64).round() as u64;
+        hit_traces.push(measure_lookup_hits_stats(&t, 200, inserted, cfg.lookups));
+        let before = t.snapshot();
+        let (_, _delta) = measure_lookup_misses(&t, 200, cfg.lookups);
+        miss_traces.push((t.snapshot() - before, cfg.lookups as u64));
+    }
+
+    let sizes = [8u64, 16, 32, 64, 128];
+    let emit = |title: &str, csv: &str, traces: &[(MemStats, u64)], latency: bool| {
+        let mut tbl = Table::new(
+            title,
+            &["record B", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+        );
+        for &size in &sizes {
+            let mut cells = vec![size.to_string()];
+            for (i, (delta, ops)) in traces.iter().enumerate() {
+                // Blocked schemes (indices 2, 3) fetch 3-record buckets.
+                let bucket_bytes = size * if i >= 2 { 3 } else { 1 };
+                let b = platform.cost(*delta, bucket_bytes, *ops);
+                cells.push(f2(if latency { b.ns_per_op() } else { b.mops() }));
+            }
+            tbl.row(cells);
+        }
+        tbl.print();
+        println!();
+        write_csv(csv, &tbl);
+    };
+
+    emit(
+        "Fig. 16a: lookup latency (ns), existing items, 50% load",
+        "fig16a_lookup_latency_hit",
+        &hit_traces,
+        true,
+    );
+    emit(
+        "Fig. 16b: lookup latency (ns), non-existing items, 50% load",
+        "fig16b_lookup_latency_miss",
+        &miss_traces,
+        true,
+    );
+    emit(
+        "Fig. 16c: lookup throughput (Mops), existing items, 50% load",
+        "fig16c_lookup_throughput_hit",
+        &hit_traces,
+        false,
+    );
+    emit(
+        "Fig. 16d: lookup throughput (Mops), non-existing items, 50% load",
+        "fig16d_lookup_throughput_miss",
+        &miss_traces,
+        false,
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 9 — number of kick-outs per insertion vs load ratio.
+//!
+//! Expected shape: near zero for everyone at low load; at high load the
+//! multi-copy schemes kick far less (paper: −59.3% for ternary Cuckoo at
+//! 85%, −77.9% for 3-way BCHT at 95%).
+
+use mccuckoo_bench::harness::{fill_sweep, Config};
+use mccuckoo_bench::report::{f4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Fig. 9: kick-outs per insertion vs load ratio",
+        &["load", "Cuckoo", "McCuckoo", "BCHT", "B-McCuckoo"],
+    );
+    // Collect per-scheme series over the sweep bands.
+    let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
+    for scheme in Scheme::ALL {
+        let bands = cfg.bands(scheme);
+        let mut sums = vec![0.0; bands.len()];
+        for run in 0..cfg.runs {
+            let mut t = AnyTable::build(scheme, cfg.cap, 10 + run, cfg.maxloop, false);
+            let stats = fill_sweep(&mut t, &bands, 20 + run, |_, _| {});
+            for (i, s) in stats.iter().enumerate() {
+                sums[i] += s.kickouts_per_insert;
+            }
+        }
+        series.push(
+            bands
+                .iter()
+                .zip(sums)
+                .map(|(&b, s)| (b, s / cfg.runs as f64))
+                .collect(),
+        );
+    }
+    let all_bands = cfg.bands(Scheme::BMcCuckoo);
+    for (i, &band) in all_bands.iter().enumerate() {
+        let cell = |s: &Vec<(f64, f64)>| {
+            s.get(i)
+                .map(|&(_, v)| f4(v))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        table.row(vec![
+            format!("{:.0}%", band * 100.0),
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+            cell(&series[3]),
+        ]);
+    }
+    table.print();
+    write_csv("fig9_kickouts", &table);
+
+    // Headline reductions the paper quotes.
+    let at = |s: &Vec<(f64, f64)>, load: f64| {
+        s.iter()
+            .min_by(|a, b| (a.0 - load).abs().partial_cmp(&(b.0 - load).abs()).unwrap())
+            .map(|&(_, v)| v)
+            .unwrap_or(f64::NAN)
+    };
+    let c85 = at(&series[0], 0.85);
+    let m85 = at(&series[1], 0.85);
+    let b95 = at(&series[2], 0.95);
+    let bm95 = at(&series[3], 0.95);
+    println!(
+        "kick-out reduction at 85% (Cuckoo→McCuckoo): {:.1}% (paper: 59.3%)",
+        (1.0 - m85 / c85) * 100.0
+    );
+    println!(
+        "kick-out reduction at 95% (BCHT→B-McCuckoo): {:.1}% (paper: 77.9%)",
+        (1.0 - bm95 / b95) * 100.0
+    );
+}

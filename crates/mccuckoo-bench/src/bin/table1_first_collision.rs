@@ -1,0 +1,32 @@
+//! Table I — load ratio when the first collision occurs.
+//!
+//! Paper's numbers (70M DocWords keys): Cuckoo 9.27%, McCuckoo 23.20%,
+//! BCHT 46.03%, B-McCuckoo 61.42%. The reproduction checks the ordering
+//! and rough magnitudes; absolute values drift a little with table size
+//! because the first collision is an extreme-value statistic.
+
+use mccuckoo_bench::harness::{first_collision_load, mean, Config};
+use mccuckoo_bench::report::{pct4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Table I: load ratio when first collision occurs",
+        &["scheme", "first-collision load", "paper"],
+    );
+    let paper = ["9.27%", "23.20%", "46.03%", "61.42%"];
+    for (scheme, paper_val) in Scheme::ALL.into_iter().zip(paper) {
+        let load = mean((0..cfg.runs).map(|r| {
+            let mut t = AnyTable::build(scheme, cfg.cap, 1000 + r, cfg.maxloop, false);
+            first_collision_load(&mut t, 2000 + r)
+        }));
+        table.row(vec![
+            scheme.label().to_string(),
+            pct4(load),
+            paper_val.to_string(),
+        ]);
+    }
+    table.print();
+    write_csv("table1_first_collision", &table);
+}

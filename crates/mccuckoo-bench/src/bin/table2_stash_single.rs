@@ -1,0 +1,52 @@
+//! Table II — stash performance of 3-hash 1-slot McCuckoo near its
+//! maximum load (88%–93%, maxloop 200 and 500).
+//!
+//! Columns follow the paper: stashed items, their share of all inserted
+//! items, and the fraction of non-existing-item queries that actually
+//! visit the stash (the pre-screening's whole point: that column should
+//! stay ≈ 0.00xx% even when thousands of items are stashed).
+
+use mccuckoo_bench::harness::{fill_sweep, mean, measure_lookup_misses, Config};
+use mccuckoo_bench::report::{pct4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Table II: stash performance, 3-hash 1-slot McCuckoo",
+        &[
+            "load",
+            "maxloop",
+            "stash items",
+            "% in all items",
+            "% visits in lookups",
+        ],
+    );
+    for load_pct in [88u32, 89, 90, 91, 92, 93] {
+        for maxloop in [200u32, 500] {
+            let mut stash_items = Vec::new();
+            let mut stash_share = Vec::new();
+            let mut visit_rate = Vec::new();
+            for run in 0..cfg.runs {
+                let mut t = AnyTable::build(Scheme::McCuckoo, cfg.cap, 130 + run, maxloop, false);
+                let band = load_pct as f64 / 100.0;
+                let seed = 140 + run;
+                fill_sweep(&mut t, &[band], seed, |_, _| {});
+                let total = (band * t.capacity() as f64).round();
+                stash_items.push(t.stash_len() as f64);
+                stash_share.push(t.stash_len() as f64 / total);
+                let (_, delta) = measure_lookup_misses(&t, seed, cfg.lookups);
+                visit_rate.push(delta.stash_visits as f64 / cfg.lookups as f64);
+            }
+            table.row(vec![
+                format!("{load_pct}%"),
+                maxloop.to_string(),
+                format!("{:.1}", mean(stash_items.iter().copied())),
+                pct4(mean(stash_share.iter().copied())),
+                pct4(mean(visit_rate.iter().copied())),
+            ]);
+        }
+    }
+    table.print();
+    write_csv("table2_stash_single", &table);
+}

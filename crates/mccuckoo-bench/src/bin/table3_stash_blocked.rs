@@ -1,0 +1,50 @@
+//! Table III — stash performance of 3-hash 3-slot McCuckoo at extreme
+//! load (97.5%–100%, maxloop 200 and 500).
+//!
+//! The blocked variant only needs the stash in the very last percent of
+//! load; visits by non-existing-item queries should remain ≈ 0%.
+
+use mccuckoo_bench::harness::{fill_sweep, mean, measure_lookup_misses, Config};
+use mccuckoo_bench::report::{pct4, write_csv, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = Table::new(
+        "Table III: stash performance, 3-hash 3-slot McCuckoo",
+        &[
+            "load",
+            "maxloop",
+            "stash items",
+            "% in all items",
+            "% visits in lookups",
+        ],
+    );
+    for load_tenths in [975u32, 980, 985, 990, 995, 1000] {
+        for maxloop in [200u32, 500] {
+            let mut stash_items = Vec::new();
+            let mut stash_share = Vec::new();
+            let mut visit_rate = Vec::new();
+            for run in 0..cfg.runs {
+                let mut t = AnyTable::build(Scheme::BMcCuckoo, cfg.cap, 150 + run, maxloop, false);
+                let band = load_tenths as f64 / 1000.0;
+                let seed = 160 + run;
+                fill_sweep(&mut t, &[band], seed, |_, _| {});
+                let total = (band * t.capacity() as f64).round();
+                stash_items.push(t.stash_len() as f64);
+                stash_share.push(t.stash_len() as f64 / total);
+                let (_, delta) = measure_lookup_misses(&t, seed, cfg.lookups);
+                visit_rate.push(delta.stash_visits as f64 / cfg.lookups as f64);
+            }
+            table.row(vec![
+                format!("{:.1}%", load_tenths as f64 / 10.0),
+                maxloop.to_string(),
+                format!("{:.1}", mean(stash_items.iter().copied())),
+                pct4(mean(stash_share.iter().copied())),
+                pct4(mean(visit_rate.iter().copied())),
+            ]);
+        }
+    }
+    table.print();
+    write_csv("table3_stash_blocked", &table);
+}

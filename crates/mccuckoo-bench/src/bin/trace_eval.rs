@@ -1,0 +1,154 @@
+//! `trace_eval` — replay an operation trace against any scheme.
+//!
+//! A small adoption tool: feed it a text trace (one op per line) and a
+//! scheme name, get the table's access profile for *your* workload
+//! instead of the paper's.
+//!
+//! ```text
+//! usage: trace_eval <scheme> <trace-file> [cap_slots]
+//!        trace_eval --generate <ops> <out-file> [seed]
+//!
+//! scheme: cuckoo | mccuckoo | bcht | bmccuckoo
+//! trace line format:  I <key> | G <key> | D <key>     (decimal u64 keys)
+//! ```
+//!
+//! `--generate` writes a demonstration trace (read-heavy mix) so the
+//! tool is self-contained.
+
+use std::io::{BufRead, BufWriter, Write};
+
+use mccuckoo_bench::report::{f4, Table};
+use mccuckoo_bench::{AnyTable, Scheme};
+use mem_model::PlatformModel;
+use workloads::{Op, OpMix, OpStream};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_eval <cuckoo|mccuckoo|bcht|bmccuckoo> <trace-file> [cap_slots]\n\
+         \x20      trace_eval --generate <ops> <out-file> [seed]"
+    );
+    std::process::exit(2);
+}
+
+fn generate(ops: usize, path: &str, seed: u64) {
+    let mut stream = OpStream::new(OpMix::read_heavy(), seed);
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut w = BufWriter::new(file);
+    for k in stream.preload(ops / 10 + 1) {
+        writeln!(w, "I {k}").unwrap();
+    }
+    for _ in 0..ops {
+        match stream.next_op() {
+            Op::Insert(k) => writeln!(w, "I {k}").unwrap(),
+            Op::Update(k) | Op::LookupHit(k) | Op::LookupMiss(k) => writeln!(w, "G {k}").unwrap(),
+            Op::Delete(k) => writeln!(w, "D {k}").unwrap(),
+        }
+    }
+    println!("wrote trace with preload to {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--generate") {
+        let ops: usize = args
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
+        let path = args.get(2).unwrap_or_else(|| usage());
+        let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+        generate(ops, path, seed);
+        return;
+    }
+    let [scheme_name, path, rest @ ..] = args.as_slice() else {
+        usage()
+    };
+    let scheme = match scheme_name.as_str() {
+        "cuckoo" => Scheme::Cuckoo,
+        "mccuckoo" => Scheme::McCuckoo,
+        "bcht" => Scheme::Bcht,
+        "bmccuckoo" => Scheme::BMcCuckoo,
+        other => {
+            eprintln!("unknown scheme {other}");
+            usage()
+        }
+    };
+    let cap: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(393_216);
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut t = AnyTable::build(scheme, cap, 0xCAFE, 500, true);
+    let (mut inserts, mut gets, mut hits, mut dels, mut fails, mut kicks) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut skipped = 0u64;
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_default();
+        let mut parts = line.split_whitespace();
+        let (op, key) = (
+            parts.next(),
+            parts.next().and_then(|k| k.parse::<u64>().ok()),
+        );
+        match (op, key) {
+            (Some("I"), Some(k)) => {
+                let r = t.insert_new(k, k);
+                kicks += r.kickouts as u64;
+                if !r.stored() {
+                    fails += 1;
+                }
+                inserts += 1;
+            }
+            (Some("G"), Some(k)) => {
+                gets += 1;
+                if t.get(&k).is_some() {
+                    hits += 1;
+                }
+            }
+            (Some("D"), Some(k)) => {
+                dels += 1;
+                let _ = t.remove(&k);
+            }
+            (None, _) => {} // blank line
+            _ => {
+                skipped += 1;
+                if skipped <= 3 {
+                    eprintln!("skipping malformed line {}: {line:?}", lineno + 1);
+                }
+            }
+        }
+    }
+
+    let stats = t.snapshot();
+    let total_ops = inserts + gets + dels;
+    let mut table = Table::new(
+        &format!("trace replay: {} over {total_ops} ops", scheme.label()),
+        &["metric", "value"],
+    );
+    let mut row = |m: &str, v: String| table.row(vec![m.into(), v]);
+    row("inserts", inserts.to_string());
+    row(
+        "  kick-outs/insert",
+        f4(kicks as f64 / inserts.max(1) as f64),
+    );
+    row("  failed/stashed", fails.to_string());
+    row("lookups", gets.to_string());
+    row("  hit rate", f4(hits as f64 / gets.max(1) as f64));
+    row("deletes", dels.to_string());
+    row("final load", f4(t.load_ratio()));
+    row("stash items", t.stash_len().to_string());
+    row(
+        "off-chip reads/op",
+        f4(stats.offchip_reads as f64 / total_ops.max(1) as f64),
+    );
+    row(
+        "off-chip writes/op",
+        f4(stats.offchip_writes as f64 / total_ops.max(1) as f64),
+    );
+    let lat = PlatformModel::stratix_v().cost(stats, 8, total_ops);
+    row("modelled ns/op (8 B)", f4(lat.ns_per_op()));
+    row("modelled Mops (8 B)", f4(lat.mops()));
+    table.print();
+}

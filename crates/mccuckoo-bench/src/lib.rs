@@ -1,0 +1,34 @@
+//! # mccuckoo-bench — regenerating every table and figure of the paper
+//!
+//! One binary per experiment (see `DESIGN.md` §5 for the full index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_first_collision` | Table I |
+//! | `fig9_kickouts` | Fig. 9 |
+//! | `fig10_insert_access` | Fig. 10a/b |
+//! | `fig11_first_failure` | Fig. 11 |
+//! | `fig12_lookup_hit` | Fig. 12 |
+//! | `fig13_lookup_miss` | Fig. 13 |
+//! | `fig14_delete` | Fig. 14 |
+//! | `table2_stash_single` | Table II |
+//! | `table3_stash_blocked` | Table III |
+//! | `fig15_insert_latency` | Fig. 15 |
+//! | `fig16_lookup_latency` | Fig. 16 |
+//! | `ablation_*` | design-choice ablations (DESIGN.md §5) |
+//!
+//! Each binary prints the paper's rows/series to stdout and writes a CSV
+//! under `results/`. Scale and repetitions are environment-tunable:
+//!
+//! * `MCB_CAP` — total table capacity in slots (default 393216 ≈ 3·2¹⁷);
+//! * `MCB_RUNS` — repetitions averaged per data point (default 5; the
+//!   paper uses 10);
+//! * `MCB_LOOKUPS` — lookups sampled per measurement (default 100000).
+
+pub mod harness;
+pub mod report;
+pub mod schemes;
+
+pub use harness::{BandStats, Config};
+pub use report::{csv_path, write_csv, Table};
+pub use schemes::{AnyTable, Scheme};

@@ -1,0 +1,163 @@
+//! Result presentation: aligned console tables + CSV files under
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// CSV serialisation (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Path of the CSV for experiment `name` (creates `results/`).
+pub fn csv_path(name: &str) -> PathBuf {
+    let dir = std::env::var("MCB_RESULTS").unwrap_or_else(|_| "results".into());
+    let dir = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{name}.csv"))
+}
+
+/// Write the table's CSV next to the printed output; reports the path.
+pub fn write_csv(name: &str, table: &Table) {
+    let path = csv_path(name);
+    match std::fs::write(&path, table.to_csv()) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Format a float with 4 decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a percentage with 4 decimals (Tables II–III style).
+pub fn pct4(x: f64) -> String {
+    format!("{:.4}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["scheme", "value"]);
+        t.row(vec!["Cuckoo".into(), "1.0".into()]);
+        t.row(vec!["B-McCuckoo".into(), "22.5".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("B-McCuckoo"));
+        // Both value cells right-aligned to the same column end.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1,5".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(1.23456), "1.2346");
+        assert_eq!(f2(1.2), "1.20");
+        assert_eq!(pct4(0.001234), "0.1234%");
+    }
+}

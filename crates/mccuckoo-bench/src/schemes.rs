@@ -1,0 +1,276 @@
+//! Uniform driver over the four evaluated schemes.
+//!
+//! The paper compares ternary Cuckoo, McCuckoo, 3×3 BCHT and
+//! B-McCuckoo (§IV.A.3). [`AnyTable`] normalises their APIs so the
+//! experiment binaries can sweep all four with one code path. All tables
+//! are sized by **total slot capacity** so load ratios are comparable.
+
+use cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
+use mccuckoo_core::{BlockedConfig, BlockedMcCuckoo, McConfig, McCuckoo};
+use mem_model::{InsertOutcome, InsertReport, MemStats};
+
+/// The four schemes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Standard ternary Cuckoo hashing (single copy, 1 slot).
+    Cuckoo,
+    /// Multi-copy Cuckoo, single slot.
+    McCuckoo,
+    /// Blocked Cuckoo hash table, 3 hashes × 3 slots.
+    Bcht,
+    /// Blocked multi-copy Cuckoo, 3 hashes × 3 slots.
+    BMcCuckoo,
+}
+
+impl Scheme {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Cuckoo,
+        Scheme::McCuckoo,
+        Scheme::Bcht,
+        Scheme::BMcCuckoo,
+    ];
+
+    /// The two single-slot schemes.
+    pub const SINGLE_SLOT: [Scheme; 2] = [Scheme::Cuckoo, Scheme::McCuckoo];
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Cuckoo => "Cuckoo",
+            Scheme::McCuckoo => "McCuckoo",
+            Scheme::Bcht => "BCHT",
+            Scheme::BMcCuckoo => "B-McCuckoo",
+        }
+    }
+
+    /// Whether this is a multi-copy scheme.
+    pub fn multi_copy(&self) -> bool {
+        matches!(self, Scheme::McCuckoo | Scheme::BMcCuckoo)
+    }
+
+    /// Whether this is a blocked (multi-slot) scheme, whose off-chip
+    /// bucket holds 3 records per access.
+    pub fn blocked(&self) -> bool {
+        matches!(self, Scheme::Bcht | Scheme::BMcCuckoo)
+    }
+
+    /// A realistic failure-free peak load for fill sweeps (bands above
+    /// this are skipped for the scheme).
+    pub fn max_sweep_load(&self) -> f64 {
+        match self {
+            Scheme::Cuckoo => 0.88,
+            Scheme::McCuckoo => 0.90,
+            Scheme::Bcht => 0.97,
+            Scheme::BMcCuckoo => 0.98,
+        }
+    }
+}
+
+/// A table of any scheme, keyed `u64 → u64`, sized by total slots.
+pub enum AnyTable {
+    /// Standard d-ary Cuckoo.
+    Cuckoo(DaryCuckoo<u64, u64>),
+    /// Single-slot McCuckoo.
+    Mc(McCuckoo<u64, u64>),
+    /// Blocked cuckoo baseline.
+    Bcht(Bcht<u64, u64>),
+    /// Blocked McCuckoo.
+    BMc(BlockedMcCuckoo<u64, u64>),
+}
+
+impl AnyTable {
+    /// Build `scheme` with ~`cap_slots` total capacity. `deletion`
+    /// enables Reset-mode deletion on the multi-copy schemes (baselines
+    /// always support removal).
+    pub fn build(
+        scheme: Scheme,
+        cap_slots: usize,
+        seed: u64,
+        maxloop: u32,
+        deletion: bool,
+    ) -> Self {
+        match scheme {
+            Scheme::Cuckoo => {
+                let mut cfg = CuckooConfig::paper(cap_slots / 3, seed);
+                cfg.maxloop = maxloop;
+                AnyTable::Cuckoo(DaryCuckoo::new(cfg))
+            }
+            Scheme::McCuckoo => {
+                let mut cfg = if deletion {
+                    McConfig::paper_with_deletion(cap_slots / 3, seed)
+                } else {
+                    McConfig::paper(cap_slots / 3, seed)
+                };
+                cfg.maxloop = maxloop;
+                AnyTable::Mc(McCuckoo::new(cfg))
+            }
+            Scheme::Bcht => {
+                let mut cfg = BchtConfig::paper(cap_slots / 9, seed);
+                cfg.maxloop = maxloop;
+                AnyTable::Bcht(Bcht::new(cfg))
+            }
+            Scheme::BMcCuckoo => {
+                let base = if deletion {
+                    McConfig::paper_with_deletion(cap_slots / 9, seed)
+                } else {
+                    McConfig::paper(cap_slots / 9, seed)
+                };
+                let mut cfg = BlockedConfig {
+                    base,
+                    slots: 3,
+                    aggressive_lookup: false,
+                };
+                cfg.base.maxloop = maxloop;
+                AnyTable::BMc(BlockedMcCuckoo::new(cfg))
+            }
+        }
+    }
+
+    /// Which scheme this is.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            AnyTable::Cuckoo(_) => Scheme::Cuckoo,
+            AnyTable::Mc(_) => Scheme::McCuckoo,
+            AnyTable::Bcht(_) => Scheme::Bcht,
+            AnyTable::BMc(_) => Scheme::BMcCuckoo,
+        }
+    }
+
+    /// Insert a fresh key. Baseline hard failures (no stash) are folded
+    /// into a `Failed` report; the evicted victim is re-offered nowhere
+    /// (the sweeps stop at the first failure anyway).
+    pub fn insert_new(&mut self, k: u64, v: u64) -> InsertReport {
+        match self {
+            AnyTable::Cuckoo(t) => t.insert(k, v).unwrap_or_else(|full| full.report),
+            AnyTable::Mc(t) => t.insert_new(k, v).unwrap_or_else(|full| full.report),
+            AnyTable::Bcht(t) => t.insert(k, v).unwrap_or_else(|full| full.report),
+            AnyTable::BMc(t) => t.insert_new(k, v).unwrap_or_else(|full| full.report),
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, k: &u64) -> Option<u64> {
+        match self {
+            AnyTable::Cuckoo(t) => t.get(k).copied(),
+            AnyTable::Mc(t) => t.get(k).copied(),
+            AnyTable::Bcht(t) => t.get(k).copied(),
+            AnyTable::BMc(t) => t.get(k).copied(),
+        }
+    }
+
+    /// Remove a key (multi-copy tables must be built with `deletion`).
+    pub fn remove(&mut self, k: &u64) -> Option<u64> {
+        match self {
+            AnyTable::Cuckoo(t) => t.remove(k),
+            AnyTable::Mc(t) => t.remove(k),
+            AnyTable::Bcht(t) => t.remove(k),
+            AnyTable::BMc(t) => t.remove(k),
+        }
+    }
+
+    /// Meter snapshot.
+    pub fn snapshot(&self) -> MemStats {
+        match self {
+            AnyTable::Cuckoo(t) => t.meter().snapshot(),
+            AnyTable::Mc(t) => t.meter().snapshot(),
+            AnyTable::Bcht(t) => t.meter().snapshot(),
+            AnyTable::BMc(t) => t.meter().snapshot(),
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        match self {
+            AnyTable::Cuckoo(t) => t.capacity(),
+            AnyTable::Mc(t) => t.capacity(),
+            AnyTable::Bcht(t) => t.capacity(),
+            AnyTable::BMc(t) => t.capacity(),
+        }
+    }
+
+    /// Stored distinct items.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyTable::Cuckoo(t) => t.len(),
+            AnyTable::Mc(t) => t.len(),
+            AnyTable::Bcht(t) => t.len(),
+            AnyTable::BMc(t) => t.len(),
+        }
+    }
+
+    /// True if no items stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stash occupancy (0 for the baselines, which have no off-chip
+    /// stash in the paper's setup).
+    pub fn stash_len(&self) -> usize {
+        match self {
+            AnyTable::Cuckoo(t) => t.stash_len(),
+            AnyTable::Mc(t) => t.stash_len(),
+            AnyTable::Bcht(_) => 0,
+            AnyTable::BMc(t) => t.stash_len(),
+        }
+    }
+
+    /// Load ratio.
+    pub fn load_ratio(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+}
+
+/// Outcome helper: did the insert land anywhere usable?
+pub fn insert_succeeded(r: &InsertReport) -> bool {
+    matches!(r.outcome, InsertOutcome::Placed | InsertOutcome::Updated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::UniqueKeys;
+
+    #[test]
+    fn all_schemes_build_fill_and_serve() {
+        for scheme in Scheme::ALL {
+            let mut t = AnyTable::build(scheme, 9_000, 1, 500, false);
+            assert_eq!(t.scheme(), scheme);
+            let mut keys = UniqueKeys::new(2);
+            let target = (t.capacity() as f64 * 0.5) as usize;
+            for _ in 0..target {
+                let k = keys.next_key();
+                let r = t.insert_new(k, k);
+                assert!(r.stored(), "{scheme:?} lost an item at 50% load");
+            }
+            for k in UniqueKeys::new(2).take_vec(target) {
+                assert_eq!(t.get(&k), Some(k), "{}", scheme.label());
+            }
+            assert!((t.load_ratio() - 0.5).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn deletion_capable_builds_remove() {
+        for scheme in Scheme::ALL {
+            let mut t = AnyTable::build(scheme, 9_000, 3, 500, true);
+            let mut keys = UniqueKeys::new(4);
+            let ks = keys.take_vec(1000);
+            for &k in &ks {
+                t.insert_new(k, k);
+            }
+            for &k in &ks {
+                assert_eq!(t.remove(&k), Some(k), "{}", scheme.label());
+            }
+            assert!(t.is_empty(), "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn capacity_is_comparable_across_schemes() {
+        for scheme in Scheme::ALL {
+            let t = AnyTable::build(scheme, 90_000, 5, 500, false);
+            assert_eq!(t.capacity(), 90_000, "{}", scheme.label());
+        }
+    }
+}

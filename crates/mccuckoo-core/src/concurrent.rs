@@ -1,0 +1,543 @@
+//! One-writer-many-readers concurrency (§III.H of the paper).
+//!
+//! The paper observes that McCuckoo composes naturally with MemC3-style
+//! concurrency: the counters let the writer *precompute* a short cuckoo
+//! path before touching the table, and the moves can then be executed
+//! from the path's far end backwards so that **no item is ever absent**
+//! — each item is written to its destination before its source is
+//! overwritten. Multi-copy strengthens this further: overwriting a
+//! redundant copy never makes its owner unavailable at all.
+//!
+//! Readers are lock-free. They probe **conservatively**: the only
+//! counter-derived shortcut they use is skipping counter-zero buckets
+//! (sound, because a counter only becomes non-zero *after* its content
+//! is written). The single-slot partition pruning is deliberately not
+//! used by concurrent readers — a reader racing a counter update could
+//! otherwise prune away the bucket that still holds the key. This
+//! engineering refinement is not spelled out in the paper; see
+//! `DESIGN.md` §4.
+//!
+//! A probe that *misses* must additionally prove it did not race a
+//! relocation: an item moving from a not-yet-checked candidate into an
+//! already-checked one would otherwise be invisible to one unlucky pass
+//! (the classic cuckoo reader race, MemC3 §3.2). Each bucket therefore
+//! carries a version counter, bumped to odd before and even after every
+//! content mutation; a miss is only reported once a full pass observes
+//! identical, even versions before and after probing. Hits need no
+//! validation — the matching `(key, value)` pair is loaded atomically.
+//!
+//! Implementation notes: buckets are `crossbeam` `AtomicCell`s (seqlock
+//! semantics without unsafe code), counters are `AtomicU8`, versions are
+//! `AtomicU64`, and writers serialize on a `parking_lot::Mutex`. Keys
+//! and values must be `Copy` (pointer-sized payloads — use
+//! [`crate::MultisetIndex`]-style indirection for fat values). The meter
+//! is not threaded through this type; concurrency is evaluated by
+//! throughput, not access counts.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use crossbeam::atomic::AtomicCell;
+use hash_kit::{BucketFamily, KeyHash, SplitMix64};
+use parking_lot::Mutex;
+
+use crate::config::McConfig;
+use crate::single::MAX_D;
+
+/// One table bucket: an atomically swappable `(key, value)` cell.
+type Cell<K, V> = AtomicCell<Option<(K, V)>>;
+
+/// Lock-free-read, single-writer multi-copy cuckoo table.
+///
+/// ```
+/// use mccuckoo_core::{ConcurrentMcCuckoo, McConfig};
+/// use std::sync::Arc;
+///
+/// let table = Arc::new(ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(256, 1)));
+/// table.insert(10, 100).unwrap();
+/// let reader = {
+///     let t = table.clone();
+///     std::thread::spawn(move || t.get(&10))
+/// };
+/// assert_eq!(reader.join().unwrap(), Some(100));
+/// assert_eq!(table.remove(&10), Some(100));
+/// ```
+pub struct ConcurrentMcCuckoo<K, V> {
+    family: BucketFamily,
+    d: usize,
+    n: usize,
+    maxloop: u32,
+    cells: Box<[Cell<K, V>]>,
+    counters: Box<[AtomicU8]>,
+    /// Per-bucket seqlock versions: odd while a mutation is in flight.
+    versions: Box<[AtomicU64]>,
+    distinct: AtomicUsize,
+    writer: Mutex<WriterState>,
+}
+
+struct WriterState {
+    rng: SplitMix64,
+}
+
+impl<K, V> ConcurrentMcCuckoo<K, V>
+where
+    K: KeyHash + Eq + Copy,
+    V: Copy,
+{
+    /// Build from a [`McConfig`] (stash and deletion-mode fields are
+    /// ignored: the concurrent table always deletes by counter reset and
+    /// reports failures to the caller instead of stashing).
+    pub fn new(config: McConfig) -> Self {
+        config.validate();
+        let family = BucketFamily::new(
+            config.family,
+            config.d,
+            config.buckets_per_table,
+            config.seed,
+        );
+        let total = config.d * config.buckets_per_table;
+        let cells: Box<[Cell<K, V>]> = (0..total).map(|_| AtomicCell::new(None)).collect();
+        let counters: Box<[AtomicU8]> = (0..total).map(|_| AtomicU8::new(0)).collect();
+        let versions: Box<[AtomicU64]> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            family,
+            d: config.d,
+            n: config.buckets_per_table,
+            maxloop: config.maxloop,
+            cells,
+            counters,
+            versions,
+            distinct: AtomicUsize::new(0),
+            writer: Mutex::new(WriterState {
+                rng: SplitMix64::new(config.seed ^ 0xC04C_44E4_7AB1_E000),
+            }),
+        }
+    }
+
+    /// Distinct keys currently stored.
+    pub fn len(&self) -> usize {
+        self.distinct.load(Ordering::Acquire)
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bucket count.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn candidates(&self, key: &K) -> [usize; MAX_D] {
+        let mut raw = [0usize; MAX_D];
+        self.family.buckets_into(key, &mut raw[..self.d]);
+        let mut out = [usize::MAX; MAX_D];
+        for i in 0..self.d {
+            out[i] = i * self.n + raw[i];
+        }
+        out
+    }
+
+    /// Writer-side bucket mutation, bracketed by version bumps (odd
+    /// while in flight). `counter` optionally updates the copy counter
+    /// inside the same bracket.
+    fn write_bucket(&self, idx: usize, content: Option<(K, V)>, counter: Option<u8>) {
+        self.versions[idx].fetch_add(1, Ordering::AcqRel);
+        self.cells[idx].store(content);
+        if let Some(c) = counter {
+            self.counters[idx].store(c, Ordering::Release);
+        }
+        self.versions[idx].fetch_add(1, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // Readers
+    // ------------------------------------------------------------------
+
+    /// Lock-free lookup. Linearizes with concurrent writes: a key
+    /// committed before the call starts is always found — a miss is only
+    /// reported after a probe pass bracketed by stable, even bucket
+    /// versions (see module docs).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let cands = self.candidates(key);
+        loop {
+            let mut pre = [0u64; MAX_D];
+            let mut stable = true;
+            for i in 0..self.d {
+                pre[i] = self.versions[cands[i]].load(Ordering::Acquire);
+                stable &= pre[i] % 2 == 0;
+            }
+            if !stable {
+                std::hint::spin_loop();
+                continue;
+            }
+            for &c in cands.iter().take(self.d) {
+                // Counter becomes non-zero only after content is written,
+                // so skipping zero is the one safe counter shortcut.
+                if self.counters[c].load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                if let Some((k, v)) = self.cells[c].load() {
+                    if k == *key {
+                        return Some(v);
+                    }
+                }
+            }
+            // Validate the miss: no bucket changed underneath the pass.
+            let unchanged =
+                (0..self.d).all(|i| self.versions[cands[i]].load(Ordering::Acquire) == pre[i]);
+            if unchanged {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Writer
+    // ------------------------------------------------------------------
+
+    /// Insert or update. Returns `Err((key, value))` when the relocation
+    /// budget is exhausted — in which case, unlike the sequential
+    /// random-walk, **nothing was mutated** (the path is precomputed).
+    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let mut writer = self.writer.lock();
+        // Update in place if present (writer is exclusive, so a plain
+        // scan is race-free against other writers).
+        let cands = self.candidates(&key);
+        let mut existing = [false; MAX_D];
+        let mut exists = false;
+        for i in 0..self.d {
+            if let Some((k, _)) = self.cells[cands[i]].load() {
+                if k == key && self.counters[cands[i]].load(Ordering::Acquire) > 0 {
+                    existing[i] = true;
+                    exists = true;
+                }
+            }
+        }
+        if exists {
+            for i in 0..self.d {
+                if existing[i] {
+                    self.write_bucket(cands[i], Some((key, value)), None);
+                }
+            }
+            return Ok(());
+        }
+        if self.try_place_locked(&key, &value) {
+            self.distinct.fetch_add(1, Ordering::AcqRel);
+            return Ok(());
+        }
+        // Real collision: precompute a random-walk path, then execute it
+        // backwards (MemC3 ordering) so readers never lose an item.
+        let Some(path) = self.precompute_path(&key, &mut writer.rng) else {
+            return Err((key, value));
+        };
+        // Settle the path's terminal occupant first (it has a free or
+        // redundant bucket), then shift the chain backwards.
+        let last = *path.last().expect("path is non-empty");
+        let (terminal_key, terminal_value) =
+            self.cells[last].load().expect("path buckets are occupied");
+        let placed = self.try_place_locked(&terminal_key, &terminal_value);
+        debug_assert!(placed, "terminal item was chosen for its free bucket");
+        for w in path.windows(2).rev() {
+            let (src, dst) = (w[0], w[1]);
+            let item = self.cells[src].load().expect("path buckets are occupied");
+            self.write_bucket(dst, Some(item), Some(1));
+        }
+        self.write_bucket(path[0], Some((key, value)), Some(1));
+        self.distinct.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Remove `key` (counter-reset deletion). Returns its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let _writer = self.writer.lock();
+        let cands = self.candidates(key);
+        let mut value = None;
+        let mut locations = [usize::MAX; MAX_D];
+        let mut count = 0usize;
+        for &c in cands.iter().take(self.d) {
+            if self.counters[c].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            if let Some((k, v)) = self.cells[c].load() {
+                if k == *key {
+                    value = Some(v);
+                    locations[count] = c;
+                    count += 1;
+                }
+            }
+        }
+        if count > 0 {
+            for &l in &locations[..count] {
+                self.write_bucket(l, None, Some(0));
+            }
+            self.distinct.fetch_sub(1, Ordering::AcqRel);
+        }
+        value
+    }
+
+    /// Place copies by the insertion principles; returns false on a real
+    /// collision. Caller holds the writer lock. Ordering: contents
+    /// before counters, sibling decrements before the overwrite's own
+    /// counter.
+    fn try_place_locked(&self, key: &K, value: &V) -> bool {
+        let cands = self.candidates(key);
+        let mut cvals = [0u8; MAX_D];
+        for i in 0..self.d {
+            cvals[i] = self.counters[cands[i]].load(Ordering::Acquire);
+        }
+        let mut taken = [false; MAX_D];
+        let mut placed = [usize::MAX; MAX_D];
+        let mut placed_len = 0usize;
+        for i in 0..self.d {
+            if cvals[i] == 0 {
+                self.write_bucket(cands[i], Some((*key, *value)), None);
+                taken[i] = true;
+                placed[placed_len] = cands[i];
+                placed_len += 1;
+            }
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..self.d {
+                if !taken[i] && cvals[i] >= 2 && best.is_none_or(|b| cvals[i] > cvals[b]) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            if placed_len as u8 + 2 > cvals[i] {
+                break;
+            }
+            self.overwrite_locked(cands[i], cvals[i], key, value, &cands, &mut cvals);
+            taken[i] = true;
+            placed[placed_len] = cands[i];
+            placed_len += 1;
+        }
+        if placed_len == 0 {
+            return false;
+        }
+        for &p in placed.iter().take(placed_len) {
+            self.counters[p].store(placed_len as u8, Ordering::Release);
+        }
+        true
+    }
+
+    /// Overwrite the redundant copy at `idx` (count `vcount`), fixing the
+    /// victim's siblings.
+    fn overwrite_locked(
+        &self,
+        idx: usize,
+        vcount: u8,
+        key: &K,
+        value: &V,
+        cands: &[usize; MAX_D],
+        cvals: &mut [u8; MAX_D],
+    ) {
+        let (vkey, _) = self.cells[idx].load().expect("counter ≥ 1 ⇒ occupied");
+        let vcands = self.candidates(&vkey);
+        // New content first: the victim stays reachable via its siblings
+        // during the whole update.
+        self.write_bucket(idx, Some((*key, *value)), None);
+        for &s in vcands.iter().take(self.d) {
+            if s == idx {
+                continue;
+            }
+            if self.counters[s].load(Ordering::Acquire) != vcount {
+                continue;
+            }
+            // Verify content: another item may share the counter value.
+            if let Some((k, _)) = self.cells[s].load() {
+                if k == vkey {
+                    self.counters[s].store(vcount - 1, Ordering::Release);
+                    for i in 0..self.d {
+                        if cands[i] == s {
+                            cvals[i] = vcount - 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Precompute a random-walk relocation path: a chain of occupied
+    /// buckets whose last occupant can settle elsewhere. Read-only. The
+    /// path is kept *simple* (no bucket repeats) so the backward
+    /// execution never clobbers an unmoved item; a walk with no unvisited
+    /// candidate is abandoned as a failure.
+    fn precompute_path(&self, key: &K, rng: &mut SplitMix64) -> Option<Vec<usize>> {
+        let mut path: Vec<usize> = Vec::new();
+        let mut cur_key = *key;
+        for _ in 0..self.maxloop {
+            let cands = self.candidates(&cur_key);
+            let choices: Vec<usize> = (0..self.d)
+                .map(|i| cands[i])
+                .filter(|b| !path.contains(b))
+                .collect();
+            if choices.is_empty() {
+                return None; // walk trapped in its own footprint
+            }
+            let next = choices[rng.next_below(choices.len() as u64) as usize];
+            path.push(next);
+            let (occupant, _) = self.cells[next].load()?; // counter-1 bucket: occupied
+                                                          // Can the occupant settle? (any empty or ≥2 candidate)
+            let ocands = self.candidates(&occupant);
+            let placeable = (0..self.d).any(|i| {
+                let c = self.counters[ocands[i]].load(Ordering::Acquire);
+                c == 0 || (c >= 2 && ocands[i] != next)
+            });
+            if placeable {
+                return Some(path);
+            }
+            cur_key = occupant;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use workloads::UniqueKeys;
+
+    fn table(n: usize, seed: u64) -> ConcurrentMcCuckoo<u64, u64> {
+        ConcurrentMcCuckoo::new(McConfig::paper(n, seed))
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let t = table(1_024, 1);
+        let mut keys = UniqueKeys::new(2);
+        let ks = keys.take_vec(2_000);
+        for &k in &ks {
+            t.insert(k, k.wrapping_mul(2)).unwrap();
+        }
+        for &k in &ks {
+            assert_eq!(t.get(&k), Some(k.wrapping_mul(2)));
+        }
+        assert_eq!(t.len(), 2_000);
+        for &k in &ks {
+            assert_eq!(t.remove(&k), Some(k.wrapping_mul(2)));
+            assert_eq!(t.get(&k), None);
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_in_place() {
+        let t = table(64, 3);
+        t.insert(5, 50).unwrap();
+        t.insert(5, 51).unwrap();
+        assert_eq!(t.get(&5), Some(51));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn failed_insert_mutates_nothing() {
+        let t: ConcurrentMcCuckoo<u64, u64> =
+            ConcurrentMcCuckoo::new(McConfig::paper(4, 4).with_maxloop(20));
+        let mut keys = UniqueKeys::new(5);
+        let mut stored = Vec::new();
+        let mut failed = None;
+        for _ in 0..40 {
+            let k = keys.next_key();
+            match t.insert(k, k) {
+                Ok(()) => stored.push(k),
+                Err((ek, _)) => {
+                    failed = Some(ek);
+                    break;
+                }
+            }
+        }
+        let failed = failed.expect("a 12-bucket table must overflow");
+        assert_eq!(t.get(&failed), None, "failed insert must not be visible");
+        for k in &stored {
+            assert_eq!(t.get(k), Some(*k), "failure must not disturb others");
+        }
+    }
+
+    #[test]
+    fn readers_never_lose_stable_keys_during_writer_churn() {
+        // The §III.H property: items never become unavailable during
+        // relocations. Readers hammer a stable key set while the writer
+        // inserts/removes churn keys that force evictions.
+        let t = std::sync::Arc::new(table(2_048, 6));
+        let mut keys = UniqueKeys::new(7);
+        let stable: Vec<u64> = keys.take_vec(2_000);
+        for &k in &stable {
+            t.insert(k, k ^ 0xABCD).unwrap();
+        }
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let misses = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for r in 0..4 {
+                let t = t.clone();
+                let stable = stable.clone();
+                let stop = stop.clone();
+                let misses = misses.clone();
+                scope.spawn(move || {
+                    let mut i = r;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = stable[i % stable.len()];
+                        if t.get(&k) != Some(k ^ 0xABCD) {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            // Writer: churn 20k keys through the table.
+            let mut churn = UniqueKeys::new(8);
+            let mut window: Vec<u64> = Vec::new();
+            for _ in 0..20_000 {
+                let k = churn.next_key();
+                if t.insert(k, k).is_ok() {
+                    window.push(k);
+                }
+                if window.len() > 1_500 {
+                    let victim = window.remove(0);
+                    t.remove(&victim);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(
+            misses.load(Ordering::Relaxed),
+            0,
+            "stable keys must never be unavailable"
+        );
+        for &k in &stable {
+            assert_eq!(t.get(&k), Some(k ^ 0xABCD));
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_scale_without_poisoning() {
+        // Smoke test for read-read parallelism: many readers over a
+        // static table agree on every answer.
+        let t = std::sync::Arc::new(table(1_024, 9));
+        let mut keys = UniqueKeys::new(10);
+        let ks: Vec<u64> = keys.take_vec(2_500);
+        for &k in &ks {
+            t.insert(k, k + 1).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                let ks = ks.clone();
+                scope.spawn(move || {
+                    for &k in &ks {
+                        assert_eq!(t.get(&k), Some(k + 1));
+                    }
+                });
+            }
+        });
+    }
+}

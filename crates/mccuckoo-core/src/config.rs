@@ -1,0 +1,199 @@
+//! Configuration of McCuckoo tables.
+
+use hash_kit::FamilyKind;
+use serde::{Deserialize, Serialize};
+
+/// How deletions are handled (§III.B.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DeletionMode {
+    /// Deletions are not supported; [`crate::McCuckoo::remove`] panics.
+    /// In exchange, lookup rule 1 applies in full: *any* candidate
+    /// counter of 0 proves the key absent without touching off-chip
+    /// memory (the counters form a Bloom filter).
+    #[default]
+    Disabled,
+    /// Solution 1: deleting resets the copies' counters to 0. Lookup
+    /// rule 1 must then be skipped (a zero may be a deletion scar), but
+    /// the remaining pruning rules still apply and freed buckets are
+    /// reusable immediately.
+    Reset,
+    /// Solution 2: deleted buckets are marked with a tombstone that is
+    /// treated as *zero for insertion but non-zero for lookups*, keeping
+    /// rule 1 sound at the cost of gradually fading filter power. Suited
+    /// to workloads "where deletions rarely happen".
+    Tombstone,
+}
+
+/// Which item is evicted when a real collision occurs (every candidate
+/// holds a sole copy). The counters already pinpoint *whether* a free or
+/// redundant bucket exists; these policies only decide the blind step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ResolutionPolicy {
+    /// Uniformly random victim, never stepping straight back (§III.D;
+    /// the paper's choice).
+    #[default]
+    RandomWalk,
+    /// MinCounter (paper ref \[17\]): per-bucket 5-bit kick-history
+    /// counters, evict from the least-kicked ("coldest") bucket, ties
+    /// broken randomly.
+    MinCounter,
+}
+
+/// Stash configuration (§III.E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StashPolicy {
+    /// No stash: a failed insertion reports [`crate::single::McFull`].
+    #[default]
+    None,
+    /// Unbounded off-chip stash with linear scan. McCuckoo's counter +
+    /// flag pre-screening makes visits so rare that scan cost is
+    /// irrelevant to the figures; kept for clarity.
+    Linear,
+    /// Off-chip stash organised as a small open-addressing hash ("more
+    /// advanced hash techniques to construct the stash, so that checking
+    /// it can be finished with minimal access").
+    Hashed,
+}
+
+/// Full configuration of a [`crate::McCuckoo`] / input to the blocked
+/// variant's [`crate::BlockedConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McConfig {
+    /// Number of hash functions / sub-tables (the paper uses 3; 2..=4
+    /// supported).
+    pub d: usize,
+    /// Buckets per sub-table.
+    pub buckets_per_table: usize,
+    /// Kick-out budget before an insertion is declared failed.
+    pub maxloop: u32,
+    /// Collision resolution policy.
+    pub resolution: ResolutionPolicy,
+    /// Deletion handling.
+    pub deletion: DeletionMode,
+    /// Stash behaviour.
+    pub stash: StashPolicy,
+    /// Hash family construction.
+    pub family: FamilyKind,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl McConfig {
+    /// The paper's software configuration: d = 3, random-walk, maxloop
+    /// 500, off-chip stash, deletions disabled (the insertion/lookup
+    /// experiments never delete).
+    pub fn paper(buckets_per_table: usize, seed: u64) -> Self {
+        Self {
+            d: 3,
+            buckets_per_table,
+            maxloop: 500,
+            resolution: ResolutionPolicy::RandomWalk,
+            deletion: DeletionMode::Disabled,
+            stash: StashPolicy::Linear,
+            family: FamilyKind::Independent,
+            seed,
+        }
+    }
+
+    /// Paper configuration with deletions enabled in `Reset` mode
+    /// (used by the deletion experiments, Fig. 14).
+    pub fn paper_with_deletion(buckets_per_table: usize, seed: u64) -> Self {
+        Self {
+            deletion: DeletionMode::Reset,
+            ..Self::paper(buckets_per_table, seed)
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn with_d(mut self, d: usize) -> Self {
+        self.d = d;
+        self
+    }
+
+    /// Set the kick-out budget.
+    pub fn with_maxloop(mut self, maxloop: u32) -> Self {
+        self.maxloop = maxloop;
+        self
+    }
+
+    /// Set the deletion mode.
+    pub fn with_deletion(mut self, mode: DeletionMode) -> Self {
+        self.deletion = mode;
+        self
+    }
+
+    /// Set the stash policy.
+    pub fn with_stash(mut self, stash: StashPolicy) -> Self {
+        self.stash = stash;
+        self
+    }
+
+    /// Set the resolution policy.
+    pub fn with_resolution(mut self, resolution: ResolutionPolicy) -> Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Set the hash family.
+    pub fn with_family(mut self, family: FamilyKind) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Validate structural limits.
+    ///
+    /// # Panics
+    /// Panics if `d` is outside `2..=4` or the table is empty.
+    pub(crate) fn validate(&self) {
+        assert!(
+            (2..=4).contains(&self.d),
+            "McCuckoo supports 2..=4 hash functions (paper uses 3), got {}",
+            self.d
+        );
+        assert!(self.buckets_per_table > 0, "table must be non-empty");
+        assert!(self.maxloop > 0, "maxloop must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = McConfig::paper(100, 1);
+        assert_eq!(c.d, 3);
+        assert_eq!(c.maxloop, 500);
+        assert_eq!(c.resolution, ResolutionPolicy::RandomWalk);
+        assert_eq!(c.deletion, DeletionMode::Disabled);
+        assert_eq!(c.stash, StashPolicy::Linear);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let c = McConfig::paper(10, 2)
+            .with_d(4)
+            .with_maxloop(50)
+            .with_deletion(DeletionMode::Tombstone)
+            .with_stash(StashPolicy::Hashed)
+            .with_resolution(ResolutionPolicy::MinCounter);
+        assert_eq!(c.d, 4);
+        assert_eq!(c.maxloop, 50);
+        assert_eq!(c.deletion, DeletionMode::Tombstone);
+        assert_eq!(c.stash, StashPolicy::Hashed);
+        assert_eq!(c.resolution, ResolutionPolicy::MinCounter);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=4 hash functions")]
+    fn d5_rejected() {
+        McConfig::paper(10, 0).with_d(5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=4 hash functions")]
+    fn d1_rejected() {
+        McConfig::paper(10, 0).with_d(1).validate();
+    }
+}

@@ -1,0 +1,71 @@
+//! # mccuckoo-core — Multi-copy Cuckoo Hashing (McCuckoo, ICDE 2019)
+//!
+//! A from-scratch implementation of *Multi-copy Cuckoo Hashing* (Li, Du,
+//! Liu, Yang & Cui, ICDE 2019). Instead of committing an inserted item to
+//! a single bucket, McCuckoo writes a **copy into every free candidate
+//! bucket** and tracks the number of live copies of each bucket's occupant
+//! in a compact **on-chip counter array** (2 bits per bucket for d = 3).
+//! The counters make collision handling foresighted instead of blind:
+//!
+//! * a counter ≥ 2 marks a bucket whose occupant has redundant copies —
+//!   it can be overwritten without losing anybody (insertion principles,
+//!   §III.B.1);
+//! * all copies of an item share one counter value, so lookups partition
+//!   candidates by value, skip impossible partitions, and probe at most
+//!   `S − V + 1` buckets of a partition of size `S` and value `V`
+//!   (lookup principles, §III.B.2 / Theorem 3);
+//! * a counter of 0 anywhere proves absence (Bloom-filter behaviour);
+//! * deletion just zeroes (or tombstones) counters — **no off-chip
+//!   writes** (§III.B.3);
+//! * insertion failures go to a large **off-chip stash** whose checks are
+//!   pre-screened by the counters plus a 1-bit per-bucket flag that rides
+//!   along with ordinary bucket reads (§III.E).
+//!
+//! # Crate layout
+//!
+//! * [`McCuckoo`] — the single-slot d-ary table (d = 3 in the paper),
+//! * [`BlockedMcCuckoo`] — the multi-slot extension ("B-McCuckoo",
+//!   §III.G; Algorithms 1–3),
+//! * [`counters`] — the packed on-chip counter array,
+//! * [`stash`] — off-chip stash structures,
+//! * [`concurrent`] — one-writer-many-readers wrapper (§III.H),
+//! * [`multiset`] — multiset indexing via an external record arena
+//!   (§III.H),
+//! * [`invariant`] — exhaustive structural validators used by the test
+//!   suite (and after every mutation under the `paranoid` feature).
+//!
+//! # Quick start
+//!
+//! ```
+//! use mccuckoo_core::{McConfig, McCuckoo};
+//!
+//! // 3 hash functions × 1024 buckets each, the paper's configuration.
+//! let mut table: McCuckoo<u64, &str> = McCuckoo::new(McConfig::paper(1024, 42));
+//! table.insert(7, "seven").unwrap();
+//! assert_eq!(table.get(&7), Some(&"seven"));
+//! assert_eq!(table.get(&8), None);
+//! // The first item occupied all three candidate buckets:
+//! assert_eq!(table.copy_count(&7), 3);
+//! ```
+
+pub mod blocked;
+pub mod concurrent;
+pub mod config;
+pub mod counters;
+pub mod invariant;
+pub mod map;
+pub mod multiset;
+pub mod persist;
+pub mod rehash;
+pub mod single;
+pub mod stash;
+
+pub use blocked::{BlockedConfig, BlockedMcCuckoo};
+pub use concurrent::ConcurrentMcCuckoo;
+pub use config::{DeletionMode, McConfig, ResolutionPolicy, StashPolicy};
+pub use counters::CounterArray;
+pub use map::McMap;
+pub use multiset::MultisetIndex;
+pub use persist::{BlockedSnapshot, TableSnapshot};
+pub use rehash::{RehashOverflow, RehashReport};
+pub use single::McCuckoo;

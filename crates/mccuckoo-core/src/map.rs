@@ -1,0 +1,218 @@
+//! [`McMap`] — a `HashMap`-shaped convenience wrapper with automatic
+//! growth.
+//!
+//! The raw [`McCuckoo`] table is fixed-capacity by design (the paper's
+//! setting: a hardware table sized at deployment, overflowing into a
+//! stash). Software adopters usually want a map that *just grows*. This
+//! wrapper provides that: inserts that stash, or a stash exceeding a
+//! small fraction of capacity, trigger a doubling rehash — the
+//! classical remedy, applied rarely enough to amortise.
+
+use hash_kit::KeyHash;
+use mem_model::InsertOutcome;
+
+use crate::config::{DeletionMode, McConfig};
+use crate::single::McCuckoo;
+
+/// Stash occupancy (relative to capacity) that triggers a growth rehash.
+const GROW_AT_STASH_FRACTION: f64 = 0.002;
+
+/// An auto-growing map backed by a multi-copy cuckoo table.
+///
+/// ```
+/// use mccuckoo_core::McMap;
+///
+/// let mut m: McMap<&str, u32> = McMap::new();
+/// assert!(m.insert("a", 1));      // new key
+/// assert!(!m.insert("a", 2));     // update
+/// assert_eq!(m.get(&"a"), Some(&2));
+/// assert_eq!(m.remove(&"a"), Some(2));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct McMap<K, V> {
+    table: McCuckoo<K, V>,
+    grow_seed: u64,
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> Default for McMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
+    /// An empty map with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// A map that can hold at least `items` before its first growth
+    /// (sized to ~85% load).
+    pub fn with_capacity(items: usize) -> Self {
+        let per_table = (items as f64 / 3.0 / 0.85).ceil() as usize;
+        let config = McConfig::paper(per_table.max(8), 0x4CAF_F1E1_D5EA_7B3D)
+            .with_deletion(DeletionMode::Reset);
+        Self {
+            table: McCuckoo::new(config),
+            grow_seed: 1,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Current slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Insert or update; returns the previous presence (like
+    /// `HashMap::insert` returning whether the key was new).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        let report = match self.table.insert(key, value) {
+            Ok(r) => r,
+            Err(_full) => unreachable!("stash-backed insert cannot hard-fail"),
+        };
+        let updated = report.outcome == InsertOutcome::Updated;
+        if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
+            self.grow();
+        }
+        !updated
+    }
+
+    fn stash_pressure(&self) -> bool {
+        self.table.stash_len() as f64
+            > (self.table.capacity() as f64 * GROW_AT_STASH_FRACTION).max(4.0)
+    }
+
+    fn grow(&mut self) {
+        self.grow_seed = self
+            .grow_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
+        // Growth with a stash-backed table cannot overflow.
+        let Ok(_) = self.table.grow(self.grow_seed) else {
+            unreachable!("stash-backed rehash cannot overflow")
+        };
+    }
+
+    /// Get a reference to the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.table.get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.table.contains(key)
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.table.remove(key)
+    }
+
+    /// Iterate `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.table.iter()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
+    /// Access the underlying table (metering, diagnostics).
+    pub fn table(&self) -> &McCuckoo<K, V> {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use workloads::UniqueKeys;
+
+    #[test]
+    fn grows_far_beyond_initial_capacity() {
+        let mut m: McMap<u64, u64> = McMap::with_capacity(100);
+        let initial_cap = m.capacity();
+        let mut keys = UniqueKeys::new(1);
+        let ks = keys.take_vec(50_000);
+        for &k in &ks {
+            assert!(m.insert(k, k));
+        }
+        assert!(m.capacity() > initial_cap, "map must have grown");
+        assert_eq!(m.len(), ks.len());
+        for &k in &ks {
+            assert_eq!(m.get(&k), Some(&k));
+        }
+        m.table().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_reports_newness() {
+        let mut m: McMap<u64, &str> = McMap::new();
+        assert!(m.insert(1, "a"));
+        assert!(!m.insert(1, "b"));
+        assert_eq!(m.get(&1), Some(&"b"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn differential_against_hashmap() {
+        let mut m: McMap<u64, u64> = McMap::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = hash_kit::SplitMix64::new(3);
+        for step in 0..60_000u64 {
+            let k = rng.next_below(20_000);
+            match rng.next_below(4) {
+                0 | 1 => {
+                    assert_eq!(m.insert(k, step), model.insert(k, step).is_none());
+                }
+                2 => assert_eq!(m.get(&k), model.get(&k)),
+                _ => assert_eq!(m.remove(&k), model.remove(&k)),
+            }
+        }
+        assert_eq!(m.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(m.get(k), Some(v));
+        }
+        m.table().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_empties_and_map_remains_usable() {
+        let mut m: McMap<u64, u64> = McMap::new();
+        for k in 0..1000u64 {
+            m.insert(k, k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&5), None);
+        for k in 0..1000u64 {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.get(&5), Some(&10));
+        m.table().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut m: McMap<u64, u64> = McMap::with_capacity(1000);
+        for k in 0..800u64 {
+            m.insert(k, k);
+        }
+        let mut got: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0u64..800).collect::<Vec<_>>());
+    }
+}

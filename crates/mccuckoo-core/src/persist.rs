@@ -1,0 +1,189 @@
+//! Logical snapshots — persistence for the McCuckoo tables.
+//!
+//! A [`TableSnapshot`] captures the table's configuration and its
+//! logical content (every stored `(key, value)` pair, including the
+//! stash). Restoring rebuilds the table by re-running the insertion
+//! procedure; because the configuration carries the hash seed, the
+//! restored table serves the same keys with the same candidate sets.
+//!
+//! Snapshots are deliberately *logical*, not bit-exact: physical copy
+//! placement depends on insertion order, which a snapshot does not
+//! preserve. Everything observable through the public API — membership,
+//! values, deletion mode, screening soundness — is preserved; access
+//! counts may differ marginally after a restore. This keeps the format
+//! stable across internal layout changes, which is what a production
+//! system wants from a persistence format.
+
+use hash_kit::KeyHash;
+use serde::{Deserialize, Serialize};
+
+use crate::blocked::{BlockedConfig, BlockedMcCuckoo};
+use crate::config::McConfig;
+use crate::single::McCuckoo;
+
+/// A serialisable snapshot of a single-slot table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSnapshot<K, V> {
+    /// The configuration the table was built with (seed included).
+    pub config: McConfig,
+    /// Every stored pair (main table and stash), unordered.
+    pub items: Vec<(K, V)>,
+}
+
+/// A serialisable snapshot of a blocked table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockedSnapshot<K, V> {
+    /// Base configuration.
+    pub config: McConfig,
+    /// Slots per bucket.
+    pub slots: usize,
+    /// Aggressive-lookup extension flag.
+    pub aggressive_lookup: bool,
+    /// Every stored pair, unordered.
+    pub items: Vec<(K, V)>,
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
+    /// Capture a logical snapshot of the table.
+    pub fn to_snapshot(&self) -> TableSnapshot<K, V> {
+        TableSnapshot {
+            config: self.config_snapshot(),
+            items: self.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+
+    /// Rebuild a table from a snapshot. Items that cannot be re-placed
+    /// land in the stash as usual; with [`crate::StashPolicy::None`]
+    /// they are silently dropped, so snapshotting stash-less overfull
+    /// tables is not supported (`debug_assert`ed).
+    pub fn from_snapshot(snapshot: TableSnapshot<K, V>) -> Self {
+        let mut t = McCuckoo::new(snapshot.config);
+        let expected = snapshot.items.len();
+        for (k, v) in snapshot.items {
+            let _ = t.insert_new(k, v);
+        }
+        debug_assert_eq!(t.len(), expected, "snapshot items must all fit");
+        t
+    }
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> BlockedMcCuckoo<K, V> {
+    /// Capture a logical snapshot of the table.
+    pub fn to_snapshot(&self) -> BlockedSnapshot<K, V> {
+        BlockedSnapshot {
+            config: self.config_snapshot(),
+            slots: self.slots_per_bucket(),
+            aggressive_lookup: self.aggressive_lookup_enabled(),
+            items: self.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+
+    /// Rebuild a table from a snapshot.
+    pub fn from_snapshot(snapshot: BlockedSnapshot<K, V>) -> Self {
+        let mut t = BlockedMcCuckoo::new(BlockedConfig {
+            base: snapshot.config,
+            slots: snapshot.slots,
+            aggressive_lookup: snapshot.aggressive_lookup,
+        });
+        let expected = snapshot.items.len();
+        for (k, v) in snapshot.items {
+            let _ = t.insert_new(k, v);
+        }
+        debug_assert_eq!(t.len(), expected, "snapshot items must all fit");
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeletionMode;
+    use workloads::UniqueKeys;
+
+    #[test]
+    fn single_snapshot_roundtrips_through_json() {
+        let mut t: McCuckoo<u64, String> =
+            McCuckoo::new(McConfig::paper(512, 1).with_deletion(DeletionMode::Reset));
+        let mut keys = UniqueKeys::new(2);
+        let ks = keys.take_vec(1_000);
+        for &k in &ks {
+            t.insert_new(k, format!("v{k}")).unwrap();
+        }
+        // Mix in some deletions so the snapshot sees a scarred table.
+        for &k in ks.iter().take(200) {
+            t.remove(&k);
+        }
+        let snap = t.to_snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TableSnapshot<u64, String> = serde_json::from_str(&json).unwrap();
+        let restored = McCuckoo::from_snapshot(back);
+        assert_eq!(restored.len(), t.len());
+        for &k in ks.iter().take(200) {
+            assert_eq!(restored.get(&k), None);
+        }
+        for &k in ks.iter().skip(200) {
+            assert_eq!(restored.get(&k), Some(&format!("v{k}")));
+        }
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_preserves_stash_content() {
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(100, 3).with_maxloop(20));
+        let mut keys = UniqueKeys::new(4);
+        let ks = keys.take_vec(300); // 100% load: stash in use
+        for &k in &ks {
+            t.insert_new(k, k).unwrap();
+        }
+        assert!(t.stash_len() > 0);
+        let restored = McCuckoo::from_snapshot(t.to_snapshot());
+        for &k in &ks {
+            assert_eq!(restored.get(&k), Some(&k), "key lost through snapshot");
+        }
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blocked_snapshot_roundtrips() {
+        let mut t: BlockedMcCuckoo<u64, u64> = BlockedMcCuckoo::new(BlockedConfig {
+            base: McConfig::paper_with_deletion(128, 5),
+            slots: 3,
+            aggressive_lookup: true,
+        });
+        let mut keys = UniqueKeys::new(6);
+        let ks = keys.take_vec(1_000);
+        for &k in &ks {
+            t.insert_new(k, k.wrapping_mul(3)).unwrap();
+        }
+        let json = serde_json::to_string(&t.to_snapshot()).unwrap();
+        let back: BlockedSnapshot<u64, u64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slots, 3);
+        assert!(back.aggressive_lookup);
+        let restored = BlockedMcCuckoo::from_snapshot(back);
+        for &k in &ks {
+            assert_eq!(restored.get(&k), Some(&(k.wrapping_mul(3))));
+        }
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restored_table_remains_fully_operational() {
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper_with_deletion(256, 7));
+        let mut keys = UniqueKeys::new(8);
+        for &k in &keys.take_vec(400) {
+            t.insert_new(k, k).unwrap();
+        }
+        let mut restored = McCuckoo::from_snapshot(t.to_snapshot());
+        // Insert, update, delete on the restored instance.
+        let more = keys.take_vec(200);
+        for &k in &more {
+            restored.insert_new(k, k).unwrap();
+        }
+        for &k in &more {
+            restored.insert(k, k + 1).unwrap();
+            assert_eq!(restored.get(&k), Some(&(k + 1)));
+            assert_eq!(restored.remove(&k), Some(k + 1));
+        }
+        restored.check_invariants().unwrap();
+    }
+}

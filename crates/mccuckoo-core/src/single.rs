@@ -1,0 +1,1504 @@
+//! The single-slot d-ary McCuckoo table — the paper's core design
+//! (§III.A–F).
+//!
+//! Layout: `d` sub-tables of `n` buckets off-chip, one item per bucket,
+//! plus a 1-bit stash flag per bucket that travels with the bucket; and
+//! an on-chip [`CounterArray`] with one counter per bucket recording how
+//! many live copies the bucket's occupant has.
+//!
+//! ## Insertion principles (§III.B.1)
+//! 1. occupy **all** empty candidate buckets;
+//! 2. never overwrite buckets of value 1;
+//! 3. overwrite the rest in decreasing order of value, while the
+//!    overwrite still leaves the victim at least as many copies as the
+//!    inserted item gains (formally: overwrite value `V` only while the
+//!    inserted item's current copy count `c` satisfies `c + 2 ≤ V`).
+//!
+//! ## Lookup principles (§III.B.2)
+//! 1. any candidate counter of 0 ⇒ definite miss (disabled under
+//!    `Reset` deletion, tombstone-aware under `Tombstone`);
+//! 2. partition candidates by counter value, skip partitions smaller
+//!    than their value;
+//! 3. probe at most `S − V + 1` buckets of a surviving partition.
+//!
+//! ## Copy-set disambiguation
+//! When a redundant copy of victim `B` (copy count `v`) is overwritten,
+//! `B`'s remaining copies must be decremented. All copies sit in
+//! candidates of `B` whose counter equals `v`; if more candidates match
+//! than `B` has copies, the extras are resolved with verification reads
+//! (`DESIGN.md` §4 — the paper leaves this ambiguity implicit).
+
+use hash_kit::{BucketFamily, KeyHash, SplitMix64};
+use mem_model::{InsertOutcome, InsertReport, MemMeter};
+
+use crate::config::{DeletionMode, McConfig, ResolutionPolicy};
+use crate::counters::CounterArray;
+use crate::stash::Stash;
+
+/// Maximum supported `d` (the paper argues d = 3 suffices in practice).
+pub const MAX_D: usize = 4;
+
+/// Insertion failure: relocation budget exhausted and no stash configured.
+///
+/// As with classic cuckoo hashing, the inserted item was placed during
+/// the walk and `evicted` is the last displaced victim; every other item
+/// remains findable.
+#[derive(Debug)]
+pub struct McFull<K, V> {
+    /// The item that fell out of the table.
+    pub evicted: (K, V),
+    /// Instrumentation of the failed insertion.
+    pub report: InsertReport,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    /// Bit `i` set ⇔ candidate `i` received a copy when this item's
+    /// copies were created. Written identically into every copy; bits
+    /// can go stale when a sibling copy is destroyed, so they are always
+    /// cross-checked against counters (and content when still
+    /// ambiguous). Travels with the item off-chip — the victim read that
+    /// counter maintenance needs anyway brings it in for free, sparing
+    /// most verification reads (the single-slot analogue of the blocked
+    /// variant's slot hints, Fig. 5).
+    hints: u8,
+}
+
+/// Multi-copy Cuckoo hash table (single slot per bucket).
+///
+/// See the [crate docs](crate) for a quick start. Keys are deduplicated:
+/// [`McCuckoo::insert`] is an upsert; [`McCuckoo::insert_new`] skips the
+/// existence probe for workloads known to carry distinct keys (this is
+/// what the paper's experiments measure).
+#[derive(Debug)]
+pub struct McCuckoo<K, V> {
+    family: BucketFamily,
+    d: usize,
+    n: usize,
+    deletion: DeletionMode,
+    maxloop: u32,
+    resolution: ResolutionPolicy,
+    /// Off-chip main table, `d * n` buckets.
+    buckets: Vec<Option<Entry<K, V>>>,
+    /// Off-chip 1-bit stash flags, one per bucket (read/written together
+    /// with the bucket, so they cost no dedicated accesses on lookups).
+    flags: Vec<bool>,
+    /// On-chip copy counters.
+    counters: CounterArray,
+    /// On-chip 5-bit kick-history counters (MinCounter policy only).
+    kick_history: Option<Vec<u8>>,
+    stash: Stash<K, V>,
+    stash_policy: crate::config::StashPolicy,
+    /// Construction seed (retained for snapshots/rehash derivation).
+    seed: u64,
+    /// Distinct live keys in the main table.
+    distinct: usize,
+    /// Cumulative proactive redundant writes (Theorem 2 accounting).
+    redundant_writes: u64,
+    rng: SplitMix64,
+    meter: MemMeter,
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
+    /// Build a table from `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`McConfig`] limits).
+    pub fn new(config: McConfig) -> Self {
+        config.validate();
+        let family = BucketFamily::new(
+            config.family,
+            config.d,
+            config.buckets_per_table,
+            config.seed,
+        );
+        let total = config.d * config.buckets_per_table;
+        let mut buckets = Vec::with_capacity(total);
+        buckets.resize_with(total, || None);
+        Self {
+            family,
+            d: config.d,
+            n: config.buckets_per_table,
+            deletion: config.deletion,
+            maxloop: config.maxloop,
+            resolution: config.resolution,
+            buckets,
+            flags: vec![false; total],
+            counters: CounterArray::new(total, config.d as u8),
+            kick_history: match config.resolution {
+                ResolutionPolicy::MinCounter => Some(vec![0u8; total]),
+                ResolutionPolicy::RandomWalk => None,
+            },
+            stash: Stash::new(config.stash),
+            stash_policy: config.stash,
+            seed: config.seed,
+            distinct: 0,
+            redundant_writes: 0,
+            rng: SplitMix64::new(config.seed ^ 0x3C0C_A11E_D0C0_FFEE),
+            meter: MemMeter::new(),
+        }
+    }
+
+    /// Reconstruct the configuration this table is equivalent to
+    /// (used by snapshots; note a resized table reports its *current*
+    /// geometry).
+    pub fn config_snapshot(&self) -> McConfig {
+        McConfig {
+            d: self.d,
+            buckets_per_table: self.n,
+            maxloop: self.maxloop,
+            resolution: self.resolution,
+            deletion: self.deletion,
+            stash: self.stash_policy,
+            family: self.family_kind(),
+            seed: self.seed,
+        }
+    }
+
+    fn family_kind(&self) -> hash_kit::FamilyKind {
+        self.family.kind()
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of hash functions.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Distinct keys stored in the main table.
+    pub fn main_len(&self) -> usize {
+        self.distinct
+    }
+
+    /// Items in the stash.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Total distinct keys stored (main table + stash).
+    pub fn len(&self) -> usize {
+        self.distinct + self.stash.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bucket count (`d × buckets_per_table`).
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Load ratio: distinct items / bucket count (the paper's measure —
+    /// note redundant copies do *not* inflate it).
+    pub fn load_ratio(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    /// Access meter.
+    pub fn meter(&self) -> &MemMeter {
+        &self.meter
+    }
+
+    /// Deletion mode the table was configured with.
+    pub fn deletion_mode(&self) -> DeletionMode {
+        self.deletion
+    }
+
+    /// Cumulative proactive redundant writes — copies written beyond the
+    /// first per placement. Theorem 2 bounds this by
+    /// `S · ((d−1)/d + Σ_{t=3..d} (t−2)/(t(t−1)))` (= 5S/6 for d = 3).
+    pub fn redundant_writes(&self) -> u64 {
+        self.redundant_writes
+    }
+
+    /// On-chip bytes consumed by the counter array.
+    pub fn onchip_bytes(&self) -> usize {
+        self.counters.onchip_bytes() + self.kick_history.as_ref().map_or(0, |k| k.len() * 5 / 8)
+    }
+
+    /// Buckets per sub-table (`n`).
+    pub fn buckets_per_table(&self) -> usize {
+        self.n
+    }
+
+    /// Remove and return every stored item (main table + stash),
+    /// leaving the table empty. Host-side maintenance: unmetered except
+    /// through the callers that model it (see [`McCuckoo::rehash`]).
+    pub(crate) fn drain_items(&mut self) -> Vec<(K, V)> {
+        let mut items: Vec<(K, V)> = Vec::with_capacity(self.len());
+        for idx in 0..self.buckets.len() {
+            if self.counters.get(idx) == 0 {
+                continue; // vacant (or tombstoned)
+            }
+            let entry = self.buckets[idx].take().expect("counter>0 ⇒ occupied");
+            // Emit once per item: clear the counters of all copies so the
+            // siblings are skipped when the scan reaches them.
+            let locs = self.raw_copy_locations(&entry.key);
+            self.counters.set(idx, 0);
+            for l in locs {
+                self.counters.set(l, 0);
+                self.buckets[l] = None;
+            }
+            items.push((entry.key, entry.value));
+        }
+        for (k, v) in self.stash.drain_all() {
+            items.push((k, v));
+        }
+        self.distinct = 0;
+        items
+    }
+
+    /// Re-derive hash functions (and optionally the geometry) and clear
+    /// all storage planes. Used by rehash/resize.
+    pub(crate) fn rebuild_storage(&mut self, new_buckets_per_table: Option<usize>, seed: u64) {
+        if let Some(n) = new_buckets_per_table {
+            assert!(n > 0, "table must be non-empty");
+            self.n = n;
+        }
+        self.family = self.family.reseeded_with_len(seed, self.n);
+        let total = self.d * self.n;
+        self.buckets.clear();
+        self.buckets.resize_with(total, || None);
+        self.flags.clear();
+        self.flags.resize(total, false);
+        self.counters = CounterArray::new(total, self.d as u8);
+        if let Some(h) = &mut self.kick_history {
+            h.clear();
+            h.resize(total, 0);
+        }
+        self.distinct = 0;
+        self.redundant_writes = 0;
+    }
+
+    /// Remove every item, keeping geometry and hash functions.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = None;
+        }
+        self.flags.fill(false);
+        self.counters.reset();
+        if let Some(h) = &mut self.kick_history {
+            h.fill(0);
+        }
+        let _ = self.stash.drain_all();
+        self.distinct = 0;
+        self.redundant_writes = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry helpers
+    // ------------------------------------------------------------------
+
+    /// Global bucket indices of `key`'s `d` candidates.
+    #[inline]
+    fn candidates(&self, key: &K) -> [usize; MAX_D] {
+        let mut raw = [0usize; MAX_D];
+        self.family.buckets_into(key, &mut raw[..self.d]);
+        let mut out = [usize::MAX; MAX_D];
+        for i in 0..self.d {
+            out[i] = i * self.n + raw[i];
+        }
+        out
+    }
+
+    /// Counter values of the candidates, metered as one on-chip read per
+    /// counter.
+    #[inline]
+    fn read_counters(&self, cands: &[usize; MAX_D]) -> [u8; MAX_D] {
+        self.meter.onchip_read(self.d as u64);
+        let mut vals = [0u8; MAX_D];
+        for i in 0..self.d {
+            vals[i] = self.counters.get(cands[i]);
+        }
+        vals
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Upsert: update the value if `key` exists (all copies are
+    /// rewritten), otherwise insert it fresh.
+    pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        if let Some(report) = self.try_update(&key, &value) {
+            return Ok(report);
+        }
+        self.insert_new(key, value)
+    }
+
+    /// Insert a key **known to be absent** (checked in debug builds).
+    /// This is the operation the paper's experiments measure; the
+    /// existence probe of [`McCuckoo::insert`] is skipped.
+    pub fn insert_new(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        debug_assert!(
+            self.raw_find(&key).is_none() && !self.raw_in_stash(&key),
+            "insert_new requires a fresh key"
+        );
+        let cands = self.candidates(&key);
+        let cvals = self.read_counters(&cands);
+        if let Some(copies) = self.try_place(&key, &value, &cands, &cvals) {
+            self.distinct += 1;
+            self.check_paranoid();
+            return Ok(InsertReport::clean(copies));
+        }
+        let out = self.resolve_collision(key, value);
+        self.check_paranoid();
+        out
+    }
+
+    /// Place copies of `(key, value)` using insertion principles 1–3.
+    /// Returns the number of copies written, or `None` on a real
+    /// collision (all candidates at counter 1). Finalizes counters.
+    fn try_place(
+        &mut self,
+        key: &K,
+        value: &V,
+        cands: &[usize; MAX_D],
+        cvals: &[u8; MAX_D],
+    ) -> Option<u8> {
+        let mut cvals = *cvals;
+        let mut claimed = [false; MAX_D];
+        let mut placed_len = 0usize;
+
+        // Principle 1: claim every empty candidate (counter 0 reads as
+        // empty for insertion; tombstones too).
+        for i in 0..self.d {
+            if cvals[i] == 0 {
+                claimed[i] = true;
+                placed_len += 1;
+            }
+        }
+
+        // Principles 2+3: overwrite redundant copies, largest value
+        // first, while the inserted item still ends up no more redundant
+        // than the diminished victim (c + 2 ≤ V). Victim bookkeeping
+        // happens at claim time; the content write is deferred so every
+        // copy can carry the complete hint bitmap.
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..self.d {
+                if claimed[i] {
+                    continue;
+                }
+                if cvals[i] >= 2 && best.is_none_or(|b| cvals[i] > cvals[b]) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            let v = cvals[i];
+            if placed_len as u8 + 2 > v {
+                break;
+            }
+            self.release_victim_copy(cands[i], &mut cvals, cands);
+            claimed[i] = true;
+            placed_len += 1;
+        }
+
+        if placed_len == 0 {
+            debug_assert!((0..self.d).all(|i| cvals[i] == 1), "collision ⇔ all ones");
+            return None;
+        }
+        // Write phase: every copy carries the full hint bitmap, then the
+        // counters are finalized to the total copy count.
+        let mut hints = 0u8;
+        for (i, &c) in claimed.iter().enumerate().take(self.d) {
+            if c {
+                hints |= 1 << i;
+            }
+        }
+        self.meter.offchip_write(placed_len as u64);
+        self.meter.onchip_write(placed_len as u64);
+        for i in 0..self.d {
+            if claimed[i] {
+                self.buckets[cands[i]] = Some(Entry {
+                    key: key.clone(),
+                    value: value.clone(),
+                    hints,
+                });
+                self.counters.set(cands[i], placed_len as u8);
+            }
+        }
+        self.redundant_writes += placed_len as u64 - 1;
+        Some(placed_len as u8)
+    }
+
+    /// Read the redundant copy at `idx` (about to be overwritten) and
+    /// decrement its owner's sibling counters (copy-set disambiguation,
+    /// hint-assisted).
+    fn release_victim_copy(&mut self, idx: usize, cvals: &mut [u8; MAX_D], cands: &[usize; MAX_D]) {
+        let vcount = self.counters.get(idx);
+        debug_assert!(vcount >= 2, "principle 2: never overwrite value 1");
+        // The victim's identity (and hint bitmap) is needed to locate its
+        // siblings: one off-chip read.
+        self.meter.offchip_read(1);
+        let victim = self.buckets[idx]
+            .as_ref()
+            .expect("counter ≥ 1 implies occupied");
+        let victim_key = victim.key.clone();
+        let victim_hints = victim.hints;
+        let others = self.locate_copies(&victim_key, victim_hints, vcount, Some(idx));
+        debug_assert_eq!(others.len(), vcount as usize - 1);
+        self.meter.onchip_write(others.len() as u64);
+        for &o in &others {
+            self.counters.set(o, vcount - 1);
+            // Keep the caller's cached view of shared candidates fresh.
+            for i in 0..self.d {
+                if cands[i] == o {
+                    cvals[i] = vcount - 1;
+                }
+            }
+        }
+    }
+
+    /// Locate the live copies of `key`, which has exactly `count` copies,
+    /// excluding `exclude` (the copy being overwritten) when given.
+    ///
+    /// All copies sit in candidates flagged by the creation-time hint
+    /// bitmap whose counter equals `count`; when more positions match
+    /// than copies exist (a stale hint whose new occupant coincidentally
+    /// shares the counter value), the extras are resolved with
+    /// verification reads.
+    fn locate_copies(&self, key: &K, hints: u8, count: u8, exclude: Option<usize>) -> Vec<usize> {
+        let cands = self.candidates(key);
+        self.meter.onchip_read(self.d as u64);
+        let needed = count as usize - exclude.is_some() as usize;
+        let matches: Vec<usize> = (0..self.d)
+            .filter(|&i| hints >> i & 1 == 1)
+            .map(|i| cands[i])
+            .filter(|&c| Some(c) != exclude && self.counters.get(c) == count)
+            .collect();
+        debug_assert!(matches.len() >= needed, "copies must be among matches");
+        if matches.len() == needed {
+            return matches;
+        }
+        // Ambiguous: verify contents until the remainder is forced.
+        let mut confirmed = Vec::with_capacity(needed);
+        for (pos, &m) in matches.iter().enumerate() {
+            if confirmed.len() == needed {
+                break;
+            }
+            if matches.len() - pos == needed - confirmed.len() {
+                confirmed.extend_from_slice(&matches[pos..]);
+                break;
+            }
+            self.meter.verify_read(1);
+            if self.buckets[m].as_ref().is_some_and(|e| e.key == *key) {
+                confirmed.push(m);
+            }
+        }
+        debug_assert_eq!(confirmed.len(), needed);
+        confirmed
+    }
+
+    /// Collision resolution (§III.D): the counters have already proven
+    /// that every candidate holds a sole copy, so relocation begins
+    /// immediately; each step re-applies the insertion principles for the
+    /// carried item and the counters pinpoint a usable bucket the moment
+    /// one exists on the walk.
+    fn resolve_collision(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        let mut kickouts = 0u32;
+        let mut carried_key = key;
+        let mut carried_value = value;
+        let mut prev = usize::MAX;
+        loop {
+            if kickouts >= self.maxloop {
+                return self.stash_item(carried_key, carried_value, kickouts);
+            }
+            let cands = self.candidates(&carried_key);
+            let victim_idx = self.pick_victim(&cands, prev);
+            let hint_bit = (0..self.d)
+                .find(|&i| cands[i] == victim_idx)
+                .expect("victim is a candidate");
+            // Swap the carried item into the victim's bucket: one read
+            // (victim identity) + one write. Counter stays 1 (sole copy
+            // out, sole copy in).
+            self.meter.offchip_read(1);
+            self.meter.offchip_write(1);
+            let old = self.buckets[victim_idx]
+                .replace(Entry {
+                    key: carried_key,
+                    value: carried_value,
+                    hints: 1 << hint_bit,
+                })
+                .expect("victims hold sole copies");
+            carried_key = old.key;
+            carried_value = old.value;
+            prev = victim_idx;
+            kickouts += 1;
+            // Try to settle the evicted item by the normal principles.
+            let cands = self.candidates(&carried_key);
+            let cvals = self.read_counters(&cands);
+            if let Some(_copies) = self.try_place(&carried_key, &carried_value, &cands, &cvals) {
+                self.distinct += 1;
+                return Ok(InsertReport {
+                    outcome: InsertOutcome::Placed,
+                    kickouts,
+                    collision: true,
+                    copies_written: _copies,
+                });
+            }
+        }
+    }
+
+    /// Choose the bucket to evict from among `cands`, excluding `prev`.
+    fn pick_victim(&mut self, cands: &[usize; MAX_D], prev: usize) -> usize {
+        match self.resolution {
+            ResolutionPolicy::RandomWalk => loop {
+                let i = self.rng.next_below(self.d as u64) as usize;
+                if cands[i] != prev {
+                    return cands[i];
+                }
+            },
+            ResolutionPolicy::MinCounter => {
+                let hist = self.kick_history.as_mut().expect("policy has history");
+                self.meter.onchip_read(self.d as u64);
+                let mut best: Vec<usize> = Vec::with_capacity(self.d);
+                let mut best_val = u8::MAX;
+                for i in 0..self.d {
+                    if cands[i] == prev {
+                        continue;
+                    }
+                    let h = hist[cands[i]];
+                    match h.cmp(&best_val) {
+                        std::cmp::Ordering::Less => {
+                            best_val = h;
+                            best.clear();
+                            best.push(cands[i]);
+                        }
+                        std::cmp::Ordering::Equal => best.push(cands[i]),
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                let pick = best[self.rng.next_below(best.len() as u64) as usize];
+                let hist = self.kick_history.as_mut().unwrap();
+                hist[pick] = (hist[pick] + 1).min(31); // 5-bit saturating
+                self.meter.onchip_write(1);
+                pick
+            }
+        }
+    }
+
+    /// Stash a failed item and raise the flags of its candidates
+    /// (§III.E): d posted flag writes.
+    fn stash_item(
+        &mut self,
+        key: K,
+        value: V,
+        kickouts: u32,
+    ) -> Result<InsertReport, McFull<K, V>> {
+        let cands = self.candidates(&key);
+        let report = InsertReport {
+            outcome: InsertOutcome::Stashed,
+            kickouts,
+            collision: true,
+            copies_written: 0,
+        };
+        match self.stash.push(key, value, &self.meter) {
+            Ok(()) => {
+                self.meter.offchip_write(self.d as u64);
+                for &c in cands.iter().take(self.d) {
+                    self.flags[c] = true;
+                }
+                Ok(report)
+            }
+            Err((key, value)) => Err(McFull {
+                evicted: (key, value),
+                report: InsertReport {
+                    outcome: InsertOutcome::Failed,
+                    ..report
+                },
+            }),
+        }
+    }
+
+    /// If `key` exists, rewrite the value of every copy (and/or the stash
+    /// entry) and return an `Updated` report.
+    fn try_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
+        let found = self.probe_for_copies(key);
+        match found {
+            ProbeResult::Found { locations, .. } => {
+                self.meter.offchip_write(locations.len() as u64);
+                for &l in &locations {
+                    let hints = self.buckets[l].as_ref().expect("copy occupied").hints;
+                    self.buckets[l] = Some(Entry {
+                        key: key.clone(),
+                        value: value.clone(),
+                        hints,
+                    });
+                }
+                Some(InsertReport {
+                    outcome: InsertOutcome::Updated,
+                    kickouts: 0,
+                    collision: false,
+                    copies_written: locations.len() as u8,
+                })
+            }
+            ProbeResult::Miss { check_stash } => {
+                if check_stash {
+                    if let Some(v) = self.stash_update(key, value) {
+                        return Some(v);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn stash_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
+        // Linear/hashed stash: remove + re-push keeps the metering honest.
+        let _old = self.stash.remove(key, &self.meter)?;
+        self.stash
+            .push(key.clone(), value.clone(), &self.meter)
+            .ok()
+            .expect("stash accepted this key before");
+        Some(InsertReport {
+            outcome: InsertOutcome::Updated,
+            kickouts: 0,
+            collision: false,
+            copies_written: 0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Look up `key` using the partition-pruned probe (§III.B.2) and the
+    /// stash screening rules (§III.E–F).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        match self.probe_for_first(key) {
+            FirstProbe::Found(idx) => self.buckets[idx].as_ref().map(|e| &e.value),
+            FirstProbe::Miss { check_stash } => {
+                if check_stash {
+                    self.stash.get(key, &self.meter)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is stored (main table or stash).
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Lookup **without** the partition-pruning rules 2–3: every
+    /// non-empty candidate is probed in order, like a single-copy table
+    /// would. Rule 1 (the Bloom shortcut) and stash screening still
+    /// apply. Exists for the pruning ablation benchmark; results are
+    /// identical to [`McCuckoo::get`], only the access counts differ.
+    pub fn get_unpruned(&self, key: &K) -> Option<&V> {
+        let cands = self.candidates(key);
+        let cvals = self.read_counters(&cands);
+        if self.rule1_miss(&cands, &cvals) {
+            return None;
+        }
+        let mut visited_flags_ok = true;
+        for i in 0..self.d {
+            if cvals[i] == 0 {
+                continue;
+            }
+            let p = cands[i];
+            self.meter.offchip_read(1);
+            visited_flags_ok &= self.flags[p];
+            if self.buckets[p].as_ref().is_some_and(|e| e.key == *key) {
+                return self.buckets[p].as_ref().map(|e| &e.value);
+            }
+        }
+        if self.stash_screen(&cvals, visited_flags_ok) {
+            self.stash.get(key, &self.meter)
+        } else {
+            None
+        }
+    }
+
+    /// Number of live copies of `key` in the main table (0 if absent or
+    /// stashed). Unmetered diagnostic.
+    pub fn copy_count(&self, key: &K) -> u8 {
+        self.raw_find(key).map_or(0, |idx| self.counters.get(idx))
+    }
+
+    /// Shared probe: find the first bucket holding `key`, or decide the
+    /// miss path. Collects visited flags for stash screening.
+    fn probe_for_first(&self, key: &K) -> FirstProbe {
+        let cands = self.candidates(key);
+        let cvals = self.read_counters(&cands);
+        // Lookup rule 1 (mode-dependent).
+        if self.rule1_miss(&cands, &cvals) {
+            return FirstProbe::Miss { check_stash: false };
+        }
+        let mut visited_flags_ok = true;
+        // Partitions in decreasing counter value.
+        for v in (1..=self.d as u8).rev() {
+            let positions: Vec<usize> = (0..self.d)
+                .filter(|&i| cvals[i] == v)
+                .map(|i| cands[i])
+                .collect();
+            if positions.len() < v as usize {
+                continue; // rule 2: impossible partition
+            }
+            let budget = positions.len() - v as usize + 1; // rule 3
+            for &p in positions.iter().take(budget) {
+                self.meter.offchip_read(1);
+                visited_flags_ok &= self.flags[p];
+                if self.buckets[p].as_ref().is_some_and(|e| e.key == *key) {
+                    return FirstProbe::Found(p);
+                }
+            }
+        }
+        FirstProbe::Miss {
+            check_stash: self.stash_screen(&cvals, visited_flags_ok),
+        }
+    }
+
+    /// Lookup rule 1: a definitely-empty candidate proves absence.
+    fn rule1_miss(&self, cands: &[usize; MAX_D], cvals: &[u8; MAX_D]) -> bool {
+        match self.deletion {
+            DeletionMode::Disabled => (0..self.d).any(|i| cvals[i] == 0),
+            // A zero may be a deletion scar: rule 1 is unsound.
+            DeletionMode::Reset => false,
+            // Tombstones read as non-zero for lookups.
+            DeletionMode::Tombstone => {
+                (0..self.d).any(|i| cvals[i] == 0 && !self.counters.is_tombstone(cands[i]))
+            }
+        }
+    }
+
+    /// Stash screening (§III.E–F): decide whether a failed main-table
+    /// lookup needs to consult the stash.
+    fn stash_screen(&self, cvals: &[u8; MAX_D], visited_flags_ok: bool) -> bool {
+        if !self.stash.enabled() || self.stash.is_empty() {
+            return false;
+        }
+        match self.deletion {
+            // Counters never increase while deletions are disabled, and a
+            // stashed item saw all-ones; any other value excludes it.
+            // All-ones ⇒ every candidate was visited, so the flags are
+            // all known.
+            DeletionMode::Disabled => (0..self.d).all(|i| cvals[i] == 1) && visited_flags_ok,
+            // With deletions, re-occupied buckets may carry any counter;
+            // only the flags of actually-visited buckets can veto
+            // (§III.F), at the price of more false positives.
+            DeletionMode::Reset | DeletionMode::Tombstone => visited_flags_ok,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Remove `key`, returning its value. Copies are erased by counter
+    /// updates only — **zero off-chip writes** (§III.B.3).
+    ///
+    /// # Panics
+    /// Panics if the table was configured with
+    /// [`DeletionMode::Disabled`].
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        assert!(
+            self.deletion != DeletionMode::Disabled,
+            "this table was configured with DeletionMode::Disabled"
+        );
+        let out = match self.probe_for_copies(key) {
+            ProbeResult::Found { locations, first } => {
+                self.meter.onchip_write(locations.len() as u64);
+                for &l in &locations {
+                    match self.deletion {
+                        DeletionMode::Reset => self.counters.set(l, 0),
+                        DeletionMode::Tombstone => self.counters.set_tombstone(l),
+                        DeletionMode::Disabled => unreachable!(),
+                    }
+                }
+                // Physical reclamation: the modelled system leaves stale
+                // bytes to be overwritten later; dropping them here costs
+                // no modelled write and keeps the `counter = 0 ⇔ vacant`
+                // invariant tight.
+                let mut value = None;
+                for &l in &locations {
+                    let e = self.buckets[l].take();
+                    if l == first {
+                        value = e.map(|e| e.value);
+                    }
+                }
+                self.distinct -= 1;
+                value
+            }
+            ProbeResult::Miss { check_stash } => {
+                if check_stash {
+                    self.stash.remove(key, &self.meter)
+                } else {
+                    None
+                }
+            }
+        };
+        self.check_paranoid();
+        out
+    }
+
+    /// Deletion/update probe: locate **all** copies of `key` (deletion
+    /// principles, §III.B.3). Within the matching partition, probing may
+    /// stop early once the remaining copies are pinned by counting.
+    fn probe_for_copies(&self, key: &K) -> ProbeResult {
+        let cands = self.candidates(key);
+        let cvals = self.read_counters(&cands);
+        if self.rule1_miss(&cands, &cvals) {
+            return ProbeResult::Miss { check_stash: false };
+        }
+        let mut visited_flags_ok = true;
+        for v in (1..=self.d as u8).rev() {
+            let positions: Vec<usize> = (0..self.d)
+                .filter(|&i| cvals[i] == v)
+                .map(|i| cands[i])
+                .collect();
+            if positions.len() < v as usize {
+                continue;
+            }
+            let budget = positions.len() - v as usize + 1;
+            let mut found: Vec<usize> = Vec::new();
+            let mut first: Option<usize> = None;
+            for (probed, &p) in positions.iter().enumerate() {
+                let remaining_positions = positions.len() - probed;
+                let remaining_needed = if found.is_empty() {
+                    // Not yet found: only the probe budget limits us.
+                    if probed >= budget {
+                        break;
+                    }
+                    v as usize
+                } else {
+                    v as usize - found.len()
+                };
+                if remaining_needed == 0 {
+                    break;
+                }
+                if !found.is_empty() && remaining_needed == remaining_positions {
+                    // The rest are forced to be copies: no reads needed.
+                    found.extend_from_slice(&positions[probed..]);
+                    break;
+                }
+                self.meter.offchip_read(1);
+                visited_flags_ok &= self.flags[p];
+                if self.buckets[p].as_ref().is_some_and(|e| e.key == *key) {
+                    if first.is_none() {
+                        first = Some(p);
+                    }
+                    found.push(p);
+                }
+            }
+            if let Some(first) = first {
+                debug_assert_eq!(found.len(), v as usize, "all copies located");
+                return ProbeResult::Found {
+                    locations: found,
+                    first,
+                };
+            }
+        }
+        ProbeResult::Miss {
+            check_stash: self.stash_screen(&cvals, visited_flags_ok),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stash maintenance
+    // ------------------------------------------------------------------
+
+    /// Re-synchronise the stash flags (§III.F): clear every flag, then
+    /// re-insert all stashed items (which either settle in the table or
+    /// re-stash and re-raise their flags). Returns how many items left
+    /// the stash. The bulk flag clear is metered as one write per bucket.
+    pub fn refresh_stash(&mut self) -> usize {
+        self.meter.offchip_write(self.flags.len() as u64);
+        self.flags.fill(false);
+        let items = self.stash.drain_all();
+        let before = items.len();
+        for (k, v) in items {
+            // insert_new: stash keys are never in the main table.
+            let _ = self.insert_new(k, v);
+        }
+        before - self.stash.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration & diagnostics (unmetered)
+    // ------------------------------------------------------------------
+
+    /// Iterate distinct `(key, value)` pairs (main table, then stash).
+    /// Unmetered: iteration is a host-side maintenance operation.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, b)| {
+                let e = b.as_ref()?;
+                // Emit an item only at its smallest copy location.
+                let locs = self.raw_copy_locations(&e.key);
+                (locs.iter().min() == Some(&idx)).then_some((&e.key, &e.value))
+            })
+            .chain(self.stash.iter())
+    }
+
+    /// Unmetered: the first candidate bucket holding `key`, if any.
+    fn raw_find(&self, key: &K) -> Option<usize> {
+        let cands = self.candidates(key);
+        (0..self.d)
+            .map(|i| cands[i])
+            .find(|&c| self.buckets[c].as_ref().is_some_and(|e| e.key == *key))
+    }
+
+    fn raw_in_stash(&self, key: &K) -> bool {
+        self.stash.iter().any(|(k, _)| k == key)
+    }
+
+    /// Unmetered: every bucket holding `key`.
+    fn raw_copy_locations(&self, key: &K) -> Vec<usize> {
+        let cands = self.candidates(key);
+        (0..self.d)
+            .map(|i| cands[i])
+            .filter(|&c| self.buckets[c].as_ref().is_some_and(|e| e.key == *key))
+            .collect()
+    }
+
+    /// Exhaustive structural validation; returns the first violation as a
+    /// human-readable message. Used pervasively by the tests and after
+    /// every mutation under the `paranoid` feature.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let total = self.buckets.len();
+        if self.counters.len() != total || self.flags.len() != total {
+            return Err("length mismatch between planes".into());
+        }
+        let mut distinct_seen = 0usize;
+        for idx in 0..total {
+            let c = self.counters.get(idx);
+            match (&self.buckets[idx], c) {
+                (None, 0) => {}
+                (None, c) => return Err(format!("bucket {idx}: vacant but counter {c}")),
+                (Some(_), 0) => {
+                    return Err(format!("bucket {idx}: occupied but counter 0"));
+                }
+                (Some(e), c) => {
+                    let cands = self.candidates(&e.key);
+                    let Some(pos) = (0..self.d).find(|&i| cands[i] == idx) else {
+                        return Err(format!("bucket {idx}: occupant not hashed here"));
+                    };
+                    if e.hints >> pos & 1 != 1 {
+                        return Err(format!("bucket {idx}: self-hint bit missing"));
+                    }
+                    let locs = self.raw_copy_locations(&e.key);
+                    if locs.len() != c as usize {
+                        return Err(format!(
+                            "bucket {idx}: counter {c} but {} live copies",
+                            locs.len()
+                        ));
+                    }
+                    for &l in &locs {
+                        if self.counters.get(l) != c {
+                            return Err(format!(
+                                "bucket {idx}: copy at {l} has counter {} ≠ {c}",
+                                self.counters.get(l)
+                            ));
+                        }
+                    }
+                    if locs.iter().min() == Some(&idx) {
+                        distinct_seen += 1;
+                    }
+                }
+            }
+        }
+        if distinct_seen != self.distinct {
+            return Err(format!(
+                "distinct count {} but {} found",
+                self.distinct, distinct_seen
+            ));
+        }
+        for (k, _) in self.stash.iter() {
+            if self.raw_find(k).is_some() {
+                return Err("stash item also present in main table".into());
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn check_paranoid(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(e) = self.check_invariants() {
+            panic!("invariant violated: {e}");
+        }
+    }
+}
+
+/// Result of the first-hit probe.
+enum FirstProbe {
+    Found(usize),
+    Miss { check_stash: bool },
+}
+
+/// Result of the all-copies probe.
+enum ProbeResult {
+    Found { locations: Vec<usize>, first: usize },
+    Miss { check_stash: bool },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StashPolicy;
+    use std::collections::HashMap;
+    use workloads::UniqueKeys;
+
+    fn paper_table(n: usize, seed: u64) -> McCuckoo<u64, u64> {
+        McCuckoo::new(McConfig::paper(n, seed))
+    }
+
+    #[test]
+    fn first_insert_occupies_all_candidates() {
+        let mut t = paper_table(64, 1);
+        let r = t.insert_new(42, 420).unwrap();
+        assert_eq!(r.copies_written, 3);
+        assert!(!r.collision);
+        assert_eq!(t.copy_count(&42), 3);
+        assert_eq!(t.get(&42), Some(&420));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_rule1_costs_zero_offchip_reads() {
+        // Bloom behaviour: an absent key whose candidates include an
+        // empty bucket is rejected without touching off-chip memory.
+        let mut t = paper_table(1024, 2);
+        for k in 0u64..10 {
+            t.insert_new(k, k).unwrap();
+        }
+        let before = t.meter().snapshot();
+        // At this load nearly every absent key hits an empty candidate.
+        let mut zero_read_misses = 0;
+        let keys = UniqueKeys::new(3);
+        for j in 0..100 {
+            let pre = t.meter().snapshot();
+            assert_eq!(t.get(&keys.absent_key(j)), None);
+            if (t.meter().snapshot() - pre).offchip_reads == 0 {
+                zero_read_misses += 1;
+            }
+        }
+        assert!(zero_read_misses > 90, "only {zero_read_misses} free misses");
+        assert_eq!(
+            (t.meter().snapshot() - before).offchip_writes,
+            0,
+            "lookups never write"
+        );
+    }
+
+    #[test]
+    fn fills_to_90_percent() {
+        let n = 10_000;
+        let mut t = paper_table(n, 4);
+        let mut keys = UniqueKeys::new(5);
+        let target = 3 * n * 90 / 100;
+        for _ in 0..target {
+            let k = keys.next_key();
+            t.insert_new(k, k).unwrap();
+        }
+        assert!(t.load_ratio() > 0.89);
+        assert!(
+            t.stash_len() < target / 100,
+            "stash {} too large",
+            t.stash_len()
+        );
+        for k in UniqueKeys::new(5).take_vec(target) {
+            assert!(t.contains(&k), "key lost");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_collision_until_table_warm() {
+        // Table I: McCuckoo's first real collision comes much later than
+        // standard cuckoo's ~9%.
+        let n = 5_000;
+        let mut t = paper_table(n, 6);
+        let mut keys = UniqueKeys::new(7);
+        let cap = 3 * n;
+        let mut first = None;
+        for i in 0..cap {
+            let k = keys.next_key();
+            let r = t.insert_new(k, k).unwrap();
+            if r.collision {
+                first = Some(i as f64 / cap as f64);
+                break;
+            }
+        }
+        let load = first.expect("collision must eventually happen");
+        assert!(load > 0.15, "first collision at {load}, expected > 0.15");
+    }
+
+    #[test]
+    fn theorem2_redundant_write_bound() {
+        // d=3: proactive redundant writes ≤ 5/6 · S over a full build-up.
+        let n = 3_000;
+        let mut t = paper_table(n, 8);
+        let mut keys = UniqueKeys::new(9);
+        let cap = 3 * n;
+        for _ in 0..cap * 95 / 100 {
+            let k = keys.next_key();
+            let _ = t.insert_new(k, k);
+        }
+        let bound = (cap as f64) * 5.0 / 6.0;
+        assert!(
+            (t.redundant_writes() as f64) <= bound,
+            "redundant writes {} exceed Theorem 2 bound {bound}",
+            t.redundant_writes()
+        );
+    }
+
+    #[test]
+    fn update_rewrites_all_copies() {
+        let mut t = paper_table(64, 10);
+        t.insert(7, 70).unwrap();
+        assert_eq!(t.copy_count(&7), 3);
+        let r = t.insert(7, 71).unwrap();
+        assert_eq!(r.outcome, InsertOutcome::Updated);
+        assert_eq!(t.get(&7), Some(&71));
+        assert_eq!(t.main_len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_probe_budget_respected() {
+        // With all candidates distinct values, at most S-V+1 probes per
+        // partition; in aggregate a hit never costs more than d reads.
+        let n = 2_000;
+        let mut t = paper_table(n, 11);
+        let mut keys = UniqueKeys::new(12);
+        let inserted: Vec<u64> = (0..3 * n * 80 / 100)
+            .map(|_| {
+                let k = keys.next_key();
+                t.insert_new(k, k).unwrap();
+                k
+            })
+            .collect();
+        for k in &inserted {
+            let before = t.meter().snapshot();
+            assert_eq!(t.get(k), Some(k));
+            let delta = t.meter().snapshot() - before;
+            assert!(delta.offchip_reads <= 3, "{} reads", delta.offchip_reads);
+        }
+    }
+
+    #[test]
+    fn deletion_reset_mode_roundtrip_and_zero_writes() {
+        let n = 2_000;
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper_with_deletion(n, 13));
+        let mut keys = UniqueKeys::new(14);
+        let inserted: Vec<u64> = (0..3 * n / 2)
+            .map(|_| {
+                let k = keys.next_key();
+                t.insert_new(k, k + 1).unwrap();
+                k
+            })
+            .collect();
+        let before = t.meter().snapshot();
+        for k in &inserted {
+            assert_eq!(t.remove(k), Some(k + 1));
+        }
+        let delta = t.meter().snapshot() - before;
+        assert_eq!(delta.offchip_writes, 0, "deletion must not write off-chip");
+        assert!(t.is_empty());
+        for k in &inserted {
+            assert_eq!(t.get(k), None);
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deletion_tombstone_mode_keeps_rule1_sound() {
+        let n = 512;
+        let mut t: McCuckoo<u64, u64> =
+            McCuckoo::new(McConfig::paper(n, 15).with_deletion(DeletionMode::Tombstone));
+        let mut keys = UniqueKeys::new(16);
+        let ks = keys.take_vec(500);
+        for &k in &ks {
+            t.insert_new(k, k).unwrap();
+        }
+        for &k in ks.iter().take(250) {
+            assert_eq!(t.remove(&k), Some(k));
+        }
+        // Deleted keys gone, survivors intact.
+        for &k in ks.iter().take(250) {
+            assert_eq!(t.get(&k), None);
+        }
+        for &k in ks.iter().skip(250) {
+            assert_eq!(t.get(&k), Some(&k));
+        }
+        // Freed buckets are reusable.
+        let more = keys.take_vec(200);
+        for &k in &more {
+            t.insert_new(k, k).unwrap();
+        }
+        for &k in &more {
+            assert_eq!(t.get(&k), Some(&k));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "DeletionMode::Disabled")]
+    fn remove_panics_when_disabled() {
+        let mut t = paper_table(16, 17);
+        t.insert_new(1, 1).unwrap();
+        let _ = t.remove(&1);
+    }
+
+    #[test]
+    fn stash_absorbs_overflow_and_screening_works() {
+        // Small table driven past capacity: failures land in the stash
+        // and remain findable; absent-key lookups rarely visit the stash.
+        let n = 200;
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(n, 18).with_maxloop(50));
+        let mut keys = UniqueKeys::new(19);
+        let total = 3 * n; // 100% load
+        let inserted: Vec<u64> = (0..total)
+            .map(|_| {
+                let k = keys.next_key();
+                t.insert_new(k, k).unwrap();
+                k
+            })
+            .collect();
+        assert!(t.stash_len() > 0, "100% load must overflow");
+        for k in &inserted {
+            assert_eq!(t.get(k), Some(k), "stashed or placed, key must be found");
+        }
+        // Screening: absent keys must rarely reach the stash.
+        let before = t.meter().snapshot();
+        for j in 0..1000 {
+            assert_eq!(t.get(&keys.absent_key(j)), None);
+        }
+        let delta = t.meter().snapshot() - before;
+        assert!(
+            delta.stash_visits <= 50,
+            "{} of 1000 absent lookups visited the stash",
+            delta.stash_visits
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn refresh_stash_drains_after_deletions() {
+        let n = 150;
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(
+            McConfig::paper(n, 20)
+                .with_maxloop(30)
+                .with_deletion(DeletionMode::Reset),
+        );
+        let mut keys = UniqueKeys::new(21);
+        let inserted: Vec<u64> = (0..3 * n)
+            .map(|_| {
+                let k = keys.next_key();
+                t.insert_new(k, k).unwrap();
+                k
+            })
+            .collect();
+        assert!(t.stash_len() > 0);
+        // Delete a third of the table, then refresh.
+        for k in inserted.iter().take(n) {
+            t.remove(k);
+        }
+        let drained = t.refresh_stash();
+        assert!(drained > 0, "free space must drain the stash");
+        for k in inserted.iter().skip(n) {
+            assert!(t.contains(k));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn differential_against_hashmap_with_deletions() {
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper_with_deletion(2_048, 22));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut keys = UniqueKeys::new(23);
+        let mut s = hash_kit::SplitMix64::new(24);
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..40_000u64 {
+            match s.next_below(10) {
+                0..=4 => {
+                    let k = keys.next_key();
+                    t.insert_new(k, k ^ step).unwrap();
+                    model.insert(k, k ^ step);
+                    live.push(k);
+                }
+                5..=6 if !live.is_empty() => {
+                    let i = s.next_below(live.len() as u64) as usize;
+                    assert_eq!(t.get(&live[i]), model.get(&live[i]));
+                }
+                7..=8 if !live.is_empty() => {
+                    let i = s.next_below(live.len() as u64) as usize;
+                    let k = live.swap_remove(i);
+                    assert_eq!(t.remove(&k), model.remove(&k));
+                }
+                _ => {
+                    let k = keys.absent_key(s.next_below(1 << 20));
+                    assert_eq!(t.get(&k), None);
+                }
+            }
+            if step % 10_000 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn upsert_differential_with_value_churn() {
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(1_024, 25));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut keys = UniqueKeys::new(26);
+        let universe: Vec<u64> = keys.take_vec(1_500);
+        let mut s = hash_kit::SplitMix64::new(27);
+        for step in 0..20_000u64 {
+            let k = universe[s.next_below(universe.len() as u64) as usize];
+            if s.next_below(2) == 0 {
+                t.insert(k, step).unwrap();
+                model.insert(k, step);
+            } else {
+                assert_eq!(t.get(&k), model.get(&k));
+            }
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(v));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mincounter_policy_fills_table() {
+        let n = 3_000;
+        let mut t: McCuckoo<u64, u64> =
+            McCuckoo::new(McConfig::paper(n, 28).with_resolution(ResolutionPolicy::MinCounter));
+        let mut keys = UniqueKeys::new(29);
+        let target = 3 * n * 88 / 100;
+        for _ in 0..target {
+            let k = keys.next_key();
+            t.insert_new(k, k).unwrap();
+        }
+        for k in UniqueKeys::new(29).take_vec(target) {
+            assert!(t.contains(&k));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hashed_stash_policy_works_end_to_end() {
+        let n = 150;
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(
+            McConfig::paper(n, 30)
+                .with_maxloop(30)
+                .with_stash(StashPolicy::Hashed),
+        );
+        let mut keys = UniqueKeys::new(31);
+        let inserted: Vec<u64> = (0..3 * n)
+            .map(|_| {
+                let k = keys.next_key();
+                t.insert_new(k, k).unwrap();
+                k
+            })
+            .collect();
+        assert!(t.stash_len() > 0);
+        for k in &inserted {
+            assert!(t.contains(k));
+        }
+    }
+
+    #[test]
+    fn no_stash_policy_surfaces_failures() {
+        let n = 32;
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(
+            McConfig::paper(n, 32)
+                .with_maxloop(10)
+                .with_stash(StashPolicy::None),
+        );
+        let mut keys = UniqueKeys::new(33);
+        let mut failed = false;
+        for _ in 0..3 * n + 10 {
+            let k = keys.next_key();
+            if let Err(full) = t.insert_new(k, k) {
+                assert_eq!(full.report.outcome, InsertOutcome::Failed);
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "overfilled table without stash must fail");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_yields_each_distinct_key_once() {
+        let mut t = paper_table(256, 34);
+        let mut keys = UniqueKeys::new(35);
+        let ks = keys.take_vec(300);
+        for &k in &ks {
+            t.insert_new(k, k.wrapping_mul(2)).unwrap();
+        }
+        let mut got: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        got.sort_unstable();
+        let mut want = ks.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn d2_and_d4_configurations_work() {
+        for d in [2usize, 4] {
+            let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(512, 36).with_d(d));
+            let mut keys = UniqueKeys::new(37 + d as u64);
+            let target = d * 512 / 2; // 50% load: safe for d=2
+            for _ in 0..target {
+                let k = keys.next_key();
+                t.insert_new(k, k).unwrap();
+            }
+            for k in UniqueKeys::new(37 + d as u64).take_vec(target) {
+                assert!(t.contains(&k), "d={d}");
+            }
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn counters_form_a_bloom_filter() {
+        // Paper: "if we look at the on-chip counters as zero or non-zero,
+        // they actually form a standard Bloom filter" — no false
+        // negatives ever.
+        let mut t = paper_table(1_024, 38);
+        let mut keys = UniqueKeys::new(39);
+        let ks = keys.take_vec(2_000);
+        for &k in &ks {
+            t.insert_new(k, k).unwrap();
+        }
+        for &k in &ks {
+            // Every candidate counter of a present key must be non-zero.
+            let cands = t.candidates(&k);
+            for &c in cands.iter().take(t.d()) {
+                assert!(t.counters.get(c) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t: McCuckoo<String, u32> = McCuckoo::new(McConfig::paper(64, 40));
+        t.insert("alpha".to_string(), 1).unwrap();
+        t.insert("beta".to_string(), 2).unwrap();
+        assert_eq!(t.get(&"alpha".to_string()), Some(&1));
+        assert_eq!(t.get(&"gamma".to_string()), None);
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+//! # mem-model — memory-hierarchy accounting for the McCuckoo reproduction
+//!
+//! McCuckoo (ICDE 2019) is designed for platforms with a two-level memory
+//! hierarchy: a small fast **on-chip** memory holding the counter array and
+//! a large, slow, bandwidth-limited **off-chip** memory holding the hash
+//! table itself. Every design decision in the paper is justified by how
+//! many off-chip accesses it saves, and the entire evaluation (§IV) is
+//! expressed in those units:
+//!
+//! * Figs. 9–14 and Tables I–III report *access counts* per operation,
+//!   which this crate captures with [`MemMeter`] / [`MemStats`];
+//! * Figs. 15–16 report *latency and throughput* measured on an Altera
+//!   Stratix V FPGA with DDR3 SDRAM, which we substitute with the
+//!   parameterised cycle model in [`latency`] (see `DESIGN.md` §3 for the
+//!   substitution rationale).
+//!
+//! The meter uses `Cell` counters so that logically-read-only table
+//! operations (`lookup`) can still be metered through `&self`.
+
+pub mod latency;
+pub mod meter;
+pub mod report;
+
+pub use latency::{LatencyBreakdown, PlatformModel};
+pub use meter::{MemMeter, MemStats};
+pub use report::{InsertOutcome, InsertReport};

@@ -1,0 +1,339 @@
+//! Access metering: counts of on-chip and off-chip reads and writes.
+//!
+//! Tables own a [`MemMeter`] and tick it on every memory touch; harnesses
+//! snapshot it around operations and difference the snapshots. Counter
+//! categories follow the paper's cost model:
+//!
+//! * **off-chip reads/writes** — bucket accesses to the main table. One
+//!   bucket (all its slots, plus its 1-bit stash flag) is one access,
+//!   following the paper's assumption that "the whole bucket can be
+//!   retrieved in one memory access" (ref \[33\]).
+//! * **verify reads** — off-chip reads issued solely to disambiguate which
+//!   candidate buckets hold a victim's copies (see `DESIGN.md` §4). These
+//!   are *also* counted in `offchip_reads`; the separate counter lets the
+//!   experiments report how rare they are.
+//! * **on-chip reads/writes** — counter-array and flag-cache touches.
+//!   Free in the paper's access figures but they cost cycles in the
+//!   latency model (Figs. 15–16 discuss exactly this overhead).
+//! * **stash reads/writes** — accesses to the (off-chip) stash structure,
+//!   reported separately because Table II/III quantify stash traffic.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of access counters. Obtained from [`MemMeter::snapshot`];
+/// two snapshots subtract to give per-operation or per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Off-chip main-table bucket reads (includes `verify_reads`).
+    pub offchip_reads: u64,
+    /// Off-chip main-table bucket writes.
+    pub offchip_writes: u64,
+    /// Subset of `offchip_reads` used only for copy-set disambiguation.
+    pub verify_reads: u64,
+    /// On-chip counter/flag reads.
+    pub onchip_reads: u64,
+    /// On-chip counter/flag writes.
+    pub onchip_writes: u64,
+    /// Stash reads.
+    pub stash_reads: u64,
+    /// Stash writes.
+    pub stash_writes: u64,
+    /// Number of distinct operations that visited the stash at all
+    /// (Tables II–III report the *fraction of queries* that reach the
+    /// stash, which is an event count, not a probe count).
+    pub stash_visits: u64,
+}
+
+impl MemStats {
+    /// Total off-chip traffic (reads + writes), the paper's headline unit.
+    pub fn offchip_total(&self) -> u64 {
+        self.offchip_reads + self.offchip_writes
+    }
+
+    /// Total on-chip traffic.
+    pub fn onchip_total(&self) -> u64 {
+        self.onchip_reads + self.onchip_writes
+    }
+
+    /// Total stash traffic.
+    pub fn stash_total(&self) -> u64 {
+        self.stash_reads + self.stash_writes
+    }
+}
+
+impl Sub for MemStats {
+    type Output = MemStats;
+    fn sub(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            offchip_reads: self.offchip_reads - rhs.offchip_reads,
+            offchip_writes: self.offchip_writes - rhs.offchip_writes,
+            verify_reads: self.verify_reads - rhs.verify_reads,
+            onchip_reads: self.onchip_reads - rhs.onchip_reads,
+            onchip_writes: self.onchip_writes - rhs.onchip_writes,
+            stash_reads: self.stash_reads - rhs.stash_reads,
+            stash_writes: self.stash_writes - rhs.stash_writes,
+            stash_visits: self.stash_visits - rhs.stash_visits,
+        }
+    }
+}
+
+impl Add for MemStats {
+    type Output = MemStats;
+    fn add(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            offchip_reads: self.offchip_reads + rhs.offchip_reads,
+            offchip_writes: self.offchip_writes + rhs.offchip_writes,
+            verify_reads: self.verify_reads + rhs.verify_reads,
+            onchip_reads: self.onchip_reads + rhs.onchip_reads,
+            onchip_writes: self.onchip_writes + rhs.onchip_writes,
+            stash_reads: self.stash_reads + rhs.stash_reads,
+            stash_writes: self.stash_writes + rhs.stash_writes,
+            stash_visits: self.stash_visits + rhs.stash_visits,
+        }
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, rhs: MemStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "off-chip r/w {}/{} (verify {}), on-chip r/w {}/{}, stash r/w {}/{}",
+            self.offchip_reads,
+            self.offchip_writes,
+            self.verify_reads,
+            self.onchip_reads,
+            self.onchip_writes,
+            self.stash_reads,
+            self.stash_writes
+        )
+    }
+}
+
+/// Interior-mutable access meter owned by a table instance.
+///
+/// ```
+/// use mem_model::MemMeter;
+///
+/// let m = MemMeter::new();
+/// let before = m.snapshot();
+/// m.offchip_read(2);
+/// m.offchip_write(1);
+/// let delta = m.snapshot() - before;
+/// assert_eq!(delta.offchip_reads, 2);
+/// assert_eq!(delta.offchip_total(), 3);
+/// ```
+///
+/// `Cell`-based so metering works through `&self` (lookups are `&self`).
+/// Not thread-safe by design: the concurrent table wrappers keep their own
+/// per-thread meters and merge them.
+#[derive(Debug, Default)]
+pub struct MemMeter {
+    offchip_reads: Cell<u64>,
+    offchip_writes: Cell<u64>,
+    verify_reads: Cell<u64>,
+    onchip_reads: Cell<u64>,
+    onchip_writes: Cell<u64>,
+    stash_reads: Cell<u64>,
+    stash_writes: Cell<u64>,
+    stash_visits: Cell<u64>,
+}
+
+impl MemMeter {
+    /// Fresh meter with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn offchip_read(&self, n: u64) {
+        self.offchip_reads.set(self.offchip_reads.get() + n);
+    }
+
+    #[inline]
+    pub fn offchip_write(&self, n: u64) {
+        self.offchip_writes.set(self.offchip_writes.get() + n);
+    }
+
+    /// A verification read: counted both as an off-chip read and in the
+    /// dedicated `verify_reads` counter.
+    #[inline]
+    pub fn verify_read(&self, n: u64) {
+        self.offchip_reads.set(self.offchip_reads.get() + n);
+        self.verify_reads.set(self.verify_reads.get() + n);
+    }
+
+    #[inline]
+    pub fn onchip_read(&self, n: u64) {
+        self.onchip_reads.set(self.onchip_reads.get() + n);
+    }
+
+    #[inline]
+    pub fn onchip_write(&self, n: u64) {
+        self.onchip_writes.set(self.onchip_writes.get() + n);
+    }
+
+    #[inline]
+    pub fn stash_read(&self, n: u64) {
+        self.stash_reads.set(self.stash_reads.get() + n);
+    }
+
+    #[inline]
+    pub fn stash_write(&self, n: u64) {
+        self.stash_writes.set(self.stash_writes.get() + n);
+    }
+
+    /// Record that the current operation visited the stash (at most once
+    /// per operation by convention).
+    #[inline]
+    pub fn stash_visit(&self) {
+        self.stash_visits.set(self.stash_visits.get() + 1);
+    }
+
+    /// Copy out the current counter values.
+    pub fn snapshot(&self) -> MemStats {
+        MemStats {
+            offchip_reads: self.offchip_reads.get(),
+            offchip_writes: self.offchip_writes.get(),
+            verify_reads: self.verify_reads.get(),
+            onchip_reads: self.onchip_reads.get(),
+            onchip_writes: self.onchip_writes.get(),
+            stash_reads: self.stash_reads.get(),
+            stash_writes: self.stash_writes.get(),
+            stash_visits: self.stash_visits.get(),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.offchip_reads.set(0);
+        self.offchip_writes.set(0);
+        self.verify_reads.set(0);
+        self.onchip_reads.set(0);
+        self.onchip_writes.set(0);
+        self.stash_reads.set(0);
+        self.stash_writes.set(0);
+        self.stash_visits.set(0);
+    }
+
+    /// Run `f` and return its result together with the access delta it
+    /// caused.
+    pub fn metered<T>(&self, f: impl FnOnce() -> T) -> (T, MemStats) {
+        let before = self.snapshot();
+        let out = f();
+        (out, self.snapshot() - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_ticks() {
+        let m = MemMeter::new();
+        m.offchip_read(2);
+        m.offchip_write(1);
+        m.onchip_read(5);
+        m.onchip_write(3);
+        m.stash_read(1);
+        m.stash_write(4);
+        let s = m.snapshot();
+        assert_eq!(s.offchip_reads, 2);
+        assert_eq!(s.offchip_writes, 1);
+        assert_eq!(s.onchip_reads, 5);
+        assert_eq!(s.onchip_writes, 3);
+        assert_eq!(s.stash_reads, 1);
+        assert_eq!(s.stash_writes, 4);
+        assert_eq!(s.offchip_total(), 3);
+        assert_eq!(s.onchip_total(), 8);
+        assert_eq!(s.stash_total(), 5);
+    }
+
+    #[test]
+    fn verify_read_counts_twice() {
+        let m = MemMeter::new();
+        m.verify_read(3);
+        let s = m.snapshot();
+        assert_eq!(s.offchip_reads, 3);
+        assert_eq!(s.verify_reads, 3);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_an_operation() {
+        let m = MemMeter::new();
+        m.offchip_read(10);
+        let before = m.snapshot();
+        m.offchip_read(1);
+        m.offchip_write(2);
+        let delta = m.snapshot() - before;
+        assert_eq!(delta.offchip_reads, 1);
+        assert_eq!(delta.offchip_writes, 2);
+    }
+
+    #[test]
+    fn metered_closure_returns_delta() {
+        let m = MemMeter::new();
+        let (val, delta) = m.metered(|| {
+            m.offchip_read(4);
+            "done"
+        });
+        assert_eq!(val, "done");
+        assert_eq!(delta.offchip_reads, 4);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = MemMeter::new();
+        m.offchip_read(1);
+        m.stash_write(1);
+        m.verify_read(1);
+        m.reset();
+        assert_eq!(m.snapshot(), MemStats::default());
+    }
+
+    #[test]
+    fn stats_add_and_sub_roundtrip() {
+        let a = MemStats {
+            offchip_reads: 5,
+            offchip_writes: 4,
+            verify_reads: 1,
+            onchip_reads: 9,
+            onchip_writes: 2,
+            stash_reads: 1,
+            stash_writes: 0,
+            stash_visits: 1,
+        };
+        let b = MemStats {
+            offchip_reads: 2,
+            offchip_writes: 2,
+            verify_reads: 0,
+            onchip_reads: 4,
+            onchip_writes: 1,
+            stash_reads: 1,
+            stash_writes: 0,
+            stash_visits: 1,
+        };
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let a = MemStats {
+            offchip_reads: 7,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: MemStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,230 @@
+//! DocWords-like synthetic dataset.
+//!
+//! The paper's software evaluation inserts keys formed by combining the
+//! DocID and WordID of the UCI *DocWords* NYTimes bag-of-words collection
+//! (§IV.A.2). This generator reproduces that shape without the dataset:
+//! documents are visited in order; each document contains a random number
+//! of distinct words whose IDs are Zipf-distributed over a fixed
+//! vocabulary (word frequency in news text is Zipfian). The `(doc, word)`
+//! pair is packed into a `u64` key exactly as the paper does.
+//!
+//! Distinctness is structural: a key repeats only if the same word is
+//! drawn twice in one document, which is filtered with a per-document
+//! small set, so the stream yields distinct keys overall (doc IDs never
+//! repeat).
+
+use crate::zipf::Zipf;
+use hash_kit::splitmix::SplitMix64;
+
+/// NYTimes-like parameters: vocabulary ≈ 102 k words (the real NYTimes
+/// collection has 102,660), ~330 distinct words per article.
+pub const NYTIMES_VOCABULARY: u64 = 102_660;
+/// Mean distinct words per document in the synthetic corpus.
+pub const MEAN_WORDS_PER_DOC: u64 = 330;
+
+/// Generator of `(doc_id, word_id)` keys packed as `doc << 32 | word`.
+///
+/// ```
+/// use workloads::DocWordsLike;
+///
+/// let mut corpus = DocWordsLike::nytimes_like(7);
+/// let key = corpus.next_key();
+/// let (doc, word) = DocWordsLike::unpack(key);
+/// assert!(u64::from(word) < workloads::docwords::NYTIMES_VOCABULARY);
+/// assert_eq!(DocWordsLike::pack(doc, word), key);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocWordsLike {
+    vocabulary: u64,
+    mean_words_per_doc: u64,
+    zipf: Zipf,
+    rng: SplitMix64,
+    current_doc: u32,
+    words_left_in_doc: u32,
+    seen_in_doc: Vec<u32>,
+}
+
+impl DocWordsLike {
+    /// NYTimes-shaped corpus with Zipf exponent ~1 over the vocabulary.
+    pub fn nytimes_like(seed: u64) -> Self {
+        Self::new(NYTIMES_VOCABULARY, MEAN_WORDS_PER_DOC, 1.0, seed)
+    }
+
+    /// Fully parameterised corpus.
+    ///
+    /// # Panics
+    /// Panics if `vocabulary == 0` or `mean_words_per_doc == 0` or the
+    /// Zipf exponent is invalid.
+    pub fn new(vocabulary: u64, mean_words_per_doc: u64, zipf_s: f64, seed: u64) -> Self {
+        assert!(vocabulary > 0, "vocabulary must be non-empty");
+        assert!(mean_words_per_doc > 0, "documents must contain words");
+        assert!(
+            mean_words_per_doc <= vocabulary,
+            "documents cannot have more distinct words than the vocabulary"
+        );
+        let mut rng = SplitMix64::new(seed ^ 0xD0C5_0F7E_57A7_15E5);
+        let zipf_seed = rng.next_u64();
+        Self {
+            vocabulary,
+            mean_words_per_doc,
+            zipf: Zipf::new(vocabulary, zipf_s, zipf_seed),
+            rng,
+            current_doc: 0,
+            words_left_in_doc: 0,
+            seen_in_doc: Vec::new(),
+        }
+    }
+
+    /// Pack `(doc, word)` into the table key like the paper does.
+    #[inline]
+    pub fn pack(doc: u32, word: u32) -> u64 {
+        ((doc as u64) << 32) | word as u64
+    }
+
+    /// Unpack a key back into `(doc, word)`.
+    #[inline]
+    pub fn unpack(key: u64) -> (u32, u32) {
+        ((key >> 32) as u32, key as u32)
+    }
+
+    fn start_next_doc(&mut self) {
+        self.current_doc = self.current_doc.wrapping_add(1);
+        // Document length: uniform in [mean/2, 3*mean/2] — crude but the
+        // tables only see key counts, not the length distribution.
+        let half = (self.mean_words_per_doc / 2).max(1);
+        self.words_left_in_doc = (half + self.rng.next_below(2 * half)) as u32;
+        self.seen_in_doc.clear();
+    }
+
+    /// Next distinct `(doc, word)` key.
+    pub fn next_key(&mut self) -> u64 {
+        while self.words_left_in_doc == 0 {
+            self.start_next_doc();
+        }
+        loop {
+            let word = (self.zipf.sample() - 1) as u32;
+            if !self.seen_in_doc.contains(&word) {
+                self.seen_in_doc.push(word);
+                self.words_left_in_doc -= 1;
+                return Self::pack(self.current_doc, word);
+            }
+            // Head words repeat often under Zipf; if the document somehow
+            // saturates the vocabulary, close it instead of spinning.
+            if self.seen_in_doc.len() as u64 >= self.vocabulary {
+                self.words_left_in_doc = 0;
+                return self.next_key_fresh_doc();
+            }
+        }
+    }
+
+    fn next_key_fresh_doc(&mut self) -> u64 {
+        self.start_next_doc();
+        self.next_key()
+    }
+
+    /// Take `n` keys as a vector.
+    pub fn take_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+
+    /// A key absent from any possible output: word IDs are `< vocabulary`,
+    /// so a word ID of `u32::MAX` can never be generated (vocabulary is
+    /// far below 2³²).
+    pub fn absent_key(&self, j: u64) -> u64 {
+        debug_assert!(self.vocabulary < u32::MAX as u64);
+        Self::pack((j >> 16) as u32, u32::MAX - (j as u32 & 0xFFFF))
+    }
+}
+
+impl Iterator for DocWordsLike {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (d, w) in [(0u32, 0u32), (1, 2), (u32::MAX, u32::MAX), (7, 102_659)] {
+            assert_eq!(DocWordsLike::unpack(DocWordsLike::pack(d, w)), (d, w));
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let mut g = DocWordsLike::new(10_000, 50, 1.0, 3);
+        let mut seen = HashSet::new();
+        for _ in 0..200_000 {
+            assert!(seen.insert(g.next_key()));
+        }
+    }
+
+    #[test]
+    fn word_ids_stay_in_vocabulary() {
+        let vocab = 500u64;
+        let mut g = DocWordsLike::new(vocab, 20, 1.1, 4);
+        for _ in 0..10_000 {
+            let (_, w) = DocWordsLike::unpack(g.next_key());
+            assert!((w as u64) < vocab);
+        }
+    }
+
+    #[test]
+    fn head_words_are_popular() {
+        let mut g = DocWordsLike::new(10_000, 30, 1.0, 5);
+        let mut head = 0u32;
+        let n = 50_000;
+        for _ in 0..n {
+            let (_, w) = DocWordsLike::unpack(g.next_key());
+            if w < 10 {
+                head += 1;
+            }
+        }
+        // Under Zipf(s=1, n=10k) the top-10 words carry ≈ 29% of mass;
+        // per-document dedup trims repeats, so expect a lower but still
+        // dominant share.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.05, "head fraction {frac}");
+    }
+
+    #[test]
+    fn absent_keys_never_collide_with_stream() {
+        let mut g = DocWordsLike::new(1000, 20, 1.0, 6);
+        let present: HashSet<u64> = g.take_vec(100_000).into_iter().collect();
+        for j in 0..50_000u64 {
+            assert!(!present.contains(&g.absent_key(j)));
+        }
+    }
+
+    #[test]
+    fn absent_keys_are_mutually_distinct() {
+        let g = DocWordsLike::new(1000, 20, 1.0, 6);
+        let mut seen = HashSet::new();
+        for j in 0..100_000u64 {
+            assert!(seen.insert(g.absent_key(j)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DocWordsLike::nytimes_like(9);
+        let mut b = DocWordsLike::nytimes_like(9);
+        assert_eq!(a.take_vec(1000), b.take_vec(1000));
+    }
+
+    #[test]
+    fn tiny_vocabulary_documents_terminate() {
+        // vocabulary smaller than requested doc length: generator must not
+        // spin forever.
+        let mut g = DocWordsLike::new(5, 5, 1.0, 8);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(g.next_key()));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # workloads — dataset substitutes and operation streams
+//!
+//! The paper evaluates on the UCI *DocWords* (NYTimes) bag-of-words
+//! collection: "The DocID and WordID are combined to form the key of each
+//! item and inserted into the hash tables" (§IV.A.2). The dataset itself is
+//! not redistributable here, so this crate provides deterministic synthetic
+//! substitutes that exercise the identical code paths (see `DESIGN.md` §3):
+//!
+//! * [`UniqueKeys`] — a bijective stream of distinct, well-mixed 64-bit
+//!   keys (a Feistel network over the index, so uniqueness is structural,
+//!   not probabilistic);
+//! * [`DocWordsLike`] — `(doc_id, word_id)` keys with Zipf-distributed
+//!   word frequencies, shaped like the paper's dataset;
+//! * [`Zipf`] — a rejection-inversion Zipf sampler (built from scratch;
+//!   the sanctioned `rand` has no Zipf distribution);
+//! * [`OpStream`] — mixed insert/lookup/delete streams with configurable
+//!   ratios and hit rates, for the examples and ablations.
+
+pub mod docwords;
+pub mod ops;
+pub mod unique;
+pub mod zipf;
+
+pub use docwords::DocWordsLike;
+pub use ops::{Op, OpMix, OpStream};
+pub use unique::UniqueKeys;
+pub use zipf::Zipf;

@@ -1,0 +1,340 @@
+//! Mixed operation streams.
+//!
+//! Generates insert/lookup/delete sequences with configurable ratios and
+//! lookup hit rates, over keys from [`crate::UniqueKeys`]. Used by the
+//! example applications, the differential tests (random op soup against a
+//! model), and the ablation benches.
+
+use crate::unique::UniqueKeys;
+use hash_kit::splitmix::SplitMix64;
+
+/// One table operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a fresh key (value is derived from the key by the consumer).
+    Insert(u64),
+    /// Update the value of a live key (an upsert on an existing key).
+    Update(u64),
+    /// Look up a key expected to be present.
+    LookupHit(u64),
+    /// Look up a key guaranteed absent.
+    LookupMiss(u64),
+    /// Delete a previously inserted key.
+    Delete(u64),
+}
+
+/// Ratios of an [`OpStream`]; they need not sum to 1, they are weights.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Weight of insertions.
+    pub insert: u32,
+    /// Weight of live-key updates.
+    pub update: u32,
+    /// Weight of present-key lookups.
+    pub lookup_hit: u32,
+    /// Weight of absent-key lookups.
+    pub lookup_miss: u32,
+    /// Weight of deletions.
+    pub delete: u32,
+}
+
+impl OpMix {
+    /// A read-heavy mix: 5% inserts, 85% hit lookups, 9% miss lookups,
+    /// 1% deletes — the "much more lookups than insertions and deletions"
+    /// regime the paper's concurrency section assumes.
+    pub fn read_heavy() -> Self {
+        Self {
+            insert: 5,
+            update: 0,
+            lookup_hit: 85,
+            lookup_miss: 9,
+            delete: 1,
+        }
+    }
+
+    /// YCSB workload A: 50% updates, 50% reads (over live keys).
+    pub fn ycsb_a() -> Self {
+        Self {
+            insert: 0,
+            update: 50,
+            lookup_hit: 50,
+            lookup_miss: 0,
+            delete: 0,
+        }
+    }
+
+    /// YCSB workload B: 5% updates, 95% reads.
+    pub fn ycsb_b() -> Self {
+        Self {
+            insert: 0,
+            update: 5,
+            lookup_hit: 95,
+            lookup_miss: 0,
+            delete: 0,
+        }
+    }
+
+    /// YCSB workload C: read-only.
+    pub fn ycsb_c() -> Self {
+        Self {
+            insert: 0,
+            update: 0,
+            lookup_hit: 1,
+            lookup_miss: 0,
+            delete: 0,
+        }
+    }
+
+    /// Insert-only (table build-up phase).
+    pub fn insert_only() -> Self {
+        Self {
+            insert: 1,
+            update: 0,
+            lookup_hit: 0,
+            lookup_miss: 0,
+            delete: 0,
+        }
+    }
+
+    /// A churn-heavy mix exercising delete paths: 30/30/10/30.
+    pub fn churn() -> Self {
+        Self {
+            insert: 30,
+            update: 0,
+            lookup_hit: 30,
+            lookup_miss: 10,
+            delete: 30,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.insert + self.update + self.lookup_hit + self.lookup_miss + self.delete
+    }
+}
+
+/// Generator of operation sequences that is consistent by construction:
+/// `LookupHit`/`Delete` only reference live keys, `LookupMiss` only
+/// impossible keys, `Insert` only fresh keys.
+#[derive(Debug)]
+pub struct OpStream {
+    mix: OpMix,
+    keys: UniqueKeys,
+    live: Vec<u64>,
+    rng: SplitMix64,
+    misses_issued: u64,
+}
+
+impl OpStream {
+    /// Create a stream with the given mix and seed.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero.
+    pub fn new(mix: OpMix, seed: u64) -> Self {
+        assert!(mix.total() > 0, "op mix must have positive total weight");
+        let mut rng = SplitMix64::new(seed ^ 0x0707_57AE_A11B_EA75);
+        let keys = UniqueKeys::new(rng.next_u64());
+        Self {
+            mix,
+            keys,
+            live: Vec::new(),
+            rng,
+            misses_issued: 0,
+        }
+    }
+
+    /// Number of currently live (inserted, not deleted) keys.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Pre-populate with `n` inserted keys (returned so the consumer can
+    /// apply them to the table first).
+    pub fn preload(&mut self, n: usize) -> Vec<u64> {
+        let fresh = self.keys.take_vec(n);
+        self.live.extend_from_slice(&fresh);
+        fresh
+    }
+
+    /// Produce the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let total = self.mix.total();
+        loop {
+            let roll = self.rng.next_below(total as u64) as u32;
+            if roll < self.mix.insert {
+                let k = self.keys.next_key();
+                self.live.push(k);
+                return Op::Insert(k);
+            } else if roll < self.mix.insert + self.mix.update {
+                if self.live.is_empty() {
+                    continue; // nothing to update yet; re-roll
+                }
+                let i = self.rng.next_below(self.live.len() as u64) as usize;
+                return Op::Update(self.live[i]);
+            } else if roll < self.mix.insert + self.mix.update + self.mix.lookup_hit {
+                if self.live.is_empty() {
+                    continue; // nothing to hit yet; re-roll
+                }
+                let i = self.rng.next_below(self.live.len() as u64) as usize;
+                return Op::LookupHit(self.live[i]);
+            } else if roll
+                < self.mix.insert + self.mix.update + self.mix.lookup_hit + self.mix.lookup_miss
+            {
+                let k = self.keys.absent_key(self.misses_issued);
+                self.misses_issued += 1;
+                return Op::LookupMiss(k);
+            } else {
+                if self.live.is_empty() {
+                    continue;
+                }
+                let i = self.rng.next_below(self.live.len() as u64) as usize;
+                let k = self.live.swap_remove(i);
+                return Op::Delete(k);
+            }
+        }
+    }
+
+    /// Produce `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_is_internally_consistent() {
+        // Replay ops against a set; hits must hit, misses must miss,
+        // deletes must delete live keys, inserts must be fresh.
+        let mut s = OpStream::new(OpMix::churn(), 1);
+        let mut model: HashSet<u64> = s.preload(100).into_iter().collect();
+        for _ in 0..50_000 {
+            match s.next_op() {
+                Op::Insert(k) => assert!(model.insert(k), "insert of existing key"),
+                Op::Update(k) => assert!(model.contains(&k), "update of absent key"),
+                Op::LookupHit(k) => assert!(model.contains(&k), "hit of absent key"),
+                Op::LookupMiss(k) => assert!(!model.contains(&k), "miss of present key"),
+                Op::Delete(k) => assert!(model.remove(&k), "delete of absent key"),
+            }
+        }
+    }
+
+    #[test]
+    fn ratios_are_respected() {
+        let mix = OpMix {
+            insert: 50,
+            update: 0,
+            lookup_hit: 30,
+            lookup_miss: 15,
+            delete: 5,
+        };
+        let mut s = OpStream::new(mix, 2);
+        s.preload(1000);
+        let n = 100_000;
+        let (mut i, mut h, mut m, mut d) = (0u32, 0u32, 0u32, 0u32);
+        for _ in 0..n {
+            match s.next_op() {
+                Op::Insert(_) => i += 1,
+                Op::Update(_) => unreachable!("mix has no updates"),
+                Op::LookupHit(_) => h += 1,
+                Op::LookupMiss(_) => m += 1,
+                Op::Delete(_) => d += 1,
+            }
+        }
+        let frac = |c: u32| c as f64 / n as f64;
+        assert!((frac(i) - 0.50).abs() < 0.02, "insert {}", frac(i));
+        assert!((frac(h) - 0.30).abs() < 0.02, "hit {}", frac(h));
+        assert!((frac(m) - 0.15).abs() < 0.02, "miss {}", frac(m));
+        assert!((frac(d) - 0.05).abs() < 0.02, "delete {}", frac(d));
+    }
+
+    #[test]
+    fn insert_only_never_produces_other_ops() {
+        let mut s = OpStream::new(OpMix::insert_only(), 3);
+        for _ in 0..1000 {
+            assert!(matches!(s.next_op(), Op::Insert(_)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = OpStream::new(OpMix::read_heavy(), 4);
+        let mut b = OpStream::new(OpMix::read_heavy(), 4);
+        a.preload(10);
+        b.preload(10);
+        assert_eq!(a.take_ops(1000), b.take_ops(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_mix_panics() {
+        let _ = OpStream::new(
+            OpMix {
+                insert: 0,
+                update: 0,
+                lookup_hit: 0,
+                lookup_miss: 0,
+                delete: 0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn lookup_heavy_with_empty_table_rerolls_to_valid_ops() {
+        // No preload and tiny insert weight: stream must still make
+        // progress and only emit valid ops.
+        let mut s = OpStream::new(
+            OpMix {
+                insert: 1,
+                update: 0,
+                lookup_hit: 99,
+                lookup_miss: 0,
+                delete: 0,
+            },
+            5,
+        );
+        let mut model = HashSet::new();
+        for _ in 0..1000 {
+            match s.next_op() {
+                Op::Insert(k) => {
+                    model.insert(k);
+                }
+                Op::LookupHit(k) => assert!(model.contains(&k)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn ycsb_a_balances_updates_and_reads() {
+        let mut s = OpStream::new(OpMix::ycsb_a(), 6);
+        s.preload(500);
+        let n = 20_000;
+        let (mut u, mut h) = (0u32, 0u32);
+        for _ in 0..n {
+            match s.next_op() {
+                Op::Update(_) => u += 1,
+                Op::LookupHit(_) => h += 1,
+                other => unreachable!("unexpected {other:?}"),
+            }
+        }
+        let frac = u as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "update fraction {frac}");
+        assert_eq!(u + h, n);
+    }
+
+    #[test]
+    fn updates_only_reference_live_keys() {
+        let mut s = OpStream::new(OpMix::ycsb_b(), 7);
+        let live: std::collections::HashSet<u64> = s.preload(200).into_iter().collect();
+        for _ in 0..5_000 {
+            match s.next_op() {
+                Op::Update(k) | Op::LookupHit(k) => assert!(live.contains(&k)),
+                other => unreachable!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Zipf-distributed sampling over `{1, …, n}`.
+//!
+//! Implements the rejection-inversion method of Hörmann & Derflinger
+//! ("Rejection-inversion to generate variates from monotone discrete
+//! distributions", 1996) — the same algorithm used by the Apache Commons
+//! and `rand_distr` samplers — built from scratch on the workspace's
+//! SplitMix64 stream. Word frequencies in real bag-of-words corpora are
+//! famously Zipfian, which is why the DocWords substitute uses this.
+
+use hash_kit::splitmix::SplitMix64;
+
+/// Zipf sampler: `P(k) ∝ 1 / k^s` for `k ∈ {1, …, n}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion sampler.
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+    rng: SplitMix64,
+}
+
+impl Zipf {
+    /// Create a sampler for `n` items with exponent `s > 0`, `s != 1` is
+    /// handled as well as the harmonic case `s == 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "zipf exponent must be positive");
+        let mut z = Self {
+            n,
+            s,
+            h_integral_x1: 0.0,
+            h_integral_n: 0.0,
+            threshold: 0.0,
+            rng: SplitMix64::new(seed ^ 0x71BF_00D5_21F0_3A7E),
+        };
+        z.h_integral_x1 = z.h_integral(1.5) - 1.0;
+        z.h_integral_n = z.h_integral(n as f64 + 0.5);
+        // Acceptance-shortcut constant of Hörmann & Derflinger:
+        // s = 2 − H⁻¹(H(2.5) − h(2)).
+        z.threshold = 2.0 - z.h_integral_inverse(z.h_integral(2.5) - z.h(2.0));
+        z
+    }
+
+    /// H(x) = ∫ h, with h(x) = 1/x^s; closed forms for s == 1 and s != 1.
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - self.s) * log_x) * log_x
+    }
+
+    /// h(x) = 1/x^s = exp(-s ln x)
+    fn h(&self, x: f64) -> f64 {
+        (-self.s * x.ln()).exp()
+    }
+
+    /// Inverse of `h_integral`.
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.s);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draw one sample in `{1, …, n}`.
+    pub fn sample(&mut self) -> u64 {
+        loop {
+            let u01 = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u = self.h_integral_n + u01 * (self.h_integral_x1 - self.h_integral_n);
+            let x = self.h_integral_inverse(u);
+            let mut k = (x + 0.5) as u64;
+            k = k.clamp(1, self.n);
+            if (k as f64 - x) <= self.threshold
+                || u >= self.h_integral(k as f64 + 0.5) - self.h(k as f64)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+/// helper1(x) = ln(1+x)/x, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// helper2(x) = (exp(x)-1)/x, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut z = Zipf::new(100, 1.0, 5);
+        for _ in 0..50_000 {
+            let k = z.sample();
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let mut z = Zipf::new(1000, 1.0, 6);
+        let mut count1 = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample() == 1 {
+                count1 += 1;
+            }
+        }
+        // For s=1, n=1000: P(1) = 1/H(1000) ≈ 1/7.485 ≈ 0.1336.
+        let frac = count1 as f64 / n as f64;
+        assert!((frac - 0.1336).abs() < 0.01, "P(1) ≈ {frac}");
+    }
+
+    #[test]
+    fn frequencies_are_monotone_decreasing() {
+        let mut z = Zipf::new(50, 1.2, 7);
+        let mut counts = [0u64; 51];
+        for _ in 0..200_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        // Compare rank buckets rather than individual ranks to avoid noise.
+        let head: u64 = counts[1..=5].iter().sum();
+        let mid: u64 = counts[6..=15].iter().sum();
+        let tail: u64 = counts[16..=50].iter().sum();
+        assert!(head > mid, "head {head} mid {mid}");
+        assert!(mid > tail, "mid {mid} tail {tail}");
+    }
+
+    #[test]
+    fn degenerate_single_item_domain() {
+        let mut z = Zipf::new(1, 1.5, 8);
+        for _ in 0..100 {
+            assert_eq!(z.sample(), 1);
+        }
+    }
+
+    #[test]
+    fn matches_exact_distribution_for_small_n() {
+        // Chi-square-style comparison against exact probabilities, n=10, s=2.
+        let n = 10u64;
+        let s = 2.0;
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let mut z = Zipf::new(n, s, 9);
+        let trials = 200_000u64;
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..trials {
+            counts[z.sample() as usize] += 1;
+        }
+        for k in 1..=n {
+            let expect = (k as f64).powf(-s) / norm * trials as f64;
+            let got = counts[k as usize] as f64;
+            // Allow 5 sigma-ish slack on each cell.
+            let sigma = expect.sqrt().max(3.0);
+            assert!(
+                (got - expect).abs() < 6.0 * sigma + 0.01 * expect,
+                "rank {k}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Zipf::new(100, 1.0, 4);
+        let mut b = Zipf::new(100, 1.0, 4);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn bad_exponent_panics() {
+        let _ = Zipf::new(10, 0.0, 0);
+    }
+}

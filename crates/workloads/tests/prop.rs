@@ -1,0 +1,81 @@
+//! Property-based tests over the workload generators.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use workloads::{DocWordsLike, Op, OpMix, OpStream, UniqueKeys, Zipf};
+
+proptest! {
+    /// Any window of the UniqueKeys stream is collision-free, and
+    /// random access agrees with sequential generation.
+    #[test]
+    fn unique_keys_windows(seed in any::<u64>(), start in 0u64..1_000_000, len in 1usize..2_000) {
+        let gen = UniqueKeys::new(seed);
+        let mut seen = HashSet::with_capacity(len);
+        for i in 0..len as u64 {
+            prop_assert!(seen.insert(gen.key_at(start + i)));
+        }
+    }
+
+    /// Absent keys never collide with any prefix window they are asked
+    /// to avoid.
+    #[test]
+    fn absent_keys_disjoint(seed in any::<u64>(), n in 1usize..3_000, j in 0u64..10_000) {
+        let mut gen = UniqueKeys::new(seed);
+        let prefix: HashSet<u64> = gen.take_vec(n).into_iter().collect();
+        prop_assert!(!prefix.contains(&gen.absent_key(j)));
+    }
+
+    /// Zipf samples stay in domain for arbitrary (n, s) parameters.
+    #[test]
+    fn zipf_domain(n in 1u64..100_000, s in 0.1f64..4.0, seed in any::<u64>()) {
+        let mut z = Zipf::new(n, s, seed);
+        for _ in 0..200 {
+            let v = z.sample();
+            prop_assert!((1..=n).contains(&v));
+        }
+    }
+
+    /// DocWords keys are distinct and their word IDs respect the
+    /// vocabulary for arbitrary corpus shapes.
+    #[test]
+    fn docwords_shape(
+        vocab in 2u64..5_000,
+        words in 1u64..100,
+        seed in any::<u64>(),
+    ) {
+        let words = words.min(vocab);
+        let mut g = DocWordsLike::new(vocab, words, 1.0, seed);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let k = g.next_key();
+            prop_assert!(seen.insert(k), "duplicate key");
+            let (_, w) = DocWordsLike::unpack(k);
+            prop_assert!((w as u64) < vocab);
+        }
+    }
+
+    /// OpStream sequences are consistent for arbitrary non-degenerate
+    /// mixes: hits hit, misses miss, deletes target live keys, inserts
+    /// are fresh.
+    #[test]
+    fn op_stream_consistency(
+        insert in 1u32..50,
+        update in 0u32..50,
+        hit in 0u32..50,
+        miss in 0u32..50,
+        delete in 0u32..50,
+        seed in any::<u64>(),
+    ) {
+        let mix = OpMix { insert, update, lookup_hit: hit, lookup_miss: miss, delete };
+        let mut s = OpStream::new(mix, seed);
+        let mut model: HashSet<u64> = s.preload(20).into_iter().collect();
+        for _ in 0..1_000 {
+            match s.next_op() {
+                Op::Insert(k) => prop_assert!(model.insert(k)),
+                Op::Update(k) | Op::LookupHit(k) => prop_assert!(model.contains(&k)),
+                Op::LookupMiss(k) => prop_assert!(!model.contains(&k)),
+                Op::Delete(k) => prop_assert!(model.remove(&k)),
+            }
+        }
+    }
+}

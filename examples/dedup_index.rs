@@ -1,0 +1,119 @@
+//! Inline-deduplication fingerprint index (the ChunkStash scenario,
+//! paper ref \[5\]) plus multiset indexing (§III.H).
+//!
+//! A storage node chunkifies incoming streams, fingerprints each chunk,
+//! and asks the index: *have I stored this chunk before?* Most chunks
+//! are new, so the common case is a **negative** lookup — exactly the
+//! case McCuckoo's counter Bloom-filtering makes nearly free. Duplicate
+//! fingerprints can legitimately repeat (same chunk written to multiple
+//! volumes); [`MultisetIndex`] tracks every reference through its record
+//! arena, as §III.H prescribes.
+//!
+//! ```sh
+//! cargo run --release --example dedup_index
+//! ```
+
+use mccuckoo_suite::mccuckoo_core::{DeletionMode, McConfig};
+use mccuckoo_suite::{MultisetIndex, UniqueKeys};
+
+/// Where a deduplicated chunk lives on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkRef {
+    volume: u32,
+    offset: u64,
+}
+
+fn main() {
+    const TABLE_N: usize = 1 << 16;
+    const UNIQUE_CHUNKS: usize = 120_000;
+    const DUP_RATE_PCT: u64 = 30; // 30% of writes are duplicates
+
+    let mut index: MultisetIndex<u64, ChunkRef> =
+        MultisetIndex::new(McConfig::paper(TABLE_N, 21).with_deletion(DeletionMode::Reset));
+
+    // Ingest a write stream: new chunks get fresh fingerprints,
+    // duplicates re-reference an earlier one.
+    let mut fingerprints = UniqueKeys::new(22);
+    let mut known: Vec<u64> = Vec::new();
+    let mut rng = mccuckoo_suite::hash_kit::SplitMix64::new(23);
+    let mut dedup_hits = 0u64;
+    let mut stored = 0u64;
+    let mut offset = 0u64;
+    while known.len() < UNIQUE_CHUNKS {
+        let dup = !known.is_empty() && rng.next_below(100) < DUP_RATE_PCT;
+        let fp = if dup {
+            known[rng.next_below(known.len() as u64) as usize]
+        } else {
+            let fp = fingerprints.next_key();
+            known.push(fp);
+            fp
+        };
+        if dup {
+            dedup_hits += 1;
+        } else {
+            stored += 1;
+        }
+        let volume = (rng.next_below(8)) as u32;
+        index
+            .push(fp, ChunkRef { volume, offset })
+            .expect("index insert");
+        offset += 4096;
+    }
+    println!(
+        "ingested {} writes: {stored} unique chunks stored, {dedup_hits} deduplicated",
+        stored + dedup_hits
+    );
+    println!(
+        "index: {} fingerprints, {} total references ({:.1}% table load)",
+        index.distinct_keys(),
+        index.len(),
+        index.distinct_keys() as f64 / (3 * TABLE_N) as f64 * 100.0
+    );
+
+    // The hot path: is this (mostly new) chunk a duplicate? Count how
+    // many of the negative probes touched memory at all.
+    let probes = 100_000u64;
+    let mut negative_refs = 0u64;
+    for j in 0..probes {
+        let fresh = fingerprints.absent_key(j);
+        if index.count(&fresh) != 0 {
+            negative_refs += 1;
+        }
+    }
+    assert_eq!(negative_refs, 0, "fresh fingerprints must miss");
+    println!("{probes} new-chunk probes correctly reported as not-yet-stored");
+
+    // Garbage collection: a volume is deleted; drop its references and
+    // reclaim fingerprints whose reference count hits zero.
+    let victim_volume = 3u32;
+    let mut reclaimed = 0u64;
+    let mut retained = 0u64;
+    for fp in known.clone() {
+        let refs: Vec<ChunkRef> = index.get_all(&fp).copied().collect();
+        if refs.iter().any(|r| r.volume == victim_volume) {
+            let survivors: Vec<ChunkRef> = refs
+                .iter()
+                .copied()
+                .filter(|r| r.volume != victim_volume)
+                .collect();
+            index.remove_all(&fp);
+            if survivors.is_empty() {
+                reclaimed += 1;
+            } else {
+                retained += 1;
+                for r in survivors {
+                    index.push(fp, r).expect("reinsert survivor");
+                }
+            }
+        }
+    }
+    println!(
+        "GC of volume {victim_volume}: {reclaimed} chunks reclaimed, \
+         {retained} retained with surviving references"
+    );
+    println!(
+        "index after GC: {} fingerprints, {} references",
+        index.distinct_keys(),
+        index.len()
+    );
+}

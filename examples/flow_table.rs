@@ -1,0 +1,162 @@
+//! Network flow table — the paper's motivating deployment.
+//!
+//! ASIC/FPGA packet processors keep per-flow state in huge hash tables
+//! that only fit in slow off-chip memory (§I, §II of the paper). Every
+//! packet triggers a lookup; flow arrivals insert; flow expiry deletes.
+//! The metric that matters is *off-chip accesses per packet*. This
+//! example models an edge device tracking 5-tuple flows with a
+//! McCuckoo table at high load, alongside a standard cuckoo table for
+//! contrast.
+//!
+//! ```sh
+//! cargo run --release --example flow_table
+//! ```
+
+use mccuckoo_suite::cuckoo_baselines::{CuckooConfig, DaryCuckoo};
+use mccuckoo_suite::hash_kit::lookup3;
+use mccuckoo_suite::mccuckoo_core::{DeletionMode, McConfig, McCuckoo};
+use mccuckoo_suite::workloads::Zipf;
+use mccuckoo_suite::KeyHash;
+use mccuckoo_suite::PlatformModel;
+
+/// An IPv4 5-tuple. Implements [`KeyHash`] by feeding its packed bytes
+/// to the Jenkins lookup3 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FiveTuple {
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    proto: u8,
+}
+
+impl FiveTuple {
+    fn pack(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.proto;
+        b
+    }
+}
+
+impl KeyHash for FiveTuple {
+    fn hash_seeded(&self, seed: u64) -> u64 {
+        lookup3::hash_bytes_u64(&self.pack(), seed)
+    }
+}
+
+/// Per-flow state a real device would keep.
+#[derive(Debug, Clone, Default)]
+struct FlowState {
+    packets: u64,
+    bytes: u64,
+}
+
+fn synth_flow(i: u64) -> FiveTuple {
+    let h = mccuckoo_suite::hash_kit::mix64(i.wrapping_mul(0x9E37_79B9) + 1);
+    FiveTuple {
+        src_ip: (h >> 32) as u32,
+        dst_ip: h as u32,
+        src_port: (h >> 16) as u16,
+        dst_port: (h >> 48) as u16 | 1,
+        proto: if h & 1 == 0 { 6 } else { 17 },
+    }
+}
+
+fn main() {
+    const TABLE_N: usize = 65_536; // 3 × 64k buckets off-chip
+    const ACTIVE_FLOWS: usize = 160_000; // ~81% load
+    const PACKETS: u64 = 1_000_000;
+
+    let mut mc: McCuckoo<FiveTuple, FlowState> =
+        McCuckoo::new(McConfig::paper(TABLE_N, 1).with_deletion(DeletionMode::Reset));
+    let mut base: DaryCuckoo<FiveTuple, FlowState> =
+        DaryCuckoo::new(CuckooConfig::paper(TABLE_N, 1));
+
+    // Install the active flow set.
+    for i in 0..ACTIVE_FLOWS as u64 {
+        let f = synth_flow(i);
+        mc.insert_new(f, FlowState::default()).unwrap();
+        base.insert(f, FlowState::default()).ok();
+    }
+    println!(
+        "flow table at {:.1}% load ({} flows, {} stashed)",
+        mc.load_ratio() * 100.0,
+        mc.len(),
+        mc.stash_len()
+    );
+
+    // Packet arrivals: Zipf-popular flows + 2% scans (absent flows) +
+    // churn (0.5% of packets close one flow and open another).
+    let mut zipf = Zipf::new(ACTIVE_FLOWS as u64, 1.1, 2);
+    let mut rng = mccuckoo_suite::hash_kit::SplitMix64::new(3);
+    let mc_before = mc.meter().snapshot();
+    let base_before = base.meter().snapshot();
+    let mut next_flow = ACTIVE_FLOWS as u64;
+    let mut opened = 0u64;
+    for p in 0..PACKETS {
+        let roll = rng.next_below(1000);
+        if roll < 20 {
+            // Port scan: flow that does not exist.
+            let probe = synth_flow(u64::MAX - p);
+            assert!(mc.get(&probe).is_none());
+            assert!(base.get(&probe).is_none());
+        } else if roll < 25 {
+            // Flow churn: expire a random old flow, admit a new one.
+            let old = synth_flow(rng.next_below(next_flow));
+            if mc.remove(&old).is_some() {
+                base.remove(&old);
+                let newf = synth_flow(next_flow);
+                next_flow += 1;
+                opened += 1;
+                let _ = mc.insert_new(newf, FlowState::default());
+                let _ = base.insert(newf, FlowState::default());
+            }
+        } else {
+            // Data packet on a popular live flow.
+            let f = synth_flow(zipf.sample() - 1);
+            if let Some(state) = mc.get(&f) {
+                // A real datapath would update counters in place; the
+                // lookup cost is what we model.
+                let _ = (state.packets, state.bytes);
+            }
+            let _ = base.get(&f);
+        }
+    }
+    let mc_delta = mc.meter().snapshot() - mc_before;
+    let base_delta = base.meter().snapshot() - base_before;
+
+    let per_pkt = |d: mccuckoo_suite::MemStats| d.offchip_total() as f64 / PACKETS as f64;
+    println!("\nper-packet off-chip accesses over {PACKETS} packets ({opened} flows churned):");
+    println!("  standard Cuckoo : {:.4}", per_pkt(base_delta));
+    println!("  McCuckoo        : {:.4}", per_pkt(mc_delta));
+    println!(
+        "\nnote: this Zipf-skewed mix is a case the paper's uniform workloads\n\
+         never exercise — the popular flows are the *earliest* inserts, which\n\
+         standard cuckoo leaves sitting at their first candidate (1 probe),\n\
+         while a McCuckoo item whose redundancy has decayed to one copy keeps\n\
+         that copy at an arbitrary candidate (~2 probes expected). Averaged\n\
+         over uniform keys McCuckoo probes less (Fig. 12); under heavy skew\n\
+         toward early keys the ordering can invert, as it may here. See\n\
+         EXPERIMENTS.md §Findings."
+    );
+
+    // What that means on the paper's FPGA-class line card.
+    let platform = PlatformModel::stratix_v();
+    let mc_ns = platform.cost(mc_delta, 32, PACKETS).ns_per_op();
+    let base_ns = platform.cost(base_delta, 32, PACKETS).ns_per_op();
+    println!("\nmodelled per-packet table latency (32 B flow records):");
+    println!(
+        "  standard Cuckoo : {base_ns:.1} ns  (~{:.2} Mpps)",
+        1000.0 / base_ns
+    );
+    println!(
+        "  McCuckoo        : {mc_ns:.1} ns  (~{:.2} Mpps)",
+        1000.0 / mc_ns
+    );
+
+    mc.check_invariants().expect("flow table consistent");
+}

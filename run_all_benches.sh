@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper at full scale.
+# Results land in results/*.csv and results/full_run.txt.
+set -e
+cd "$(dirname "$0")"
+: "${MCB_CAP:=393216}" "${MCB_RUNS:=5}" "${MCB_LOOKUPS:=100000}"
+export MCB_CAP MCB_RUNS MCB_LOOKUPS
+BINS="table1_first_collision fig9_kickouts fig10_insert_access fig11_first_failure \
+fig12_lookup_hit fig13_lookup_miss fig14_delete table2_stash_single table3_stash_blocked \
+fig15_insert_latency fig16_lookup_latency ablation_counters ablation_pruning \
+ablation_deletion ablation_stash_screen ablation_hash_family ablation_chs ablation_pipeline ablation_onchip"
+mkdir -p results
+: > results/full_run.txt
+for b in $BINS; do
+    echo "=== $b (cap=$MCB_CAP runs=$MCB_RUNS) ===" | tee -a results/full_run.txt
+    cargo run -q --release -p mccuckoo-bench --bin "$b" 2>&1 | tee -a results/full_run.txt
+    echo | tee -a results/full_run.txt
+done
+echo "all experiments complete" | tee -a results/full_run.txt

@@ -1,0 +1,25 @@
+//! # mccuckoo-suite — the umbrella crate of the McCuckoo reproduction
+//!
+//! This crate hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`), and re-exports the workspace's
+//! public surface for convenience:
+//!
+//! * [`mccuckoo_core`] — the paper's contribution: [`McCuckoo`],
+//!   [`BlockedMcCuckoo`], [`ConcurrentMcCuckoo`], [`MultisetIndex`];
+//! * [`cuckoo_baselines`] — standard [`DaryCuckoo`] and [`Bcht`];
+//! * [`hash_kit`] — the hash families (Jenkins "BOB hash" et al.);
+//! * [`mem_model`] — access metering and the FPGA-substitute latency
+//!   model;
+//! * [`workloads`] — DocWords-like dataset substitutes and op streams;
+//! * [`mccuckoo_bench`] — the table/figure reproduction harness.
+//!
+//! Run the examples with e.g. `cargo run --release --example quickstart`.
+
+pub use cuckoo_baselines::{self, Bcht, DaryCuckoo};
+pub use hash_kit::{self, KeyHash};
+pub use mccuckoo_bench;
+pub use mccuckoo_core::{
+    self, BlockedMcCuckoo, ConcurrentMcCuckoo, McConfig, McCuckoo, MultisetIndex,
+};
+pub use mem_model::{self, MemStats, PlatformModel};
+pub use workloads::{self, DocWordsLike, UniqueKeys};

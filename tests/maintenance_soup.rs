@@ -1,0 +1,99 @@
+//! Maintenance-operation soup: interleave the heavyweight maintenance
+//! paths (rehash, grow, stash refresh, snapshot/restore, clear) with
+//! ordinary operations under a model check. These paths rebuild large
+//! parts of the structure; any bookkeeping slip shows up as a model
+//! divergence or an invariant failure.
+
+use std::collections::HashMap;
+
+use hash_kit::SplitMix64;
+use mccuckoo_core::{DeletionMode, McConfig, McCuckoo};
+use workloads::UniqueKeys;
+
+#[test]
+fn maintenance_soup_against_model() {
+    let mut t: McCuckoo<u64, u64> = McCuckoo::new(
+        McConfig::paper(512, 1)
+            .with_maxloop(50)
+            .with_deletion(DeletionMode::Reset),
+    );
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut keys = UniqueKeys::new(2);
+    let mut rng = SplitMix64::new(3);
+    let mut live: Vec<u64> = Vec::new();
+    let mut rehashes = 0u32;
+    let mut snapshots = 0u32;
+
+    for step in 0..30_000u64 {
+        match rng.next_below(100) {
+            // Ordinary operations dominate.
+            0..=39 => {
+                let k = keys.next_key();
+                t.insert_new(k, step).unwrap();
+                model.insert(k, step);
+                live.push(k);
+            }
+            40..=59 if !live.is_empty() => {
+                let i = rng.next_below(live.len() as u64) as usize;
+                assert_eq!(t.get(&live[i]), model.get(&live[i]));
+            }
+            60..=74 if !live.is_empty() => {
+                let i = rng.next_below(live.len() as u64) as usize;
+                let k = live.swap_remove(i);
+                assert_eq!(t.remove(&k), model.remove(&k));
+            }
+            75..=84 if !live.is_empty() => {
+                // Upsert churn on a live key.
+                let i = rng.next_below(live.len() as u64) as usize;
+                let k = live[i];
+                t.insert(k, step).unwrap();
+                model.insert(k, step);
+            }
+            // Maintenance events.
+            85..=89 => {
+                t.refresh_stash();
+            }
+            90..=93 => {
+                t.rehash(None, step ^ 0xABCD).unwrap();
+                rehashes += 1;
+            }
+            94 => {
+                // Occasionally resize: up if loaded, down if sparse.
+                let target = if t.load_ratio() > 0.6 {
+                    t.buckets_per_table() * 2
+                } else {
+                    (t.buckets_per_table() / 2).max(256)
+                };
+                t.rehash(Some(target), step ^ 0x1234).unwrap();
+                rehashes += 1;
+            }
+            95..=96 => {
+                // Snapshot round-trip: the restored table replaces the
+                // live one mid-stream.
+                let snap = t.to_snapshot();
+                t = McCuckoo::from_snapshot(snap);
+                snapshots += 1;
+            }
+            97 if live.len() < 50 => {
+                // Rare full clear while small (keeps the test fast).
+                t.clear();
+                model.clear();
+                live.clear();
+            }
+            _ => {
+                let k = keys.absent_key(step);
+                assert_eq!(t.get(&k), None);
+            }
+        }
+        if step % 5_000 == 0 {
+            t.check_invariants().unwrap();
+            assert_eq!(t.len(), model.len(), "step {step}");
+        }
+    }
+    assert!(rehashes > 0 && snapshots > 0, "maintenance paths exercised");
+    assert_eq!(t.len(), model.len());
+    for (k, v) in &model {
+        assert_eq!(t.get(k), Some(v));
+    }
+    t.check_invariants().unwrap();
+}

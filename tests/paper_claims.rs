@@ -1,0 +1,258 @@
+//! The paper's qualitative claims, encoded as executable assertions.
+//!
+//! Each test pins one headline behaviour from the evaluation (§IV) at a
+//! reduced scale: the *shape* must hold (who wins, roughly by how much,
+//! where crossovers fall), not the absolute numbers.
+
+use mccuckoo_bench::harness::{
+    fill_sweep, first_collision_load, first_failure_load, mean, measure_deletions,
+    measure_lookup_hits, measure_lookup_misses,
+};
+use mccuckoo_bench::{AnyTable, Scheme};
+
+const CAP: usize = 45_000;
+const RUNS: u64 = 3;
+
+fn averaged(scheme: Scheme, f: impl Fn(u64) -> f64) -> f64 {
+    let _ = scheme;
+    mean((0..RUNS).map(f))
+}
+
+/// Table I: first collision comes in the order
+/// Cuckoo < McCuckoo < BCHT < B-McCuckoo, with meaningful gaps.
+#[test]
+fn table1_first_collision_ordering() {
+    let mut loads = Vec::new();
+    for scheme in Scheme::ALL {
+        loads.push(averaged(scheme, |r| {
+            let mut t = AnyTable::build(scheme, CAP, 300 + r, 500, false);
+            first_collision_load(&mut t, 310 + r)
+        }));
+    }
+    assert!(
+        loads[1] > loads[0] * 1.3,
+        "McCuckoo {} should defer the first collision well past Cuckoo {}",
+        loads[1],
+        loads[0]
+    );
+    assert!(
+        loads[2] > loads[1],
+        "BCHT {} > McCuckoo {}",
+        loads[2],
+        loads[1]
+    );
+    assert!(
+        loads[3] > loads[2] * 1.1,
+        "B-McCuckoo {} > BCHT {}",
+        loads[3],
+        loads[2]
+    );
+}
+
+/// Fig. 9: at 85% load McCuckoo kicks at least 40% less than Cuckoo;
+/// at 95% B-McCuckoo kicks at least 60% less than BCHT (paper: 59.3%
+/// and 77.9%).
+#[test]
+fn fig9_kickout_reductions() {
+    let kicks_at = |scheme: Scheme, band: f64, seed: u64| {
+        let mut t = AnyTable::build(scheme, CAP, seed, 500, false);
+        let pre = (band - 0.05).max(0.05);
+        let stats = fill_sweep(&mut t, &[pre, band], seed + 7, |_, _| {});
+        stats[1].kickouts_per_insert
+    };
+    let c = mean((0..RUNS).map(|r| kicks_at(Scheme::Cuckoo, 0.85, 320 + r)));
+    let m = mean((0..RUNS).map(|r| kicks_at(Scheme::McCuckoo, 0.85, 320 + r)));
+    assert!(
+        m < c * 0.6,
+        "McCuckoo kicks {m:.2} not under 60% of Cuckoo's {c:.2} at 85%"
+    );
+    let b = mean((0..RUNS).map(|r| kicks_at(Scheme::Bcht, 0.95, 330 + r)));
+    let bm = mean((0..RUNS).map(|r| kicks_at(Scheme::BMcCuckoo, 0.95, 330 + r)));
+    assert!(
+        bm < b * 0.4,
+        "B-McCuckoo kicks {bm:.3} not under 40% of BCHT's {b:.3} at 95%"
+    );
+}
+
+/// Fig. 10a: McCuckoo's insertion reads are near zero at low load (the
+/// counters expose empty buckets) while Cuckoo always probes.
+#[test]
+fn fig10_low_load_insert_reads() {
+    let mut mc = AnyTable::build(Scheme::McCuckoo, CAP, 340, 500, false);
+    let mc_stats = fill_sweep(&mut mc, &[0.10], 341, |_, _| {});
+    // Not exactly zero: principle-3 overwrites must read their victim
+    // once, and a few occur even this early.
+    assert!(
+        mc_stats[0].reads_per_insert < 0.15,
+        "McCuckoo reads/insert at 10% load: {}",
+        mc_stats[0].reads_per_insert
+    );
+    let mut c = AnyTable::build(Scheme::Cuckoo, CAP, 340, 500, false);
+    let c_stats = fill_sweep(&mut c, &[0.10], 341, |_, _| {});
+    assert!(
+        c_stats[0].reads_per_insert >= 1.0,
+        "Cuckoo must read at least one bucket per insert"
+    );
+}
+
+/// Fig. 10b: multi-copy writes start ~3 per insert and cross below the
+/// single-copy writes before very high load.
+#[test]
+fn fig10_write_crossover() {
+    let bands: Vec<f64> = (1..=17).map(|i| i as f64 * 0.05).collect();
+    let mut mc = AnyTable::build(Scheme::McCuckoo, CAP, 350, 500, false);
+    let mc_stats = fill_sweep(&mut mc, &bands, 351, |_, _| {});
+    let mut c = AnyTable::build(Scheme::Cuckoo, CAP, 350, 500, false);
+    let c_stats = fill_sweep(&mut c, &bands, 351, |_, _| {});
+    assert!(
+        mc_stats[0].writes_per_insert > 2.5,
+        "multi-copy starts ~3 writes"
+    );
+    assert!(
+        c_stats[0].writes_per_insert <= 1.05,
+        "single-copy starts ~1 write"
+    );
+    let crossover = mc_stats
+        .iter()
+        .zip(&c_stats)
+        .find(|(m, c)| m.writes_per_insert <= c.writes_per_insert)
+        .map(|(m, _)| m.load);
+    let crossover = crossover.expect("multi-copy writes must cross below single-copy");
+    assert!(
+        (0.3..=0.75).contains(&crossover),
+        "crossover at {crossover}, paper says about half load"
+    );
+}
+
+/// Fig. 11: with the same maxloop budget, multi-copy reaches a higher
+/// failure-free load than its single-copy counterpart (on average).
+#[test]
+fn fig11_failure_free_load() {
+    let f = |scheme: Scheme, ml: u32| {
+        mean((0..RUNS).map(|r| {
+            let mut t = AnyTable::build(scheme, CAP, 360 + r, ml, false);
+            first_failure_load(&mut t, 370 + r)
+        }))
+    };
+    for ml in [50u32, 200] {
+        let c = f(Scheme::Cuckoo, ml);
+        let m = f(Scheme::McCuckoo, ml);
+        assert!(
+            m > c - 0.01,
+            "maxloop {ml}: McCuckoo {m} should be at or above Cuckoo {c}"
+        );
+    }
+}
+
+/// Fig. 12: fewer reads per hit lookup for McCuckoo than Cuckoo at
+/// moderate-to-high load.
+#[test]
+fn fig12_hit_lookup_reads() {
+    for band in [0.5f64, 0.8] {
+        let run = |scheme: Scheme| {
+            let mut t = AnyTable::build(scheme, CAP, 380, 500, false);
+            fill_sweep(&mut t, &[band], 381, |_, _| {});
+            let inserted = (band * CAP as f64).round() as u64;
+            measure_lookup_hits(&t, 381, inserted, 20_000)
+        };
+        let c = run(Scheme::Cuckoo);
+        let m = run(Scheme::McCuckoo);
+        assert!(m < c, "band {band}: McCuckoo {m} reads ≥ Cuckoo {c}");
+    }
+}
+
+/// Fig. 13: absent-key lookups — Cuckoo always pays d reads; McCuckoo
+/// pays far less (Bloom screening), increasing with load.
+#[test]
+fn fig13_miss_lookup_reads() {
+    let run = |scheme: Scheme, band: f64| {
+        let mut t = AnyTable::build(scheme, CAP, 390, 500, false);
+        fill_sweep(&mut t, &[band], 391, |_, _| {});
+        measure_lookup_misses(&t, 391, 20_000).0
+    };
+    assert!((run(Scheme::Cuckoo, 0.5) - 3.0).abs() < 1e-9);
+    let low = run(Scheme::McCuckoo, 0.3);
+    let high = run(Scheme::McCuckoo, 0.85);
+    assert!(low < 0.6, "McCuckoo misses at 30% load cost {low} reads");
+    assert!(high < 2.6, "McCuckoo misses at 85% load cost {high} reads");
+    assert!(low < high, "screening power must decay with load");
+}
+
+/// Fig. 14: multi-copy deletion writes nothing off-chip while the
+/// single-copy baselines always pay exactly one write.
+///
+/// Deviation from the paper, documented in EXPERIMENTS.md: the paper
+/// reports *more* reads per multi-copy deletion ("more read is required
+/// to confirm all the existing copies"); our implementation applies the
+/// partition-counting shortcut — once the remaining copies are pinned by
+/// counting, they need no reads — so its deletion reads come out at or
+/// below the baseline's. We assert the stronger property.
+#[test]
+fn fig14_deletion_costs() {
+    let run = |scheme: Scheme| {
+        let mut t = AnyTable::build(scheme, CAP, 400, 500, true);
+        fill_sweep(&mut t, &[0.6], 401, |_, _| {});
+        let inserted = (0.6 * CAP as f64).round() as u64;
+        measure_deletions(&mut t, 401, inserted, 10_000)
+    };
+    let (c_reads, c_writes) = run(Scheme::Cuckoo);
+    let (m_reads, m_writes) = run(Scheme::McCuckoo);
+    assert_eq!(m_writes, 0.0, "McCuckoo deletion writes off-chip");
+    assert_eq!(c_writes, 1.0, "Cuckoo deletion is exactly one write");
+    assert!(m_reads >= 1.0, "at least the found copy is read");
+    assert!(
+        m_reads < c_reads * 1.5,
+        "counting shortcut keeps deletion reads bounded: {m_reads} vs {c_reads}"
+    );
+}
+
+/// Tables II–III: at overload the stash absorbs failures, larger
+/// maxloop shrinks it, and absent-key queries almost never visit it.
+#[test]
+fn tables2_3_stash_behaviour() {
+    let run = |scheme: Scheme, band: f64, ml: u32| {
+        let mut t = AnyTable::build(scheme, CAP, 410, ml, false);
+        fill_sweep(&mut t, &[band], 411, |_, _| {});
+        let (_, delta) = measure_lookup_misses(&t, 411, 20_000);
+        (t.stash_len(), delta.stash_visits as f64 / 20_000.0)
+    };
+    let (stash_200, visits_200) = run(Scheme::McCuckoo, 0.93, 200);
+    let (stash_500, _) = run(Scheme::McCuckoo, 0.93, 500);
+    assert!(stash_200 > 0, "93% load must overflow into the stash");
+    assert!(
+        stash_500 <= stash_200,
+        "bigger budget cannot grow the stash: {stash_500} > {stash_200}"
+    );
+    assert!(
+        visits_200 < 0.01,
+        "screening must keep stash visits rare, got {visits_200}"
+    );
+    // Blocked variant barely needs the stash even at 99.5%.
+    let (b_stash, b_visits) = run(Scheme::BMcCuckoo, 0.995, 500);
+    assert!(
+        b_stash < CAP / 200,
+        "B-McCuckoo stash at 99.5%: {b_stash} items"
+    );
+    assert!(b_visits < 0.01);
+}
+
+/// Theorem 2: proactive redundant writes over a full build stay under
+/// S·5/6 for d = 3 (checked on the real structure, not the model).
+#[test]
+fn theorem2_bound_holds_at_scale() {
+    use mccuckoo_core::{McConfig, McCuckoo};
+    use workloads::DocWordsLike;
+    let n = CAP / 3;
+    let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(n, 420));
+    let mut gen = DocWordsLike::nytimes_like(421);
+    for _ in 0..(3 * n) * 95 / 100 {
+        let k = gen.next_key();
+        let _ = t.insert_new(k, k);
+    }
+    let bound = (3 * n) as f64 * 5.0 / 6.0;
+    assert!(
+        (t.redundant_writes() as f64) <= bound,
+        "redundant writes {} > bound {bound}",
+        t.redundant_writes()
+    );
+}
