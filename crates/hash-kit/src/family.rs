@@ -16,13 +16,13 @@
 //! Bucket reduction uses the multiply-high ("fastrange") method so that
 //! non-power-of-two table lengths stay uniform.
 
-use serde::{Deserialize, Serialize};
+use jsonlite::impl_json_enum;
 
 use crate::key::KeyHash;
 use crate::splitmix::{mix64, SplitMix64};
 
 /// Which construction a [`BucketFamily`] uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FamilyKind {
     /// `d` independently seeded full digests (default; matches the paper's
     /// software evaluation).
@@ -33,6 +33,12 @@ pub enum FamilyKind {
     /// Rotate-multiply-modulo, mimicking the paper's FPGA hash.
     FpgaModulo,
 }
+
+impl_json_enum!(FamilyKind {
+    Independent,
+    DoubleHashing,
+    FpgaModulo
+});
 
 /// `d` bucket-index functions over a table of `n` buckets per sub-table.
 #[derive(Debug, Clone)]

@@ -11,7 +11,7 @@
 //!   fast integer finalizer),
 //! * [`multiply_shift`] — classic universal multiply-shift hashing,
 //! * [`tabulation`] — simple tabulation hashing (3-independent),
-//! * [`family`] — [`BucketFamily`](family::BucketFamily): `d` independent
+//! * [`family`] — [`family::BucketFamily`]: `d` independent
 //!   bucket-index functions as required by a `d`-ary cuckoo table, plus a
 //!   double-hashing variant (Mitzenmacher et al., SWAT 2018) and the
 //!   FPGA-style modulo family.

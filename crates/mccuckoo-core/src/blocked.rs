@@ -323,7 +323,8 @@ impl<K: KeyHash + Eq + Clone, V: Clone> BlockedMcCuckoo<K, V> {
                         continue;
                     };
                     let sum = self.bucket_sum(cands[i]);
-                    if best.is_none_or(|(_, _, bs)| sum > bs) {
+                    // MSRV 1.75: spelled without `Option::is_none_or`.
+                    if best.map(|(_, _, bs)| sum > bs).unwrap_or(true) {
                         best = Some((i, s, sum));
                     }
                 }

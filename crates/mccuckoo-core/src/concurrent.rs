@@ -208,6 +208,12 @@ where
     /// random-walk, **nothing was mutated** (the path is precomputed).
     pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
         let mut writer = self.writer.lock();
+        let out = self.insert_locked(key, value, &mut writer);
+        self.check_paranoid_locked();
+        out
+    }
+
+    fn insert_locked(&self, key: K, value: V, writer: &mut WriterState) -> Result<(), (K, V)> {
         // Update in place if present (writer is exclusive, so a plain
         // scan is race-free against other writers).
         let cands = self.candidates(&key);
@@ -280,7 +286,100 @@ where
             }
             self.distinct.fetch_sub(1, Ordering::AcqRel);
         }
+        self.check_paranoid_locked();
         value
+    }
+
+    /// Exhaustive structural validation (see [`crate::invariant`]).
+    ///
+    /// Acquires the writer lock, so it observes a quiescent table with
+    /// respect to mutations; concurrent readers are unaffected.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let _writer = self.writer.lock();
+        self.validate_locked()
+    }
+
+    #[cfg(feature = "paranoid")]
+    fn check_paranoid_locked(&self) {
+        self.validate_locked()
+            .expect("paranoid: invariant violated after mutation");
+    }
+
+    #[cfg(not(feature = "paranoid"))]
+    #[inline(always)]
+    fn check_paranoid_locked(&self) {}
+
+    /// The validator body. Caller must hold the writer lock (or otherwise
+    /// guarantee no writer is active).
+    fn validate_locked(&self) -> Result<(), String> {
+        let total = self.cells.len();
+        // 1. All seqlock versions even (no mutation in flight).
+        for (i, v) in self.versions.iter().enumerate() {
+            let v = v.load(Ordering::Acquire);
+            if v % 2 != 0 {
+                return Err(format!("bucket {i}: odd version {v} while quiescent"));
+            }
+        }
+        // 2. Counter/content agreement per bucket, and each occupant
+        // sits in one of its own candidate buckets.
+        let mut occupied: Vec<(usize, K)> = Vec::new();
+        for i in 0..total {
+            let c = self.counters[i].load(Ordering::Acquire);
+            match self.cells[i].load() {
+                None if c != 0 => {
+                    return Err(format!("bucket {i}: counter {c} but vacant"));
+                }
+                Some((k, _)) if c == 0 => {
+                    let _ = k; // stale content behind counter 0 is a leak
+                    return Err(format!("bucket {i}: counter 0 but occupied"));
+                }
+                Some((k, _)) => {
+                    let cands = self.candidates(&k);
+                    if !cands.iter().take(self.d).any(|&b| b == i) {
+                        return Err(format!("bucket {i}: occupant not a candidate"));
+                    }
+                    occupied.push((i, k));
+                }
+                None => {}
+            }
+        }
+        // 3. All copies of a key share counter == copy count; distinct
+        // count matches the scan. Copies only live among a key's own
+        // candidates, so each occupied bucket is checked against its
+        // occupant's d candidate buckets — linear in the table size.
+        let mut distinct_seen = 0usize;
+        for &(i, ref k) in &occupied {
+            let cands = self.candidates(k);
+            let mut copies = 0u8;
+            let mut first = usize::MAX;
+            for &b in cands.iter().take(self.d) {
+                if self.counters[b].load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                if let Some((bk, _)) = self.cells[b].load() {
+                    if bk == *k {
+                        copies += 1;
+                        first = first.min(b);
+                    }
+                }
+            }
+            if first == i {
+                distinct_seen += 1;
+            }
+            let c = self.counters[i].load(Ordering::Acquire);
+            if c != copies {
+                return Err(format!(
+                    "bucket {i}: counter {c} but occupant has {copies} copies"
+                ));
+            }
+        }
+        let distinct = self.distinct.load(Ordering::Acquire);
+        if distinct != distinct_seen {
+            return Err(format!(
+                "distinct count {distinct} but scan found {distinct_seen}"
+            ));
+        }
+        Ok(())
     }
 
     /// Place copies by the insertion principles; returns false on a real
@@ -307,7 +406,8 @@ where
         loop {
             let mut best: Option<usize> = None;
             for i in 0..self.d {
-                if !taken[i] && cvals[i] >= 2 && best.is_none_or(|b| cvals[i] > cvals[b]) {
+                // MSRV 1.75: spelled without `Option::is_none_or`.
+                if !taken[i] && cvals[i] >= 2 && best.map(|b| cvals[i] > cvals[b]).unwrap_or(true) {
                     best = Some(i);
                 }
             }
@@ -411,18 +511,25 @@ mod tests {
         ConcurrentMcCuckoo::new(McConfig::paper(n, seed))
     }
 
+    /// Under `paranoid` every mutation runs the exhaustive validator, so
+    /// the volume tests scale down by this factor to stay fast.
+    #[cfg(feature = "paranoid")]
+    const SCALE: usize = 10;
+    #[cfg(not(feature = "paranoid"))]
+    const SCALE: usize = 1;
+
     #[test]
     fn sequential_roundtrip() {
-        let t = table(1_024, 1);
+        let t = table(1_024 / SCALE, 1);
         let mut keys = UniqueKeys::new(2);
-        let ks = keys.take_vec(2_000);
+        let ks = keys.take_vec(2_000 / SCALE);
         for &k in &ks {
             t.insert(k, k.wrapping_mul(2)).unwrap();
         }
         for &k in &ks {
             assert_eq!(t.get(&k), Some(k.wrapping_mul(2)));
         }
-        assert_eq!(t.len(), 2_000);
+        assert_eq!(t.len(), 2_000 / SCALE);
         for &k in &ks {
             assert_eq!(t.remove(&k), Some(k.wrapping_mul(2)));
             assert_eq!(t.get(&k), None);
@@ -468,9 +575,9 @@ mod tests {
         // The §III.H property: items never become unavailable during
         // relocations. Readers hammer a stable key set while the writer
         // inserts/removes churn keys that force evictions.
-        let t = std::sync::Arc::new(table(2_048, 6));
+        let t = std::sync::Arc::new(table(2_048 / SCALE, 6));
         let mut keys = UniqueKeys::new(7);
-        let stable: Vec<u64> = keys.take_vec(2_000);
+        let stable: Vec<u64> = keys.take_vec(2_000 / SCALE);
         for &k in &stable {
             t.insert(k, k ^ 0xABCD).unwrap();
         }
@@ -496,12 +603,12 @@ mod tests {
             // Writer: churn 20k keys through the table.
             let mut churn = UniqueKeys::new(8);
             let mut window: Vec<u64> = Vec::new();
-            for _ in 0..20_000 {
+            for _ in 0..20_000 / SCALE {
                 let k = churn.next_key();
                 if t.insert(k, k).is_ok() {
                     window.push(k);
                 }
-                if window.len() > 1_500 {
+                if window.len() > 1_500 / SCALE {
                     let victim = window.remove(0);
                     t.remove(&victim);
                 }
@@ -522,9 +629,9 @@ mod tests {
     fn concurrent_readers_scale_without_poisoning() {
         // Smoke test for read-read parallelism: many readers over a
         // static table agree on every answer.
-        let t = std::sync::Arc::new(table(1_024, 9));
+        let t = std::sync::Arc::new(table(1_024 / SCALE, 9));
         let mut keys = UniqueKeys::new(10);
-        let ks: Vec<u64> = keys.take_vec(2_500);
+        let ks: Vec<u64> = keys.take_vec(2_500 / SCALE);
         for &k in &ks {
             t.insert(k, k + 1).unwrap();
         }

@@ -1,10 +1,10 @@
 //! Configuration of McCuckoo tables.
 
 use hash_kit::FamilyKind;
-use serde::{Deserialize, Serialize};
+use jsonlite::{impl_json_enum, impl_json_struct};
 
 /// How deletions are handled (§III.B.3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeletionMode {
     /// Deletions are not supported; [`crate::McCuckoo::remove`] panics.
     /// In exchange, lookup rule 1 applies in full: *any* candidate
@@ -27,7 +27,7 @@ pub enum DeletionMode {
 /// Which item is evicted when a real collision occurs (every candidate
 /// holds a sole copy). The counters already pinpoint *whether* a free or
 /// redundant bucket exists; these policies only decide the blind step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ResolutionPolicy {
     /// Uniformly random victim, never stepping straight back (§III.D;
     /// the paper's choice).
@@ -40,7 +40,7 @@ pub enum ResolutionPolicy {
 }
 
 /// Stash configuration (§III.E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StashPolicy {
     /// No stash: a failed insertion reports [`crate::single::McFull`].
     #[default]
@@ -57,7 +57,7 @@ pub enum StashPolicy {
 
 /// Full configuration of a [`crate::McCuckoo`] / input to the blocked
 /// variant's [`crate::BlockedConfig`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct McConfig {
     /// Number of hash functions / sub-tables (the paper uses 3; 2..=4
     /// supported).
@@ -77,6 +77,31 @@ pub struct McConfig {
     /// Master seed.
     pub seed: u64,
 }
+
+impl_json_enum!(DeletionMode {
+    Disabled,
+    Reset,
+    Tombstone
+});
+impl_json_enum!(ResolutionPolicy {
+    RandomWalk,
+    MinCounter
+});
+impl_json_enum!(StashPolicy {
+    None,
+    Linear,
+    Hashed
+});
+impl_json_struct!(McConfig {
+    d,
+    buckets_per_table,
+    maxloop,
+    resolution,
+    deletion,
+    stash,
+    family,
+    seed,
+});
 
 impl McConfig {
     /// The paper's software configuration: d = 3, random-walk, maxloop

@@ -30,3 +30,15 @@ impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone> Validate for crate::BlockedMcC
         self.check_invariants()
     }
 }
+
+impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> Validate for crate::ConcurrentMcCuckoo<K, V> {
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+impl<K: hash_kit::KeyHash + Eq + Clone, V> Validate for crate::MultisetIndex<K, V> {
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}

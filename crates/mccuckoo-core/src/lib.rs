@@ -59,6 +59,8 @@ pub mod persist;
 pub mod rehash;
 pub mod single;
 pub mod stash;
+#[cfg(feature = "testhooks")]
+pub mod testhooks;
 
 pub use blocked::{BlockedConfig, BlockedMcCuckoo};
 pub use concurrent::ConcurrentMcCuckoo;

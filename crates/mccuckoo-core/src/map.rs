@@ -141,12 +141,19 @@ mod tests {
     use std::collections::HashMap;
     use workloads::UniqueKeys;
 
+    // Scaled down under `paranoid`: every insert validates the whole
+    // table, so the volume tests would go quadratic.
+    #[cfg(feature = "paranoid")]
+    const SCALE: usize = 20;
+    #[cfg(not(feature = "paranoid"))]
+    const SCALE: usize = 1;
+
     #[test]
     fn grows_far_beyond_initial_capacity() {
         let mut m: McMap<u64, u64> = McMap::with_capacity(100);
         let initial_cap = m.capacity();
         let mut keys = UniqueKeys::new(1);
-        let ks = keys.take_vec(50_000);
+        let ks = keys.take_vec(50_000 / SCALE);
         for &k in &ks {
             assert!(m.insert(k, k));
         }
@@ -172,8 +179,8 @@ mod tests {
         let mut m: McMap<u64, u64> = McMap::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
         let mut rng = hash_kit::SplitMix64::new(3);
-        for step in 0..60_000u64 {
-            let k = rng.next_below(20_000);
+        for step in 0..60_000u64 / SCALE as u64 {
+            let k = rng.next_below(20_000 / SCALE as u64);
             match rng.next_below(4) {
                 0 | 1 => {
                     assert_eq!(m.insert(k, step), model.insert(k, step).is_none());

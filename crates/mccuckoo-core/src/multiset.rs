@@ -90,7 +90,7 @@ impl<K: KeyHash + Eq + Clone, V> MultisetIndex<K, V> {
         };
         let idx = self.alloc(node);
         // Upsert: rewrites all copies when the key already exists.
-        match self.index.insert(key, idx) {
+        let out = match self.index.insert(key, idx) {
             Ok(_) => {
                 self.values += 1;
                 Ok(())
@@ -101,7 +101,9 @@ impl<K: KeyHash + Eq + Clone, V> MultisetIndex<K, V> {
                 self.free.push(idx);
                 Err(full)
             }
-        }
+        };
+        self.check_paranoid();
+        out
     }
 
     /// Iterate the values stored under `key`, most recent first.
@@ -144,6 +146,7 @@ impl<K: KeyHash + Eq + Clone, V> MultisetIndex<K, V> {
             cursor = node.next;
         }
         self.values -= out.len();
+        self.check_paranoid();
         out
     }
 
@@ -162,8 +165,95 @@ impl<K: KeyHash + Eq + Clone, V> MultisetIndex<K, V> {
                 unreachable!("updating an existing key cannot fail")
             };
         }
+        self.check_paranoid();
         Some(node.value)
     }
+
+    /// Drop every value and key; arena storage is retained for reuse.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.free.clear();
+        for (i, slot) in self.arena.iter_mut().enumerate() {
+            *slot = None;
+            self.free.push(i as u32);
+        }
+        self.values = 0;
+        self.check_paranoid();
+    }
+
+    /// Exhaustive structural validation (see [`crate::invariant`]): the
+    /// underlying index validates, every chain is acyclic over live
+    /// arena nodes, the free list covers exactly the dead nodes, and the
+    /// value/distinct counts match a full walk.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.index.check_invariants()?;
+        let mut visited = vec![false; self.arena.len()];
+        let mut walked = 0usize;
+        for (key, &head) in self.index.iter() {
+            let _ = key;
+            let mut cursor = head;
+            let mut steps = 0usize;
+            while cursor != NIL {
+                let i = cursor as usize;
+                if i >= self.arena.len() {
+                    return Err(format!("chain cursor {i} out of arena bounds"));
+                }
+                if visited[i] {
+                    return Err(format!("arena node {i} reached twice (cycle or share)"));
+                }
+                visited[i] = true;
+                walked += 1;
+                steps += 1;
+                if steps > self.arena.len() {
+                    return Err("chain longer than arena (cycle)".into());
+                }
+                let Some(node) = self.arena[i].as_ref() else {
+                    return Err(format!("chain reaches dead arena node {i}"));
+                };
+                cursor = node.next;
+            }
+        }
+        if walked != self.values {
+            return Err(format!(
+                "value count {} but chains hold {walked}",
+                self.values
+            ));
+        }
+        let live = self.arena.iter().filter(|s| s.is_some()).count();
+        if live != walked {
+            return Err(format!("{live} live arena nodes but {walked} reachable"));
+        }
+        for &f in &self.free {
+            let i = f as usize;
+            if i >= self.arena.len() {
+                return Err(format!("free-list entry {i} out of arena bounds"));
+            }
+            if self.arena[i].is_some() {
+                return Err(format!("free-list entry {i} points at a live node"));
+            }
+        }
+        if self.free.len() != self.arena.len() - live {
+            return Err(format!(
+                "free-list holds {} but {} arena nodes are dead",
+                self.free.len(),
+                self.arena.len() - live
+            ));
+        }
+        if self.distinct_keys() != self.index.len() {
+            return Err("distinct_keys out of sync with index".into());
+        }
+        Ok(())
+    }
+
+    #[cfg(feature = "paranoid")]
+    fn check_paranoid(&self) {
+        self.check_invariants()
+            .expect("paranoid: invariant violated after mutation");
+    }
+
+    #[cfg(not(feature = "paranoid"))]
+    #[inline(always)]
+    fn check_paranoid(&self) {}
 }
 
 #[cfg(test)]
@@ -228,7 +318,12 @@ mod tests {
             MultisetIndex::new(McConfig::paper(512, 2).with_deletion(DeletionMode::Reset));
         let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
         let mut rng = hash_kit::SplitMix64::new(3);
-        for step in 0..20_000u64 {
+        // Scaled down under `paranoid`: every mutation validates.
+        #[cfg(feature = "paranoid")]
+        let steps = 3_000u64;
+        #[cfg(not(feature = "paranoid"))]
+        let steps = 20_000u64;
+        for step in 0..steps {
             let k = rng.next_below(300);
             match rng.next_below(4) {
                 0 | 1 => {

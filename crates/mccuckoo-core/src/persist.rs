@@ -15,14 +15,14 @@
 //! system wants from a persistence format.
 
 use hash_kit::KeyHash;
-use serde::{Deserialize, Serialize};
+use jsonlite::{FromJson, Json, JsonError, ToJson};
 
 use crate::blocked::{BlockedConfig, BlockedMcCuckoo};
 use crate::config::McConfig;
 use crate::single::McCuckoo;
 
 /// A serialisable snapshot of a single-slot table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableSnapshot<K, V> {
     /// The configuration the table was built with (seed included).
     pub config: McConfig,
@@ -30,8 +30,32 @@ pub struct TableSnapshot<K, V> {
     pub items: Vec<(K, V)>,
 }
 
+impl<K: ToJson, V: ToJson> ToJson for TableSnapshot<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".to_owned(), self.config.to_json()),
+            ("items".to_owned(), self.items.to_json()),
+        ])
+    }
+}
+
+impl<K: FromJson, V: FromJson> FromJson for TableSnapshot<K, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            config: FromJson::from_json(
+                j.get("config")
+                    .ok_or_else(|| JsonError("missing field 'config'".into()))?,
+            )?,
+            items: FromJson::from_json(
+                j.get("items")
+                    .ok_or_else(|| JsonError("missing field 'items'".into()))?,
+            )?,
+        })
+    }
+}
+
 /// A serialisable snapshot of a blocked table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockedSnapshot<K, V> {
     /// Base configuration.
     pub config: McConfig,
@@ -41,6 +65,35 @@ pub struct BlockedSnapshot<K, V> {
     pub aggressive_lookup: bool,
     /// Every stored pair, unordered.
     pub items: Vec<(K, V)>,
+}
+
+impl<K: ToJson, V: ToJson> ToJson for BlockedSnapshot<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".to_owned(), self.config.to_json()),
+            ("slots".to_owned(), self.slots.to_json()),
+            (
+                "aggressive_lookup".to_owned(),
+                self.aggressive_lookup.to_json(),
+            ),
+            ("items".to_owned(), self.items.to_json()),
+        ])
+    }
+}
+
+impl<K: FromJson, V: FromJson> FromJson for BlockedSnapshot<K, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            j.get(name)
+                .ok_or_else(|| JsonError(format!("missing field '{name}'")))
+        };
+        Ok(Self {
+            config: FromJson::from_json(field("config")?)?,
+            slots: FromJson::from_json(field("slots")?)?,
+            aggressive_lookup: FromJson::from_json(field("aggressive_lookup")?)?,
+            items: FromJson::from_json(field("items")?)?,
+        })
+    }
 }
 
 impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
@@ -114,8 +167,8 @@ mod tests {
             t.remove(&k);
         }
         let snap = t.to_snapshot();
-        let json = serde_json::to_string(&snap).unwrap();
-        let back: TableSnapshot<u64, String> = serde_json::from_str(&json).unwrap();
+        let json = jsonlite::to_string(&snap);
+        let back: TableSnapshot<u64, String> = jsonlite::from_str(&json).unwrap();
         let restored = McCuckoo::from_snapshot(back);
         assert_eq!(restored.len(), t.len());
         for &k in ks.iter().take(200) {
@@ -155,8 +208,8 @@ mod tests {
         for &k in &ks {
             t.insert_new(k, k.wrapping_mul(3)).unwrap();
         }
-        let json = serde_json::to_string(&t.to_snapshot()).unwrap();
-        let back: BlockedSnapshot<u64, u64> = serde_json::from_str(&json).unwrap();
+        let json = jsonlite::to_string(&t.to_snapshot());
+        let back: BlockedSnapshot<u64, u64> = jsonlite::from_str(&json).unwrap();
         assert_eq!(back.slots, 3);
         assert!(back.aggressive_lookup);
         let restored = BlockedMcCuckoo::from_snapshot(back);

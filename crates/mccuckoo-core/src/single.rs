@@ -388,7 +388,8 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
                 if claimed[i] {
                     continue;
                 }
-                if cvals[i] >= 2 && best.is_none_or(|b| cvals[i] > cvals[b]) {
+                // MSRV 1.75: spelled without `Option::is_none_or`.
+                if cvals[i] >= 2 && best.map(|b| cvals[i] > cvals[b]).unwrap_or(true) {
                     best = Some(i);
                 }
             }
@@ -810,7 +811,14 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
         let out = match self.probe_for_copies(key) {
             ProbeResult::Found { locations, first } => {
                 self.meter.onchip_write(locations.len() as u64);
-                for &l in &locations {
+                #[cfg(feature = "testhooks")]
+                let skip_first = crate::testhooks::take_skip_counter_reset();
+                #[cfg(not(feature = "testhooks"))]
+                let skip_first = false;
+                for (i, &l) in locations.iter().enumerate() {
+                    if skip_first && i == 0 {
+                        continue;
+                    }
                     match self.deletion {
                         DeletionMode::Reset => self.counters.set(l, 0),
                         DeletionMode::Tombstone => self.counters.set_tombstone(l),

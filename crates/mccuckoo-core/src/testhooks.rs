@@ -1,0 +1,47 @@
+//! Deterministic fault injection for the differential testkit.
+//!
+//! Only compiled under the `testhooks` feature. The hooks let a test
+//! deliberately corrupt the multi-copy bookkeeping — e.g. skip the
+//! counter reset of a deleted copy — to prove that the invariant
+//! validators and the fuzzing harness actually catch and shrink real
+//! violations. Production builds never enable this feature; when they
+//! accidentally do, every hook is inert until armed.
+//!
+//! Hooks are thread-local so parallel tests cannot interfere.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// How many upcoming deletions should skip the counter reset of
+    /// their first copy location. `u32::MAX` means "every deletion".
+    static SKIP_COUNTER_RESETS: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Arm the fault: the next `n` calls to `McCuckoo::remove` that find the
+/// key will *not* reset the counter of the first copy location, leaving
+/// a counter claiming a live copy in a vacated bucket. Pass `u32::MAX`
+/// to keep the fault active for the rest of the thread (until
+/// [`disarm`]).
+pub fn arm_skip_counter_reset(n: u32) {
+    SKIP_COUNTER_RESETS.with(|c| c.set(n));
+}
+
+/// Disarm all hooks on this thread.
+pub fn disarm() {
+    SKIP_COUNTER_RESETS.with(|c| c.set(0));
+}
+
+/// Consumed by the deletion path: returns `true` if this deletion should
+/// skip its first counter reset.
+pub(crate) fn take_skip_counter_reset() -> bool {
+    SKIP_COUNTER_RESETS.with(|c| {
+        let n = c.get();
+        if n == 0 {
+            return false;
+        }
+        if n != u32::MAX {
+            c.set(n - 1);
+        }
+        true
+    })
+}

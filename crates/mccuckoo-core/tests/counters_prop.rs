@@ -1,0 +1,95 @@
+//! Property tests for the packed on-chip counter array.
+
+use mccuckoo_core::{CounterArray, DeletionMode, McConfig, McCuckoo};
+use proptest::prelude::*;
+
+proptest! {
+    /// Width selection: counters hold every value up to the ceiling and
+    /// the packing never clips a value (saturation ceiling respected for
+    /// every (len, max_value) geometry).
+    #[test]
+    fn packing_roundtrips_at_every_width(
+        len in 1usize..500,
+        max_value in 1u8..16,
+        seed in any::<u64>(),
+    ) {
+        let mut c = CounterArray::new(len, max_value);
+        let mut rng = hash_kit::SplitMix64::new(seed);
+        let vals: Vec<u8> = (0..len)
+            .map(|_| rng.next_below(max_value as u64 + 1) as u8)
+            .collect();
+        for (i, &v) in vals.iter().enumerate() {
+            c.set(i, v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(c.get(i), v, "position {}", i);
+        }
+        // The 2-bit ceiling of the paper: d = 3 fits in 2 bits.
+        prop_assert!(c.bits_per_counter() <= 4);
+    }
+
+    /// Tombstones round-trip through set/clear cycles: a tombstone reads
+    /// 0, survives until re-occupied, and disappears on `set`.
+    #[test]
+    fn tombstone_roundtrip_against_model(
+        len in 1usize..200,
+        ops in prop::collection::vec((any::<prop::sample::Index>(), 0u8..5), 1..400),
+    ) {
+        let mut c = CounterArray::new(len, 3);
+        // Model: (value, tombstoned) per slot.
+        let mut model = vec![(0u8, false); len];
+        for (idx, action) in ops {
+            let i = idx.index(len);
+            match action {
+                0 => {
+                    c.set_tombstone(i);
+                    model[i] = (0, true);
+                }
+                a => {
+                    let v = a - 1; // 0..=3
+                    c.set(i, v);
+                    model[i] = (v, false);
+                }
+            }
+        }
+        for (i, &(v, tomb)) in model.iter().enumerate() {
+            prop_assert_eq!(c.get(i), v);
+            prop_assert_eq!(c.is_tombstone(i), tomb);
+            prop_assert_eq!(c.reads_empty_for_insert(i), v == 0);
+            prop_assert_eq!(c.reads_zero_for_lookup(i), v == 0 && !tomb);
+        }
+    }
+
+    /// Counter/copy agreement after an insert–delete storm: whatever the
+    /// interleaving, each live key's copy count matches its counters and
+    /// the exhaustive validator stays green.
+    #[test]
+    fn counter_copy_agreement_after_storms(
+        seed in any::<u64>(),
+        steps in prop::collection::vec((0u64..48, any::<bool>()), 1..300),
+    ) {
+        let mut t: McCuckoo<u64, u64> =
+            McCuckoo::new(McConfig::paper(32, seed).with_deletion(DeletionMode::Reset));
+        let mut live = std::collections::HashSet::new();
+        for (step, (k, is_insert)) in steps.into_iter().enumerate() {
+            if is_insert {
+                t.insert(k, step as u64).unwrap();
+                live.insert(k);
+            } else {
+                let removed = t.remove(&k);
+                prop_assert_eq!(removed.is_some(), live.remove(&k));
+            }
+        }
+        let inv = t.check_invariants();
+        prop_assert!(inv.is_ok(), "invariants: {:?}", inv);
+        for &k in &live {
+            let copies = t.copy_count(&k);
+            prop_assert!(
+                (1..=3).contains(&copies),
+                "key {} has {} copies", k, copies
+            );
+            prop_assert_eq!(t.get(&k).is_some(), true);
+        }
+        prop_assert_eq!(t.len(), live.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! End-to-end demonstration of the fault-injection workflow:
+//! arm a bookkeeping fault, let the differential fuzzer catch it,
+//! and print the shrunk, replayable failure report.
+//!
+//! ```sh
+//! cargo run -p mccuckoo-testkit --features faults --example inject_and_shrink
+//! ```
+
+use mccuckoo_core::testhooks;
+use mccuckoo_testkit::{fuzz_one, MixProfile, TableKind};
+
+fn main() {
+    // The injected bug: every deletion "forgets" to reset the counter
+    // of its first copy location — a silent corruption invisible to
+    // ordinary lookups until the stale counter misroutes something.
+    testhooks::arm_skip_counter_reset(u32::MAX);
+    let result = fuzz_one(TableKind::Single, MixProfile::DeleteHeavy, 0x5EED, 5_000);
+    testhooks::disarm();
+
+    match result {
+        Ok(()) => {
+            eprintln!("unexpected: the injected fault went undetected");
+            std::process::exit(1);
+        }
+        Err(report) => {
+            println!("{report}");
+            println!();
+            println!(
+                "(shrunk from 5000 generated ops to {}; re-run the replay \
+                 line above with the fault armed to reproduce)",
+                report.min_len
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Time-budgeted fuzz sweep for CI.
+//!
+//! Cycles seeds through every `(table, profile)` pair plus the multiset
+//! until the wall-clock budget runs out. On a failure it prints the
+//! shrunk report, optionally writes it to an artifact file (uploaded by
+//! CI on failure), and exits non-zero.
+//!
+//! ```text
+//! fuzz_smoke [--budget-ms N] [--ops N] [--seed0 N] [--artifact PATH]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use mccuckoo_testkit::{fuzz_multiset, fuzz_one, FailureReport, MixProfile, TableKind};
+
+struct Args {
+    budget: Duration,
+    ops: usize,
+    seed0: u64,
+    artifact: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget: Duration::from_millis(15_000),
+        ops: 3_000,
+        seed0: 1,
+        artifact: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--budget-ms" => {
+                args.budget = Duration::from_millis(
+                    value("--budget-ms")
+                        .parse()
+                        .expect("--budget-ms: not a number"),
+                )
+            }
+            "--ops" => args.ops = value("--ops").parse().expect("--ops: not a number"),
+            "--seed0" => args.seed0 = value("--seed0").parse().expect("--seed0: not a number"),
+            "--artifact" => args.artifact = Some(value("--artifact")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn fail(report: &FailureReport, artifact: Option<&str>) -> ! {
+    eprintln!("{report}");
+    if let Some(path) = artifact {
+        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("(could not write artifact {path}: {e})");
+        } else {
+            eprintln!("(shrunk sequence written to {path})");
+        }
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    let start = Instant::now();
+    let mut seed = args.seed0;
+    let mut cases = 0u64;
+    'outer: loop {
+        for kind in TableKind::ALL {
+            for profile in MixProfile::ALL {
+                if start.elapsed() >= args.budget {
+                    break 'outer;
+                }
+                if let Err(report) = fuzz_one(kind, profile, seed, args.ops) {
+                    fail(&report, args.artifact.as_deref());
+                }
+                cases += 1;
+            }
+        }
+        if start.elapsed() >= args.budget {
+            break;
+        }
+        if let Err(report) = fuzz_multiset(seed, args.ops) {
+            fail(&report, args.artifact.as_deref());
+        }
+        cases += 1;
+        seed += 1;
+    }
+    println!(
+        "fuzz_smoke: {cases} cases clean ({} seeds, {} ops each, {:?})",
+        seed - args.seed0 + 1,
+        args.ops,
+        start.elapsed()
+    );
+}

@@ -1,0 +1,205 @@
+//! The shadow-oracle differential runner.
+//!
+//! Applies a [`TableOp`] sequence simultaneously to a table under test
+//! and to a trivially-correct in-memory model, comparing every
+//! observable result. After every `batch` mutations it additionally runs
+//! the table's exhaustive invariant validator, compares the distinct-key
+//! count, and sweeps the whole key domain checking membership — so a
+//! corruption is localised to within one batch of the op that caused it.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::ops::TableOp;
+use crate::target::DiffTarget;
+
+/// Runner tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Mutations between invariant validations and oracle sweeps.
+    pub batch: usize,
+    /// Whether to sweep the full key domain after each batch (strongest
+    /// check; costs one lookup per domain key per batch).
+    pub sweep: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            batch: 64,
+            sweep: true,
+        }
+    }
+}
+
+/// Drive `ops` against `target` and a shadow oracle.
+///
+/// Returns the first divergence, invariant violation or count mismatch
+/// as a message naming the op index. The caller owns panics: wrap in
+/// `catch_unwind` if the table may assert (the shrinker does).
+pub fn run_ops(
+    target: &mut dyn DiffTarget,
+    ops: &[TableOp],
+    config: RunnerConfig,
+) -> Result<(), String> {
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    let mut since_check = 0usize;
+    for (i, &op) in ops.iter().enumerate() {
+        let fail = |what: String| Err(format!("step {i} ({op}): {what}"));
+        match op {
+            TableOp::Insert(k, v) => {
+                let stored = target.insert(k, v);
+                if stored {
+                    oracle.insert(k, v);
+                } else if oracle.contains_key(&k) {
+                    return fail("upsert of a live key reported failure".into());
+                }
+                since_check += 1;
+            }
+            TableOp::InsertNew(k, v) => {
+                // A shrunk subsequence may have lost the Remove that made
+                // this key fresh; skipping keeps every subsequence valid.
+                if let Entry::Vacant(slot) = oracle.entry(k) {
+                    let stored = target.insert_new(k, v);
+                    if stored {
+                        slot.insert(v);
+                    }
+                    since_check += 1;
+                }
+            }
+            TableOp::Get(k) => {
+                let got = target.get(k);
+                let want = oracle.get(&k).copied();
+                if got != want {
+                    return fail(format!("get returned {got:?}, oracle says {want:?}"));
+                }
+            }
+            TableOp::Contains(k) => {
+                let got = target.contains(k);
+                let want = oracle.contains_key(&k);
+                if got != want {
+                    return fail(format!("contains returned {got}, oracle says {want}"));
+                }
+            }
+            TableOp::Remove(k) => {
+                let got = target.remove(k);
+                let want = oracle.remove(&k);
+                if got != want {
+                    return fail(format!("remove returned {got:?}, oracle says {want:?}"));
+                }
+                since_check += 1;
+            }
+            TableOp::Clear => {
+                target.clear();
+                oracle.clear();
+                since_check += 1;
+            }
+            TableOp::RefreshStash => {
+                target.refresh_stash();
+                since_check += 1;
+            }
+        }
+        if since_check >= config.batch {
+            since_check = 0;
+            check_state(target, &oracle, config.sweep)
+                .map_err(|e| format!("after step {i} ({op}): {e}"))?;
+        }
+    }
+    check_state(target, &oracle, config.sweep).map_err(|e| format!("at end of sequence: {e}"))
+}
+
+/// Invariant validation + count check + (optional) full membership sweep.
+fn check_state(
+    target: &dyn DiffTarget,
+    oracle: &HashMap<u64, u64>,
+    sweep: bool,
+) -> Result<(), String> {
+    target
+        .validate()
+        .map_err(|e| format!("invariant violated: {e}"))?;
+    if target.len() != oracle.len() {
+        return Err(format!(
+            "len {} but oracle holds {} keys",
+            target.len(),
+            oracle.len()
+        ));
+    }
+    if sweep {
+        for (&k, &v) in oracle {
+            match target.get(k) {
+                Some(got) if got == v => {}
+                Some(got) => {
+                    return Err(format!("sweep: key {k} holds {got}, oracle says {v}"));
+                }
+                None => return Err(format!("sweep: key {k} lost (oracle value {v})")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gen_ops, MixProfile};
+    use crate::target::TableKind;
+
+    #[test]
+    fn clean_tables_pass_a_short_soup() {
+        for kind in TableKind::ALL {
+            let mut t = kind.build(64, 11);
+            let ops = gen_ops(11, MixProfile::Balanced, 1_500, 96);
+            run_ops(t.as_mut(), &ops, RunnerConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn runner_reports_a_divergence() {
+        // A target that forgets one key: the sweep must notice.
+        struct Amnesiac {
+            inner: Box<dyn crate::target::DiffTarget>,
+        }
+        impl crate::target::DiffTarget for Amnesiac {
+            fn name(&self) -> &'static str {
+                "amnesiac"
+            }
+            fn insert(&mut self, k: u64, v: u64) -> bool {
+                if k == 3 {
+                    return true; // claim stored, store nothing
+                }
+                self.inner.insert(k, v)
+            }
+            fn insert_new(&mut self, k: u64, v: u64) -> bool {
+                self.insert(k, v)
+            }
+            fn get(&self, k: u64) -> Option<u64> {
+                self.inner.get(k)
+            }
+            fn contains(&self, k: u64) -> bool {
+                self.inner.contains(k)
+            }
+            fn remove(&mut self, k: u64) -> Option<u64> {
+                self.inner.remove(k)
+            }
+            fn clear(&mut self) {
+                self.inner.clear()
+            }
+            fn refresh_stash(&mut self) -> usize {
+                self.inner.refresh_stash()
+            }
+            fn validate(&self) -> Result<(), String> {
+                self.inner.validate()
+            }
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+        }
+        let mut t = Amnesiac {
+            inner: TableKind::Single.build(64, 1),
+        };
+        let ops = [TableOp::Insert(3, 30), TableOp::Get(3)];
+        let err = run_ops(&mut t, &ops, RunnerConfig::default()).unwrap_err();
+        assert!(err.contains("step 1"), "unexpected message: {err}");
+    }
+}

@@ -1,0 +1,165 @@
+//! # mccuckoo-testkit — deterministic differential fuzzing
+//!
+//! A seeded, replayable fuzzing harness for every table in the
+//! workspace:
+//!
+//! * [`ops`] — op-sequence generation with adversarial mix profiles
+//!   (duplicate-heavy, delete-heavy, near-full);
+//! * [`target`] — uniform adapters over [`mccuckoo_core::McCuckoo`],
+//!   [`mccuckoo_core::BlockedMcCuckoo`] and
+//!   [`mccuckoo_core::ConcurrentMcCuckoo`];
+//! * [`diff`] — the shadow-oracle runner: every observable result is
+//!   compared against a model `HashMap`, and the table's exhaustive
+//!   invariant validator runs after every mutation batch;
+//! * [`multiset`] — the same treatment for
+//!   [`mccuckoo_core::MultisetIndex`] with its own op vocabulary;
+//! * [`mod@shrink`] — a greedy shrinker that reduces any failing
+//!   sequence.
+//!
+//! Everything is deterministic per seed. A failure panics (or returns a
+//! [`FailureReport`]) carrying a replay line and the minimal op list:
+//!
+//! ```text
+//! differential failure on single (profile DeleteHeavy, seed 0x2a)
+//! replay: fuzz_one(TableKind::Single, MixProfile::DeleteHeavy, 0x2a, ...)
+//! minimal ops (2 of 10000): [new 3=17, del 3]
+//! failure: step 1 (del 3): invariant violated: ...
+//! ```
+//!
+//! The `fuzz_smoke` binary sweeps seeds under a wall-clock budget for
+//! CI; the `faults` feature (forwarding `mccuckoo-core/testhooks`) lets
+//! tests inject bookkeeping faults to prove the harness catches them.
+
+pub mod diff;
+pub mod multiset;
+pub mod ops;
+pub mod shrink;
+pub mod target;
+
+use std::fmt;
+
+pub use diff::{run_ops, RunnerConfig};
+pub use ops::{format_ops, gen_ops, MixProfile, TableOp};
+pub use shrink::{run_catching, shrink};
+pub use target::{DiffTarget, TableKind};
+
+/// Buckets per sub-table used by the fuzz drivers: small enough that
+/// near-full mixes reach saturation quickly, large enough for real
+/// kick-out chains.
+pub const FUZZ_BUCKETS: usize = 128;
+
+/// A shrunk differential failure, ready to print or re-run.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Table that diverged.
+    pub table: &'static str,
+    /// Mix profile of the failing run.
+    pub profile: MixProfile,
+    /// Seed of the failing run.
+    pub seed: u64,
+    /// Length of the originally generated sequence.
+    pub orig_len: usize,
+    /// The shrunk sequence, rendered with [`format_ops`].
+    pub min_ops: String,
+    /// Number of ops surviving the shrink.
+    pub min_len: usize,
+    /// The failure message of the minimal sequence.
+    pub message: String,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential failure on {} (profile {:?}, seed {:#x})",
+            self.table, self.profile, self.seed
+        )?;
+        writeln!(
+            f,
+            "replay: fuzz_one with seed={:#x} profile={:?} table={}",
+            self.seed, self.profile, self.table
+        )?;
+        writeln!(
+            f,
+            "minimal ops ({} of {}): {}",
+            self.min_len, self.orig_len, self.min_ops
+        )?;
+        write!(f, "failure: {}", self.message)
+    }
+}
+
+/// Run one seeded differential fuzz case: generate `n_ops`, drive the
+/// table against the oracle, and on failure shrink and report.
+///
+/// Deterministic per `(kind, profile, seed, n_ops)`; a reported failure
+/// re-fails when re-run with the same arguments.
+pub fn fuzz_one(
+    kind: TableKind,
+    profile: MixProfile,
+    seed: u64,
+    n_ops: usize,
+) -> Result<(), FailureReport> {
+    let capacity = kind.capacity(FUZZ_BUCKETS);
+    let key_domain = profile.key_domain(capacity);
+    let all_ops = gen_ops(seed, profile, n_ops, key_domain);
+    let run = |ops: &[TableOp]| {
+        run_catching(|| {
+            let mut t = kind.build(FUZZ_BUCKETS, seed);
+            run_ops(t.as_mut(), ops, RunnerConfig::default())
+        })
+    };
+    let Err(msg) = run(&all_ops) else {
+        return Ok(());
+    };
+    let (min, min_msg) = shrink(&all_ops, msg, |c| run(c).err());
+    Err(FailureReport {
+        table: kind.name(),
+        profile,
+        seed,
+        orig_len: all_ops.len(),
+        min_ops: format_ops(&min),
+        min_len: min.len(),
+        message: min_msg,
+    })
+}
+
+/// [`fuzz_one`], panicking with the full report on failure — the form
+/// tests use so the replay line lands in the test output.
+pub fn fuzz_one_or_panic(kind: TableKind, profile: MixProfile, seed: u64, n_ops: usize) {
+    if let Err(report) = fuzz_one(kind, profile, seed, n_ops) {
+        panic!("{report}");
+    }
+}
+
+/// Seeded multiset fuzz case, mirroring [`fuzz_one`].
+pub fn fuzz_multiset(seed: u64, n_ops: usize) -> Result<(), FailureReport> {
+    let key_domain = 48;
+    let all_ops = multiset::gen_ms_ops(seed, n_ops, key_domain);
+    let run = |ops: &[multiset::MsOp]| {
+        run_catching(|| {
+            let mut m = multiset::build_multiset(FUZZ_BUCKETS, seed);
+            multiset::run_ms_ops(&mut m, ops, 64)
+        })
+    };
+    let Err(msg) = run(&all_ops) else {
+        return Ok(());
+    };
+    let (min, min_msg) = shrink(&all_ops, msg, |c| run(c).err());
+    let items: Vec<String> = min.iter().map(|o| o.to_string()).collect();
+    Err(FailureReport {
+        table: "multiset",
+        profile: MixProfile::Balanced,
+        seed,
+        orig_len: all_ops.len(),
+        min_ops: format!("[{}]", items.join(", ")),
+        min_len: min.len(),
+        message: min_msg,
+    })
+}
+
+/// [`fuzz_multiset`], panicking with the report.
+pub fn fuzz_multiset_or_panic(seed: u64, n_ops: usize) {
+    if let Err(report) = fuzz_multiset(seed, n_ops) {
+        panic!("{report}");
+    }
+}

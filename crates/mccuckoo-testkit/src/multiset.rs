@@ -1,0 +1,176 @@
+//! Differential fuzzing for [`MultisetIndex`].
+//!
+//! The multiset has its own op vocabulary (duplicate keys are the whole
+//! point), so it gets its own generator and runner; the shadow oracle is
+//! a `HashMap<u64, Vec<u64>>` of per-key value stacks (most recent
+//! last). Shrinking reuses the generic [`mod@crate::shrink`] machinery.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hash_kit::SplitMix64;
+use mccuckoo_core::{DeletionMode, McConfig, MultisetIndex};
+
+/// One operation against the multiset index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsOp {
+    /// Add one occurrence of `key`.
+    Push(u64, u64),
+    /// Compare the full value chain of `key` (order-sensitive).
+    GetAll(u64),
+    /// Compare the occurrence count of `key`.
+    Count(u64),
+    /// Pop the most recent occurrence; compare it.
+    PopOne(u64),
+    /// Remove every occurrence; compare them.
+    RemoveAll(u64),
+    /// Drop everything.
+    Clear,
+}
+
+impl fmt::Display for MsOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsOp::Push(k, v) => write!(f, "push {k}={v}"),
+            MsOp::GetAll(k) => write!(f, "all {k}"),
+            MsOp::Count(k) => write!(f, "cnt {k}"),
+            MsOp::PopOne(k) => write!(f, "pop {k}"),
+            MsOp::RemoveAll(k) => write!(f, "delall {k}"),
+            MsOp::Clear => write!(f, "clear"),
+        }
+    }
+}
+
+/// Generate `n` multiset ops, push-biased so chains grow several deep.
+pub fn gen_ms_ops(seed: u64, n: usize, key_domain: u64) -> Vec<MsOp> {
+    assert!(key_domain > 0, "key domain must be non-empty");
+    let mut rng = SplitMix64::new(seed ^ 0x3415_7E57_4B17_0001);
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = rng.next_below(key_domain);
+        let v = i as u64 + 1;
+        // Weights: push 45, get_all 15, count 10, pop 20, remove_all 9,
+        // clear 1.
+        let op = match rng.next_below(100) {
+            0..=44 => MsOp::Push(k, v),
+            45..=59 => MsOp::GetAll(k),
+            60..=69 => MsOp::Count(k),
+            70..=89 => MsOp::PopOne(k),
+            90..=98 => MsOp::RemoveAll(k),
+            _ => MsOp::Clear,
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Build the multiset under test for a fuzz case.
+pub fn build_multiset(buckets: usize, seed: u64) -> MultisetIndex<u64, u64> {
+    MultisetIndex::new(McConfig::paper(buckets, seed).with_deletion(DeletionMode::Reset))
+}
+
+/// Drive `ops` against the multiset and its oracle; validate invariants
+/// every `batch` mutations.
+pub fn run_ms_ops(
+    m: &mut MultisetIndex<u64, u64>,
+    ops: &[MsOp],
+    batch: usize,
+) -> Result<(), String> {
+    let mut oracle: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut since_check = 0usize;
+    for (i, &op) in ops.iter().enumerate() {
+        let fail = |what: String| Err(format!("step {i} ({op}): {what}"));
+        match op {
+            MsOp::Push(k, v) => {
+                if m.push(k, v).is_err() {
+                    return fail("push rejected (stash-backed index must not fill)".into());
+                }
+                oracle.entry(k).or_default().push(v);
+                since_check += 1;
+            }
+            MsOp::GetAll(k) => {
+                let got: Vec<u64> = m.get_all(&k).copied().collect();
+                let mut want = oracle.get(&k).cloned().unwrap_or_default();
+                want.reverse(); // table yields most recent first
+                if got != want {
+                    return fail(format!("get_all returned {got:?}, oracle says {want:?}"));
+                }
+            }
+            MsOp::Count(k) => {
+                let got = m.count(&k);
+                let want = oracle.get(&k).map_or(0, Vec::len);
+                if got != want {
+                    return fail(format!("count returned {got}, oracle says {want}"));
+                }
+            }
+            MsOp::PopOne(k) => {
+                let got = m.pop_one(&k);
+                let want = oracle.get_mut(&k).and_then(Vec::pop);
+                if oracle.get(&k).is_some_and(Vec::is_empty) {
+                    oracle.remove(&k);
+                }
+                if got != want {
+                    return fail(format!("pop_one returned {got:?}, oracle says {want:?}"));
+                }
+                since_check += 1;
+            }
+            MsOp::RemoveAll(k) => {
+                let got = m.remove_all(&k);
+                let mut want = oracle.remove(&k).unwrap_or_default();
+                want.reverse();
+                if got != want {
+                    return fail(format!("remove_all returned {got:?}, oracle says {want:?}"));
+                }
+                since_check += 1;
+            }
+            MsOp::Clear => {
+                m.clear();
+                oracle.clear();
+                since_check += 1;
+            }
+        }
+        if since_check >= batch {
+            since_check = 0;
+            check_ms_state(m, &oracle).map_err(|e| format!("after step {i} ({op}): {e}"))?;
+        }
+    }
+    check_ms_state(m, &oracle).map_err(|e| format!("at end of sequence: {e}"))
+}
+
+fn check_ms_state(
+    m: &MultisetIndex<u64, u64>,
+    oracle: &HashMap<u64, Vec<u64>>,
+) -> Result<(), String> {
+    m.check_invariants()
+        .map_err(|e| format!("invariant violated: {e}"))?;
+    let want_values: usize = oracle.values().map(Vec::len).sum();
+    if m.len() != want_values {
+        return Err(format!("len {} but oracle holds {want_values}", m.len()));
+    }
+    if m.distinct_keys() != oracle.len() {
+        return Err(format!(
+            "distinct_keys {} but oracle holds {} keys",
+            m.distinct_keys(),
+            oracle.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_multiset_passes_a_soup() {
+        let mut m = build_multiset(128, 5);
+        let ops = gen_ms_ops(5, 4_000, 48);
+        run_ms_ops(&mut m, &ops, 64).unwrap();
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(gen_ms_ops(1, 1_000, 32), gen_ms_ops(1, 1_000, 32));
+        assert_ne!(gen_ms_ops(1, 1_000, 32), gen_ms_ops(2, 1_000, 32));
+    }
+}

@@ -1,0 +1,108 @@
+//! Greedy op-sequence shrinking.
+//!
+//! Given a failing sequence and a predicate that re-runs a candidate
+//! from scratch, the shrinker first removes chunks of halving size
+//! (ddmin-style), then single ops, until no single removal preserves the
+//! failure or the attempt budget runs out. Because the differential
+//! runner accepts *any* subsequence (see [`crate::ops::TableOp`]), no
+//! candidate is ever invalid — the predicate simply reports whether it
+//! still fails.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cap on predicate evaluations per shrink, so a pathological case
+/// cannot hang a test run.
+const SHRINK_BUDGET: usize = 4_000;
+
+/// Run `f`, converting a panic into a failure message. The global panic
+/// hook is silenced for the duration so probe runs do not spam stderr.
+pub fn run_catching<T>(f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(hook);
+    match out {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Greedily shrink `ops`, keeping any subsequence for which `fails`
+/// returns `Some(message)`. Returns the minimal sequence found and the
+/// message it produced. `initial_msg` is the failure of the full
+/// sequence (so a zero-budget shrink still reports something).
+pub fn shrink<O: Clone>(
+    ops: &[O],
+    initial_msg: String,
+    mut fails: impl FnMut(&[O]) -> Option<String>,
+) -> (Vec<O>, String) {
+    let mut cur: Vec<O> = ops.to_vec();
+    let mut msg = initial_msg;
+    let mut budget = SHRINK_BUDGET;
+
+    // Phase 1: remove chunks, halving the chunk size.
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 && budget > 0 {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < cur.len() && budget > 0 {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            budget -= 1;
+            if let Some(m) = fails(&candidate) {
+                cur = candidate;
+                msg = m;
+                removed_any = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if chunk > 1 {
+            chunk /= 2;
+        } else if !removed_any {
+            break;
+        }
+    }
+    (cur, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_culprit_pair() {
+        // Fails iff the sequence contains a 7 followed (not necessarily
+        // adjacently) by a 9.
+        let ops: Vec<u32> = (0..100).collect();
+        let fails = |c: &[u32]| {
+            let i7 = c.iter().position(|&x| x == 7)?;
+            c[i7..].iter().position(|&x| x == 9)?;
+            Some("7 then 9".to_string())
+        };
+        let (min, msg) = shrink(&ops, "7 then 9".into(), fails);
+        assert_eq!(min, vec![7, 9]);
+        assert_eq!(msg, "7 then 9");
+    }
+
+    #[test]
+    fn run_catching_converts_panics() {
+        let err = run_catching::<()>(|| panic!("boom {}", 42)).unwrap_err();
+        assert!(err.contains("boom 42"), "got: {err}");
+        let ok = run_catching(|| Ok(5));
+        assert_eq!(ok.unwrap(), 5);
+    }
+}

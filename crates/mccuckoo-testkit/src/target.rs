@@ -1,0 +1,251 @@
+//! Uniform adapters over the tables under test.
+//!
+//! The differential runner drives everything through [`DiffTarget`]; the
+//! adapters translate the shared op vocabulary into each table's API and
+//! paper over the genuine API differences:
+//!
+//! * the concurrent table has no `insert_new`, `clear` or
+//!   `refresh_stash` — `insert_new` maps to `insert`, `clear` rebuilds
+//!   the table from its config, `refresh_stash` is a no-op;
+//! * the blocked table has no `clear` either and also rebuilds;
+//! * the concurrent table may *reject* an insert when full (no stash),
+//!   which the runner treats as an allowed outcome for fresh keys.
+
+use mccuckoo_core::invariant::Validate;
+use mccuckoo_core::{
+    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo,
+};
+
+/// Which table implementation a fuzz case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// [`McCuckoo`] with counter-reset deletion.
+    Single,
+    /// [`McCuckoo`] with tombstone deletion.
+    SingleTombstone,
+    /// [`BlockedMcCuckoo`] (2 slots per bucket) with reset deletion.
+    Blocked,
+    /// [`ConcurrentMcCuckoo`] driven from one thread.
+    Concurrent,
+}
+
+impl TableKind {
+    /// All kinds, for sweep drivers.
+    pub const ALL: [TableKind; 4] = [
+        TableKind::Single,
+        TableKind::SingleTombstone,
+        TableKind::Blocked,
+        TableKind::Concurrent,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TableKind::Single => "single",
+            TableKind::SingleTombstone => "single-tombstone",
+            TableKind::Blocked => "blocked",
+            TableKind::Concurrent => "concurrent",
+        }
+    }
+
+    /// Build a fresh table of this kind.
+    pub fn build(self, buckets: usize, seed: u64) -> Box<dyn DiffTarget> {
+        match self {
+            TableKind::Single => Box::new(SingleTarget::new(
+                McConfig::paper(buckets, seed).with_deletion(DeletionMode::Reset),
+            )),
+            TableKind::SingleTombstone => Box::new(SingleTarget::new(
+                McConfig::paper(buckets, seed).with_deletion(DeletionMode::Tombstone),
+            )),
+            TableKind::Blocked => Box::new(BlockedTarget::new(BlockedConfig {
+                base: McConfig::paper(buckets, seed).with_deletion(DeletionMode::Reset),
+                slots: 2,
+                aggressive_lookup: true,
+            })),
+            TableKind::Concurrent => {
+                Box::new(ConcurrentTarget::new(McConfig::paper(buckets, seed)))
+            }
+        }
+    }
+
+    /// Total bucket capacity a table built with `buckets` will have
+    /// (used to size the near-full key domain).
+    pub fn capacity(self, buckets: usize) -> usize {
+        match self {
+            TableKind::Blocked => 3 * buckets * 2,
+            _ => 3 * buckets,
+        }
+    }
+}
+
+/// The uniform mutable-table surface the differential runner drives.
+#[allow(clippy::len_without_is_empty)] // the runner never asks for emptiness
+pub trait DiffTarget {
+    /// Table name for reports.
+    fn name(&self) -> &'static str;
+    /// Upsert; `true` if the pair is now stored.
+    fn insert(&mut self, k: u64, v: u64) -> bool;
+    /// Insert a key known absent; `true` if stored.
+    fn insert_new(&mut self, k: u64, v: u64) -> bool;
+    /// Point lookup.
+    fn get(&self, k: u64) -> Option<u64>;
+    /// Membership probe.
+    fn contains(&self, k: u64) -> bool;
+    /// Delete, returning the stored value.
+    fn remove(&mut self, k: u64) -> Option<u64>;
+    /// Drop everything (rebuilds where the API lacks `clear`).
+    fn clear(&mut self);
+    /// Stash flag refresh; 0 where there is no stash.
+    fn refresh_stash(&mut self) -> usize;
+    /// Exhaustive invariant validation.
+    fn validate(&self) -> Result<(), String>;
+    /// Distinct stored keys.
+    fn len(&self) -> usize;
+}
+
+struct SingleTarget {
+    t: McCuckoo<u64, u64>,
+    tombstone: bool,
+}
+
+impl SingleTarget {
+    fn new(config: McConfig) -> Self {
+        let tombstone = config.deletion == DeletionMode::Tombstone;
+        Self {
+            t: McCuckoo::new(config),
+            tombstone,
+        }
+    }
+}
+
+impl DiffTarget for SingleTarget {
+    fn name(&self) -> &'static str {
+        if self.tombstone {
+            "single-tombstone"
+        } else {
+            "single"
+        }
+    }
+    fn insert(&mut self, k: u64, v: u64) -> bool {
+        self.t.insert(k, v).map(|r| r.stored()).unwrap_or(false)
+    }
+    fn insert_new(&mut self, k: u64, v: u64) -> bool {
+        self.t.insert_new(k, v).map(|r| r.stored()).unwrap_or(false)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        self.t.get(&k).copied()
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.t.contains(&k)
+    }
+    fn remove(&mut self, k: u64) -> Option<u64> {
+        self.t.remove(&k)
+    }
+    fn clear(&mut self) {
+        self.t.clear();
+    }
+    fn refresh_stash(&mut self) -> usize {
+        self.t.refresh_stash()
+    }
+    fn validate(&self) -> Result<(), String> {
+        Validate::validate(&self.t)
+    }
+    fn len(&self) -> usize {
+        self.t.len()
+    }
+}
+
+struct BlockedTarget {
+    t: BlockedMcCuckoo<u64, u64>,
+    config: BlockedConfig,
+}
+
+impl BlockedTarget {
+    fn new(config: BlockedConfig) -> Self {
+        Self {
+            t: BlockedMcCuckoo::new(config.clone()),
+            config,
+        }
+    }
+}
+
+impl DiffTarget for BlockedTarget {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+    fn insert(&mut self, k: u64, v: u64) -> bool {
+        self.t.insert(k, v).map(|r| r.stored()).unwrap_or(false)
+    }
+    fn insert_new(&mut self, k: u64, v: u64) -> bool {
+        self.t.insert_new(k, v).map(|r| r.stored()).unwrap_or(false)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        self.t.get(&k).copied()
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.t.contains(&k)
+    }
+    fn remove(&mut self, k: u64) -> Option<u64> {
+        self.t.remove(&k)
+    }
+    fn clear(&mut self) {
+        self.t = BlockedMcCuckoo::new(self.config.clone());
+    }
+    fn refresh_stash(&mut self) -> usize {
+        self.t.refresh_stash()
+    }
+    fn validate(&self) -> Result<(), String> {
+        Validate::validate(&self.t)
+    }
+    fn len(&self) -> usize {
+        self.t.len()
+    }
+}
+
+struct ConcurrentTarget {
+    t: ConcurrentMcCuckoo<u64, u64>,
+    config: McConfig,
+}
+
+impl ConcurrentTarget {
+    fn new(config: McConfig) -> Self {
+        Self {
+            t: ConcurrentMcCuckoo::new(config.clone()),
+            config,
+        }
+    }
+}
+
+impl DiffTarget for ConcurrentTarget {
+    fn name(&self) -> &'static str {
+        "concurrent"
+    }
+    fn insert(&mut self, k: u64, v: u64) -> bool {
+        self.t.insert(k, v).is_ok()
+    }
+    fn insert_new(&mut self, k: u64, v: u64) -> bool {
+        // No separate fresh-key path in the concurrent API.
+        self.t.insert(k, v).is_ok()
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        self.t.get(&k)
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.t.contains(&k)
+    }
+    fn remove(&mut self, k: u64) -> Option<u64> {
+        self.t.remove(&k)
+    }
+    fn clear(&mut self) {
+        self.t = ConcurrentMcCuckoo::new(self.config.clone());
+    }
+    fn refresh_stash(&mut self) -> usize {
+        0
+    }
+    fn validate(&self) -> Result<(), String> {
+        Validate::validate(&self.t)
+    }
+    fn len(&self) -> usize {
+        self.t.len()
+    }
+}

@@ -1,0 +1,28 @@
+//! Acceptance: a 10k-op seeded fuzz run passes for every table type and
+//! every adversarial mix, with per-batch invariant validation.
+
+use mccuckoo_testkit::{fuzz_multiset_or_panic, fuzz_one_or_panic, MixProfile, TableKind};
+
+#[test]
+fn ten_k_ops_all_tables_all_profiles() {
+    for kind in TableKind::ALL {
+        for profile in MixProfile::ALL {
+            fuzz_one_or_panic(kind, profile, 0xC0FFEE, 10_000);
+        }
+    }
+}
+
+#[test]
+fn ten_k_ops_multiset() {
+    fuzz_multiset_or_panic(0xC0FFEE, 10_000);
+}
+
+#[test]
+fn a_second_seed_sweep_stays_clean() {
+    for seed in [1u64, 7, 0xDEAD] {
+        for kind in TableKind::ALL {
+            fuzz_one_or_panic(kind, MixProfile::Balanced, seed, 2_000);
+        }
+        fuzz_multiset_or_panic(seed, 2_000);
+    }
+}

@@ -1,0 +1,80 @@
+//! Acceptance: an injected bookkeeping fault is caught by the
+//! differential harness and shrunk to a tiny replayable sequence.
+//!
+//! Requires `--features faults` (forwards `mccuckoo-core/testhooks`).
+//! The fault: every deletion skips the counter reset of its first copy
+//! location, leaving a counter that claims a live copy in a vacated
+//! bucket — exactly the kind of silent corruption the validators exist
+//! to catch.
+
+#![cfg(feature = "faults")]
+
+use mccuckoo_core::testhooks;
+use mccuckoo_testkit::{fuzz_one, MixProfile, TableKind};
+
+#[test]
+fn skipped_counter_reset_is_caught_and_shrunk() {
+    // Arm for the whole thread so every shrink replay sees the same
+    // faulty table; the guard disarms on exit so other tests in this
+    // binary are unaffected.
+    testhooks::arm_skip_counter_reset(u32::MAX);
+    let result = fuzz_one(TableKind::Single, MixProfile::DeleteHeavy, 0x5EED, 5_000);
+    testhooks::disarm();
+
+    let report = result.expect_err("the injected fault must be detected");
+    // The fault needs one effective insert and one delete; the shrinker
+    // must get close to that minimal pair.
+    assert!(
+        report.min_len <= 6,
+        "expected a near-minimal sequence, got {} ops: {}",
+        report.min_len,
+        report.min_ops
+    );
+    let text = report.to_string();
+    assert!(
+        text.contains("replay:"),
+        "report must carry a replay line: {text}"
+    );
+    assert!(
+        text.contains("seed 0x5eed"),
+        "report must name the seed: {text}"
+    );
+
+    // Replayability: the same case fails again while the fault is armed
+    // and passes once it is disarmed.
+    testhooks::arm_skip_counter_reset(u32::MAX);
+    let again = fuzz_one(TableKind::Single, MixProfile::DeleteHeavy, 0x5EED, 5_000);
+    testhooks::disarm();
+    let again = again.expect_err("armed replay must fail again");
+    assert_eq!(
+        again.min_ops, report.min_ops,
+        "shrinking must be deterministic"
+    );
+
+    fuzz_one(TableKind::Single, MixProfile::DeleteHeavy, 0x5EED, 5_000)
+        .expect("disarmed run must be clean");
+}
+
+// Under `paranoid` the corrupting remove() panics immediately (which is
+// the feature working as intended); the direct-validator flow below
+// assumes the mutation completes, so it only runs without it.
+#[cfg(not(feature = "paranoid"))]
+#[test]
+fn bounded_fault_hits_exactly_n_deletions() {
+    // A single armed deletion corrupts one bucket; a direct validator
+    // call sees it without the differential machinery.
+    use mccuckoo_core::{DeletionMode, McConfig, McCuckoo};
+    let mut t: McCuckoo<u64, u64> =
+        McCuckoo::new(McConfig::paper(64, 9).with_deletion(DeletionMode::Reset));
+    for k in 0..20u64 {
+        t.insert_new(k, k).unwrap();
+    }
+    t.check_invariants().unwrap();
+    testhooks::arm_skip_counter_reset(1);
+    t.remove(&7);
+    testhooks::disarm();
+    let err = t
+        .check_invariants()
+        .expect_err("corruption must be visible");
+    assert!(!err.is_empty());
+}

@@ -18,7 +18,7 @@
 //! burst pay `extra_burst_clk` per additional burst. This keeps the
 //! record-size sweeps of Figs. 15–16 meaningful.
 
-use serde::{Deserialize, Serialize};
+use jsonlite::impl_json_struct;
 
 use crate::meter::MemStats;
 
@@ -33,7 +33,7 @@ use crate::meter::MemStats;
 /// assert!(cost.ns_per_op() > 180.0); // two 90 ns DDR reads dominate
 /// assert!(cost.mops() < 6.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlatformModel {
     /// Logic / on-chip SRAM clock, MHz.
     pub logic_mhz: f64,
@@ -197,6 +197,20 @@ impl PlatformModel {
     }
 }
 
+impl_json_struct!(PlatformModel {
+    logic_mhz,
+    logic_op_clk,
+    sram_read_clk,
+    sram_write_clk,
+    ddr_mhz,
+    ddr_read_clk,
+    ddr_write_clk,
+    burst_bytes,
+    extra_burst_clk,
+    stash_read_clk,
+    stash_write_clk,
+});
+
 impl Default for PlatformModel {
     fn default() -> Self {
         Self::stratix_v()
@@ -204,7 +218,7 @@ impl Default for PlatformModel {
 }
 
 /// Latency decomposition of an access trace under a [`PlatformModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyBreakdown {
     /// Time spent on off-chip table accesses, ns.
     pub offchip_ns: f64,
@@ -361,8 +375,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let p = PlatformModel::stratix_v();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: PlatformModel = serde_json::from_str(&json).unwrap();
+        let json = jsonlite::to_string(&p);
+        let back: PlatformModel = jsonlite::from_str(&json).unwrap();
         assert_eq!(p, back);
     }
 }

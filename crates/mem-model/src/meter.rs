@@ -22,11 +22,11 @@ use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
+use jsonlite::impl_json_struct;
 
 /// A snapshot of access counters. Obtained from [`MemMeter::snapshot`];
 /// two snapshots subtract to give per-operation or per-phase deltas.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Off-chip main-table bucket reads (includes `verify_reads`).
     pub offchip_reads: u64,
@@ -47,6 +47,17 @@ pub struct MemStats {
     /// stash, which is an event count, not a probe count).
     pub stash_visits: u64,
 }
+
+impl_json_struct!(MemStats {
+    offchip_reads,
+    offchip_writes,
+    verify_reads,
+    onchip_reads,
+    onchip_writes,
+    stash_reads,
+    stash_writes,
+    stash_visits
+});
 
 impl MemStats {
     /// Total off-chip traffic (reads + writes), the paper's headline unit.
@@ -332,8 +343,8 @@ mod tests {
             offchip_reads: 7,
             ..Default::default()
         };
-        let json = serde_json::to_string(&a).unwrap();
-        let back: MemStats = serde_json::from_str(&json).unwrap();
+        let json = jsonlite::to_string(&a);
+        let back: MemStats = jsonlite::from_str(&json).unwrap();
         assert_eq!(a, back);
     }
 }

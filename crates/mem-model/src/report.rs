@@ -6,10 +6,10 @@
 //! the stash. Every table in this workspace (McCuckoo and the baselines)
 //! returns an [`InsertReport`] so the harness can drive them uniformly.
 
-use serde::{Deserialize, Serialize};
+use jsonlite::{impl_json_enum, impl_json_struct};
 
 /// Where an inserted item ended up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
     /// Placed in the main table.
     Placed,
@@ -24,7 +24,7 @@ pub enum InsertOutcome {
 }
 
 /// Instrumentation of a single insertion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InsertReport {
     /// Final placement of the item.
     pub outcome: InsertOutcome,
@@ -40,6 +40,19 @@ pub struct InsertReport {
     /// redundancy achieved at insert time).
     pub copies_written: u8,
 }
+
+impl_json_enum!(InsertOutcome {
+    Placed,
+    Updated,
+    Stashed,
+    Failed
+});
+impl_json_struct!(InsertReport {
+    outcome,
+    kickouts,
+    collision,
+    copies_written
+});
 
 impl InsertReport {
     /// A collision-free placement that wrote `copies` copies.
@@ -100,7 +113,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let r = InsertReport::clean(1);
-        let s = serde_json::to_string(&r).unwrap();
-        assert_eq!(serde_json::from_str::<InsertReport>(&s).unwrap(), r);
+        let s = jsonlite::to_string(&r);
+        assert_eq!(jsonlite::from_str::<InsertReport>(&s).unwrap(), r);
     }
 }

@@ -1,0 +1,304 @@
+//! In-tree stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! benches use — groups, `bench_function`, `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, and the two entry-point macros —
+//! with a simple calibrated wall-clock measurement (warm-up, then a
+//! fixed measurement window, reporting mean ns/iter). No statistics,
+//! plots or HTML: the goal is that `cargo bench` compiles, runs and
+//! prints usable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stand-in always runs one routine call per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (setup dominates; fewer batches).
+    LargeInput,
+    /// One batch per measurement.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(400),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(self.warm_up, self.measurement, name, &mut f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (the stand-in is time-budgeted,
+    /// not sample-count-budgeted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &label,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &label,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op; numbers are printed as they are taken).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<Measurement>,
+}
+
+struct Measurement {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills
+        // the measurement window.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        let begin = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.result = Some(Measurement {
+            iters: target,
+            elapsed: begin.elapsed(),
+        });
+    }
+
+    /// Measure `routine` over fresh inputs produced by `setup` (setup
+    /// time excluded from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // One warm-up batch, then measure whole batches until the window
+        // is exhausted (at least 3 batches).
+        black_box(routine(setup()));
+        let mut elapsed = Duration::ZERO;
+        let mut batches = 0u64;
+        while elapsed < self.measurement || batches < 3 {
+            let input = setup();
+            let begin = Instant::now();
+            black_box(routine(input));
+            elapsed += begin.elapsed();
+            batches += 1;
+            if batches >= 1_000 {
+                break;
+            }
+        }
+        self.result = Some(Measurement {
+            iters: batches,
+            elapsed,
+        });
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    label: &str,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        result: None,
+    };
+    f(&mut b);
+    match b.result.take() {
+        Some(m) => {
+            let ns = m.elapsed.as_nanos() as f64 / m.iters.max(1) as f64;
+            println!("bench {label:<50} {ns:>14.1} ns/iter ({} iters)", m.iters);
+        }
+        None => println!("bench {label:<50} (no measurement taken)"),
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_plausible_time() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(10),
+            warm_up: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_batch() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut setups = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![x; 8]
+                },
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+        assert!(setups >= 3);
+    }
+}

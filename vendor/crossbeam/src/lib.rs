@@ -1,0 +1,106 @@
+//! In-tree stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only `crossbeam::atomic::AtomicCell` is provided, because that is the
+//! only item the workspace uses (the concurrent table's bucket cells).
+//! Upstream `AtomicCell<T>` is lock-free for small `T` and falls back to
+//! a striped spinlock for larger ones; this stand-in always takes the
+//! lock-based route via `std::sync::Mutex`, which is safe (no `unsafe`
+//! anywhere) and preserves the linearizability the table relies on. The
+//! concurrent table additionally brackets every mutation with its own
+//! per-bucket seqlock versions, so reader-visible semantics are
+//! unchanged — only raw throughput differs from upstream.
+
+pub mod atomic {
+    use std::sync::{Mutex, PoisonError};
+
+    /// A thread-safe mutable memory location, API-compatible with the
+    /// subset of `crossbeam::atomic::AtomicCell` the workspace uses.
+    #[derive(Debug, Default)]
+    pub struct AtomicCell<T> {
+        value: Mutex<T>,
+    }
+
+    impl<T> AtomicCell<T> {
+        /// Create a cell holding `value`.
+        pub const fn new(value: T) -> Self {
+            Self {
+                value: Mutex::new(value),
+            }
+        }
+
+        /// Replace the contents, returning the previous value.
+        pub fn swap(&self, value: T) -> T {
+            std::mem::replace(
+                &mut self.value.lock().unwrap_or_else(PoisonError::into_inner),
+                value,
+            )
+        }
+
+        /// Store `value`.
+        pub fn store(&self, value: T) {
+            *self.value.lock().unwrap_or_else(PoisonError::into_inner) = value;
+        }
+
+        /// Consume the cell, returning the value.
+        pub fn into_inner(self) -> T {
+            self.value
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: Copy> AtomicCell<T> {
+        /// Load a copy of the contents.
+        pub fn load(&self) -> T {
+            *self.value.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: Default> AtomicCell<T> {
+        /// Take the value, leaving `T::default()`.
+        pub fn take(&self) -> T {
+            self.swap(T::default())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn load_store_swap() {
+            let c = AtomicCell::new(Some((1u64, 2u64)));
+            assert_eq!(c.load(), Some((1, 2)));
+            c.store(None);
+            assert_eq!(c.load(), None);
+            assert_eq!(c.swap(Some((3, 4))), None);
+            assert_eq!(c.take(), Some((3, 4)));
+            assert_eq!(c.load(), None);
+        }
+
+        #[test]
+        fn concurrent_store_load_is_torn_free() {
+            // Writers alternate between two "wide" values; readers must
+            // never observe a mix of the two.
+            let c = Arc::new(AtomicCell::new((0u64, 0u64)));
+            let w = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50_000u64 {
+                        if i % 2 == 0 {
+                            c.store((u64::MAX, u64::MAX));
+                        } else {
+                            c.store((0, 0));
+                        }
+                    }
+                })
+            };
+            for _ in 0..50_000 {
+                let (a, b) = c.load();
+                assert_eq!(a, b, "torn read");
+            }
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Collection strategies: `prop::collection::{vec, hash_set}`.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// `Vec<T>` with a length drawn from `size` and elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`fn@vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn simplify(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let min = self.size.start;
+        let mut out: Vec<Self::Value> = Vec::new();
+        // Structural shrinks first: aggressive halving, then single
+        // removals (bounded so huge vectors stay cheap to shrink).
+        if v.len() > min {
+            out.push(v[..min.max(v.len() / 2)].to_vec());
+            out.push(v[v.len() - min.max(v.len() / 2)..].to_vec());
+            let step = (v.len() / 16).max(1);
+            for i in (0..v.len()).step_by(step) {
+                let mut nv = v.clone();
+                nv.remove(i);
+                if nv.len() >= min {
+                    out.push(nv);
+                }
+            }
+        }
+        // Element-wise shrinks on a bounded number of positions.
+        for i in 0..v.len().min(8) {
+            for cand in self.element.simplify(&v[i]) {
+                let mut nv = v.clone();
+                nv[i] = cand;
+                out.push(nv);
+            }
+        }
+        // No identity check (Value is not PartialEq): structural shrinks
+        // are strictly shorter and element shrinks change an element, so
+        // candidates equal to `v` cannot arise from well-behaved element
+        // strategies; the shrink budget bounds any pathological case.
+        out.retain(|nv| nv.len() >= min);
+        out
+    }
+}
+
+/// `HashSet<T>` with a size drawn from `size` and elements from `element`.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    assert!(size.start < size.end, "empty size range");
+    HashSetStrategy { element, size }
+}
+
+/// Strategy returned by [`hash_set`].
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+        let mut set = HashSet::with_capacity(target);
+        // Duplicates (e.g. a narrow element domain) shrink the yield;
+        // bound the attempts so generation always terminates.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 20 + 32 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+
+    fn simplify(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let min = self.size.start;
+        if v.len() <= min {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let items: Vec<&S::Value> = v.iter().collect();
+        // Halve.
+        out.push(
+            items[..min.max(items.len() / 2)]
+                .iter()
+                .map(|x| (*x).clone())
+                .collect(),
+        );
+        // Drop single elements (bounded).
+        let step = (items.len() / 16).max(1);
+        for i in (0..items.len()).step_by(step) {
+            let nv: HashSet<S::Value> = items
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, x)| (*x).clone())
+                .collect();
+            if nv.len() >= min {
+                out.push(nv);
+            }
+        }
+        out.retain(|nv| nv.len() >= min && nv != v);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_elements() {
+        let s = vec(0u8..5, 2..10);
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn vec_simplify_never_violates_min_len() {
+        let s = vec(0u8..5, 3..10);
+        let mut rng = TestRng::new(2);
+        let v = s.generate(&mut rng);
+        for cand in s.simplify(&v) {
+            assert!(cand.len() >= 3);
+            assert_ne!(&cand, &v);
+        }
+    }
+
+    #[test]
+    fn hash_set_handles_narrow_domains() {
+        // Only 3 possible values but min size 1: generation must
+        // terminate and stay within the possible sizes.
+        let s = hash_set(0u8..3, 1..50);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! In-tree stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the [`proptest!`] macro, integer/float range and
+//! [`any`] strategies, tuple composition, [`prop_map`], `prop_oneof!`,
+//! [`Just`], `prop::collection::{vec, hash_set}`, `prop::sample::Index`,
+//! a `".{a,b}"` string pattern strategy, and greedy value shrinking.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic.** Case seeds derive from the test name and case
+//!   index, so every run explores the same inputs and any failure is
+//!   replayable with no persistence file. `PROPTEST_SEED=<u64>` in the
+//!   environment re-bases the sequence to explore new ground.
+//! * **Value-level shrinking.** Strategies shrink produced values
+//!   directly (toward range starts, shorter collections, smaller
+//!   integers) rather than replaying a generation tree. Mapped and
+//!   union strategies do not shrink through the mapping; collection
+//!   elements still shrink element-wise.
+//! * `prop_assert*` panic (the runner catches panics), rather than
+//!   returning `Result` — observable behaviour inside `proptest!` is
+//!   the same.
+//!
+//! [`prop_map`]: Strategy::prop_map
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod collection;
+pub mod runner;
+pub mod sample;
+
+/// Deterministic split-mix PRNG driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-high reduction; bias is irrelevant at test scales.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. The runner
+    /// keeps a candidate only if the test still fails on it.
+    fn simplify(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+    fn simplify(&self, v: &T) -> Vec<T> {
+        (**self).simplify(v)
+    }
+}
+
+/// Box a strategy for use in heterogeneous unions (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Strategy yielding a single constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A `prop_map`-ped strategy.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms, total }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer / float ranges
+// ---------------------------------------------------------------------
+
+macro_rules! impl_uint_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+            fn simplify(&self, v: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *v > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*v - self.start) / 2;
+                    if mid != self.start && mid != *v {
+                        out.push(mid);
+                    }
+                    out.push(*v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )+};
+}
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+    fn simplify(&self, v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *v > self.start {
+            out.push(self.start);
+            let mid = self.start + (*v - self.start) / 2.0;
+            if mid != self.start && mid != *v {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Clone + Debug + 'static {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Candidate simplifications (toward zero / trivial).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy produced by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn simplify(&self, v: &T) -> Vec<T> {
+        v.shrink()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = self / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        sample::Index::new(rng.next_u64())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn simplify(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.simplify(&v.$idx) {
+                        let mut nv = v.clone();
+                        nv.$idx = cand;
+                        out.push(nv);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------
+// String pattern strategy
+// ---------------------------------------------------------------------
+
+/// `&'static str` acts as a (very small) regex-style pattern strategy.
+/// `".{a,b}"` — between `a` and `b` printable-ASCII chars — is parsed
+/// exactly; any other pattern falls back to 0–16 alphanumeric chars.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_range(self).unwrap_or((0, 16));
+        let len = min as u64 + rng.below((max - min + 1) as u64);
+        (0..len)
+            .map(|_| (0x20 + rng.below(0x5F) as u8) as char) // printable ASCII
+            .collect()
+    }
+    fn simplify(&self, v: &String) -> Vec<String> {
+        let (min, _) = parse_dot_range(self).unwrap_or((0, 16));
+        let mut out = Vec::new();
+        if v.len() > min {
+            out.push(v.chars().take(min).collect());
+            out.push(v.chars().take(v.len() / 2).collect());
+            let mut short = v.clone();
+            short.pop();
+            out.push(short);
+        }
+        out.retain(|s: &String| s.chars().count() >= min && s != v);
+        out.dedup();
+        out
+    }
+}
+
+fn parse_dot_range(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (a, b) = rest.split_once(',')?;
+    let min = a.trim().parse().ok()?;
+    let max = b.trim().parse().ok()?;
+    (min <= max).then_some((min, max))
+}
+
+// ---------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------
+
+/// Runner configuration (only `cases` is meaningful here).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Define property tests: `fn name(binding in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    ($($strat,)+),
+                    |($($pat,)+)| $body,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+/// Assert inside a property test (panics; the runner catches and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, boxed, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = 10u64..20;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn simplify_moves_toward_start() {
+        let s = 3u32..100;
+        let cands = s.simplify(&50);
+        assert!(cands.contains(&3));
+        assert!(cands.iter().all(|&c| (3..50).contains(&c)));
+        assert!(s.simplify(&3).is_empty());
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = TestRng::new(7);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "{ones} of 1000");
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let s = (0u16..10, any::<u32>()).prop_map(|(a, b)| (a as u64) + (b as u64));
+        let mut rng = TestRng::new(3);
+        let _ = s.generate(&mut rng);
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let s: &'static str = ".{2,5}";
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=5).contains(&v.chars().count()), "{v:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end-to-end.
+        #[test]
+        fn macro_smoke(x in 0u64..100, v in prop::collection::vec(0u8..10, 0..20)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 20);
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // Drive the runner directly: property "v < 17" fails; the shrink
+        // loop must land exactly on 17.
+        let got = std::panic::catch_unwind(|| {
+            runner::run(
+                ProptestConfig::with_cases(200),
+                "shrink_demo",
+                (0u64..1000,),
+                |(v,)| assert!(v < 17),
+            );
+        });
+        let msg = panic_message(got.unwrap_err());
+        assert!(
+            msg.contains("(17,)"),
+            "expected minimal input 17, got: {msg}"
+        );
+        assert!(
+            msg.contains("PROPTEST_SEED"),
+            "must print replay seed: {msg}"
+        );
+    }
+
+    fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+}

@@ -1,0 +1,162 @@
+//! The case runner: deterministic generation, panic capture, greedy
+//! shrinking, and a replayable failure report.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::{ProptestConfig, Strategy, TestRng};
+
+/// Upper bound on shrink attempts per failure, so pathological
+/// strategies cannot loop forever.
+const SHRINK_BUDGET: usize = 2_000;
+
+/// Execute a property: `cases` deterministic inputs from `strategy`,
+/// failing with a shrunk, replayable report on the first panic.
+///
+/// The per-test seed is `PROPTEST_SEED` (if set) combined with a hash
+/// of the fully-qualified test name, so different tests explore
+/// different sequences but every run of one test is identical.
+pub fn run<S, F, R>(config: ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    let base_seed = base_seed(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(case_seed(base_seed, case));
+        let input = strategy.generate(&mut rng);
+        if let Err(msg) = run_one(&test, input.clone()) {
+            let (minimal, min_msg) = shrink(&strategy, &test, input, msg);
+            panic!(
+                "proptest stand-in: property '{name}' failed.\n\
+                 \x20 replay: PROPTEST_SEED={base_seed} (case {case} of {cases})\n\
+                 \x20 minimal failing input: {minimal:?}\n\
+                 \x20 failure: {min_msg}",
+                cases = config.cases,
+            );
+        }
+    }
+}
+
+fn base_seed(name: &str) -> u64 {
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x4D63_4375_636B_6F6F); // "McCuckoo"
+                                           // FNV-1a over the test name, mixed with the base.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ env
+}
+
+fn case_seed(base: u64, case: u32) -> u64 {
+    base.wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Run one case, capturing a panic as `Err(message)`. The default panic
+/// hook is silenced for the call so expected failures (especially the
+/// many probes of the shrink loop) do not spam stderr.
+fn run_one<V, R>(test: &impl Fn(V) -> R, input: V) -> Result<(), String> {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        test(input);
+    }));
+    std::panic::set_hook(prev);
+    outcome.map(|_| ()).map_err(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_owned())
+    })
+}
+
+/// Greedy shrink: repeatedly take the first simplification candidate
+/// that still fails, until none does or the budget runs out.
+fn shrink<S, F, R>(
+    strategy: &S,
+    test: &F,
+    mut current: S::Value,
+    mut current_msg: String,
+) -> (S::Value, String)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    let mut budget = SHRINK_BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in strategy.simplify(&current) {
+            if budget == 0 {
+                return (current, current_msg);
+            }
+            budget -= 1;
+            if let Err(msg) = run_one(test, cand.clone()) {
+                current = cand;
+                current_msg = msg;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, current_msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let seen = std::sync::Mutex::new(0u32);
+        run(
+            ProptestConfig::with_cases(10),
+            "count_cases",
+            (0u64..100,),
+            |(_v,)| {
+                *seen.lock().unwrap() += 1;
+            },
+        );
+        assert_eq!(seen.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn determinism_same_name_same_inputs() {
+        let collect = |name: &str| {
+            let inputs = std::sync::Mutex::new(Vec::new());
+            run(
+                ProptestConfig::with_cases(20),
+                name,
+                (0u64..1_000_000,),
+                |(v,)| inputs.lock().unwrap().push(v),
+            );
+            inputs.into_inner().unwrap()
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    #[test]
+    fn vec_failures_shrink_structurally() {
+        // Property: no vector contains a value >= 50. The minimal
+        // counterexample is a single-element vector [50].
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                ProptestConfig::with_cases(100),
+                "vec_shrink",
+                (crate::collection::vec(0u32..1000, 1..100),),
+                |(v,)| assert!(v.iter().all(|&x| x < 50)),
+            );
+        }))
+        .unwrap_err();
+        let msg = got.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("([50],)"),
+            "expected minimal input ([50],), got: {msg}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! `prop::sample` — sampling helpers.
+
+/// An index into a collection of not-yet-known length: generated as an
+/// unconstrained value, projected with [`Index::index`] at use time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Wrap a raw draw.
+    pub fn new(raw: u64) -> Self {
+        Self { raw }
+    }
+
+    /// Project onto `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_in_range() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            let i = Index::new(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(i.index(len) < len);
+            }
+        }
+    }
+}
