@@ -10,6 +10,7 @@
 //! ref \[33\].
 
 use hash_kit::{BucketFamily, FamilyKind, KeyHash, SplitMix64};
+use mccuckoo_core::McTable;
 use mem_model::{InsertOutcome, InsertReport, MemMeter};
 
 /// Configuration of a [`Bcht`].
@@ -275,6 +276,71 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
         self.entries
             .iter()
             .filter_map(|e| e.as_ref().map(|e| (&e.key, &e.value)))
+    }
+
+    /// Remove every stored item. The hash functions and access meter are
+    /// untouched.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+        self.len = 0;
+    }
+}
+
+/// [`McTable`] conformance. The same distinct-key and failed-insert
+/// caveats as [`crate::DaryCuckoo`]'s impl apply.
+impl<K: KeyHash + Eq, V: Clone> McTable<K, V> for Bcht<K, V> {
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        let existed = Bcht::remove(self, &key).is_some();
+        match Bcht::insert(self, key, value) {
+            Ok(mut r) => {
+                if existed {
+                    r.outcome = InsertOutcome::Updated;
+                }
+                r
+            }
+            Err(full) => full.report,
+        }
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        match Bcht::insert(self, key, value) {
+            Ok(r) => r,
+            Err(full) => full.report,
+        }
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        Bcht::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        Bcht::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        Bcht::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Bcht::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        Bcht::contains(self, key)
+    }
+
+    fn load(&self) -> f64 {
+        self.load_ratio()
+    }
+
+    fn mem_stats(&self) -> mem_model::MemStats {
+        self.meter().snapshot()
     }
 }
 

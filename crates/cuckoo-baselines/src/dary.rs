@@ -10,6 +10,7 @@
 //! the final evicted item is handed back to the caller (who would rehash).
 
 use hash_kit::{BucketFamily, FamilyKind, KeyHash, SplitMix64};
+use mccuckoo_core::McTable;
 use mem_model::{InsertOutcome, InsertReport, MemMeter};
 
 use crate::kick::KickPolicy;
@@ -592,6 +593,85 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
             .iter()
             .filter_map(|b| b.as_ref().map(|e| (&e.key, &e.value)))
             .chain(self.stash.iter().map(|(k, v)| (k, v)))
+    }
+
+    /// Remove every stored item (main table and stash). The hash
+    /// functions, kick policy and access meter are untouched.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = None;
+        }
+        self.stash.clear();
+        self.main_len = 0;
+    }
+}
+
+/// [`McTable`] conformance. The classic cuckoo insert assumes distinct
+/// keys, so the trait's upsert removes any existing entry first. One
+/// caveat inherited from classic random-walk semantics: an insertion that
+/// exhausts its budget reports [`InsertOutcome::Failed`] with the *last
+/// displaced victim* evicted — under sustained overload the reported-failed
+/// key can itself be stored while another key fell out. The conformance
+/// and differential harnesses run the baselines below that regime.
+impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for DaryCuckoo<K, V> {
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        let existed = DaryCuckoo::remove(self, &key).is_some();
+        match DaryCuckoo::insert(self, key, value) {
+            Ok(mut r) => {
+                if existed {
+                    r.outcome = InsertOutcome::Updated;
+                }
+                r
+            }
+            Err(full) => full.report,
+        }
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        match DaryCuckoo::insert(self, key, value) {
+            Ok(r) => r,
+            Err(full) => full.report,
+        }
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        DaryCuckoo::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        DaryCuckoo::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        DaryCuckoo::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        DaryCuckoo::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        DaryCuckoo::contains(self, key)
+    }
+
+    fn load(&self) -> f64 {
+        self.load_ratio()
+    }
+
+    fn stash_len(&self) -> usize {
+        DaryCuckoo::stash_len(self)
+    }
+
+    fn refresh_stash(&mut self) -> usize {
+        self.retry_stash()
+    }
+
+    fn mem_stats(&self) -> mem_model::MemStats {
+        self.meter().snapshot()
     }
 }
 

@@ -1,12 +1,13 @@
 //! Uniform driver over the four evaluated schemes.
 //!
 //! The paper compares ternary Cuckoo, McCuckoo, 3×3 BCHT and
-//! B-McCuckoo (§IV.A.3). [`AnyTable`] normalises their APIs so the
-//! experiment binaries can sweep all four with one code path. All tables
+//! B-McCuckoo (§IV.A.3). [`AnyTable`] holds any of them as a boxed
+//! [`McTable`] so the experiment binaries sweep all four with one code
+//! path — the per-scheme `match` exists only at construction. All tables
 //! are sized by **total slot capacity** so load ratios are comparable.
 
 use cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
-use mccuckoo_core::{BlockedConfig, BlockedMcCuckoo, McConfig, McCuckoo};
+use mccuckoo_core::{BlockedConfig, BlockedMcCuckoo, McConfig, McCuckoo, McTable};
 use mem_model::{InsertOutcome, InsertReport, MemStats};
 
 /// The four schemes of the paper's evaluation.
@@ -68,15 +69,12 @@ impl Scheme {
 }
 
 /// A table of any scheme, keyed `u64 → u64`, sized by total slots.
-pub enum AnyTable {
-    /// Standard d-ary Cuckoo.
-    Cuckoo(DaryCuckoo<u64, u64>),
-    /// Single-slot McCuckoo.
-    Mc(McCuckoo<u64, u64>),
-    /// Blocked cuckoo baseline.
-    Bcht(Bcht<u64, u64>),
-    /// Blocked McCuckoo.
-    BMc(BlockedMcCuckoo<u64, u64>),
+///
+/// All operations go through the shared [`McTable`] interface; the
+/// scheme tag rides along for labelling only.
+pub struct AnyTable {
+    scheme: Scheme,
+    t: Box<dyn McTable<u64, u64>>,
 }
 
 impl AnyTable {
@@ -90,11 +88,11 @@ impl AnyTable {
         maxloop: u32,
         deletion: bool,
     ) -> Self {
-        match scheme {
+        let t: Box<dyn McTable<u64, u64>> = match scheme {
             Scheme::Cuckoo => {
                 let mut cfg = CuckooConfig::paper(cap_slots / 3, seed);
                 cfg.maxloop = maxloop;
-                AnyTable::Cuckoo(DaryCuckoo::new(cfg))
+                Box::new(DaryCuckoo::new(cfg))
             }
             Scheme::McCuckoo => {
                 let mut cfg = if deletion {
@@ -103,12 +101,12 @@ impl AnyTable {
                     McConfig::paper(cap_slots / 3, seed)
                 };
                 cfg.maxloop = maxloop;
-                AnyTable::Mc(McCuckoo::new(cfg))
+                Box::new(McCuckoo::new(cfg))
             }
             Scheme::Bcht => {
                 let mut cfg = BchtConfig::paper(cap_slots / 9, seed);
                 cfg.maxloop = maxloop;
-                AnyTable::Bcht(Bcht::new(cfg))
+                Box::new(Bcht::new(cfg))
             }
             Scheme::BMcCuckoo => {
                 let base = if deletion {
@@ -122,102 +120,63 @@ impl AnyTable {
                     aggressive_lookup: false,
                 };
                 cfg.base.maxloop = maxloop;
-                AnyTable::BMc(BlockedMcCuckoo::new(cfg))
+                Box::new(BlockedMcCuckoo::new(cfg))
             }
-        }
+        };
+        Self { scheme, t }
     }
 
     /// Which scheme this is.
     pub fn scheme(&self) -> Scheme {
-        match self {
-            AnyTable::Cuckoo(_) => Scheme::Cuckoo,
-            AnyTable::Mc(_) => Scheme::McCuckoo,
-            AnyTable::Bcht(_) => Scheme::Bcht,
-            AnyTable::BMc(_) => Scheme::BMcCuckoo,
-        }
+        self.scheme
     }
 
-    /// Insert a fresh key. Baseline hard failures (no stash) are folded
-    /// into a `Failed` report; the evicted victim is re-offered nowhere
+    /// Insert a fresh key. Hard failures (no stash, or stash full) are
+    /// reported as `Failed`; the evicted victim is re-offered nowhere
     /// (the sweeps stop at the first failure anyway).
     pub fn insert_new(&mut self, k: u64, v: u64) -> InsertReport {
-        match self {
-            AnyTable::Cuckoo(t) => t.insert(k, v).unwrap_or_else(|full| full.report),
-            AnyTable::Mc(t) => t.insert_new(k, v).unwrap_or_else(|full| full.report),
-            AnyTable::Bcht(t) => t.insert(k, v).unwrap_or_else(|full| full.report),
-            AnyTable::BMc(t) => t.insert_new(k, v).unwrap_or_else(|full| full.report),
-        }
+        self.t.insert_new(k, v)
     }
 
     /// Look up a key.
     pub fn get(&self, k: &u64) -> Option<u64> {
-        match self {
-            AnyTable::Cuckoo(t) => t.get(k).copied(),
-            AnyTable::Mc(t) => t.get(k).copied(),
-            AnyTable::Bcht(t) => t.get(k).copied(),
-            AnyTable::BMc(t) => t.get(k).copied(),
-        }
+        self.t.lookup(k)
     }
 
     /// Remove a key (multi-copy tables must be built with `deletion`).
     pub fn remove(&mut self, k: &u64) -> Option<u64> {
-        match self {
-            AnyTable::Cuckoo(t) => t.remove(k),
-            AnyTable::Mc(t) => t.remove(k),
-            AnyTable::Bcht(t) => t.remove(k),
-            AnyTable::BMc(t) => t.remove(k),
-        }
+        self.t.remove(k)
     }
 
     /// Meter snapshot.
     pub fn snapshot(&self) -> MemStats {
-        match self {
-            AnyTable::Cuckoo(t) => t.meter().snapshot(),
-            AnyTable::Mc(t) => t.meter().snapshot(),
-            AnyTable::Bcht(t) => t.meter().snapshot(),
-            AnyTable::BMc(t) => t.meter().snapshot(),
-        }
+        self.t.mem_stats()
     }
 
     /// Total slot capacity.
     pub fn capacity(&self) -> usize {
-        match self {
-            AnyTable::Cuckoo(t) => t.capacity(),
-            AnyTable::Mc(t) => t.capacity(),
-            AnyTable::Bcht(t) => t.capacity(),
-            AnyTable::BMc(t) => t.capacity(),
-        }
+        self.t.capacity()
     }
 
     /// Stored distinct items.
     pub fn len(&self) -> usize {
-        match self {
-            AnyTable::Cuckoo(t) => t.len(),
-            AnyTable::Mc(t) => t.len(),
-            AnyTable::Bcht(t) => t.len(),
-            AnyTable::BMc(t) => t.len(),
-        }
+        self.t.len()
     }
 
     /// True if no items stored.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.t.is_empty()
     }
 
     /// Stash occupancy (0 for the baselines, which have no off-chip
     /// stash in the paper's setup).
     pub fn stash_len(&self) -> usize {
-        match self {
-            AnyTable::Cuckoo(t) => t.stash_len(),
-            AnyTable::Mc(t) => t.stash_len(),
-            AnyTable::Bcht(_) => 0,
-            AnyTable::BMc(t) => t.stash_len(),
-        }
+        self.t.stash_len()
     }
 
     /// Load ratio.
     pub fn load_ratio(&self) -> f64 {
-        self.len() as f64 / self.capacity() as f64
+        self.t.load()
     }
 }
 

@@ -1,18 +1,14 @@
 //! The blocked (multi-slot) McCuckoo — "B-McCuckoo" (§III.G,
-//! Algorithms 1–3 of the paper).
+//! Algorithms 1–3 of the paper), as the `l`-slot instantiation of the
+//! shared [`engine`](crate::engine).
 //!
 //! `d` sub-tables of buckets with `l` slots each; one on-chip counter per
 //! **slot**, stash flags per **bucket**. Reading a bucket (all `l` slots)
-//! is one off-chip access.
-//!
-//! Because set-associativity hides placement details from the counters,
-//! each stored item also carries **copy-location metadata**: which slot
-//! its sibling copies occupy in their buckets ("(d−1)·log l bits per
-//! slot", Fig. 5 — we store one slot hint per candidate table, `0xFF`
-//! when the table holds no copy). Hints are written at copy-creation
-//! time; destroyed siblings leave them stale, so hints are *verified*
-//! against counters (and content reads when ambiguous) before use —
-//! `DESIGN.md` §4.
+//! is one off-chip access. The structural algorithm (insertion
+//! principles, kick walk, counter maintenance, deletion, stash,
+//! copy-set disambiguation via slot hints — "(d−1)·log l bits per slot",
+//! Fig. 5) is documented on [`Engine`]; this
+//! module contributes [`BlockedLayout`] and the blocked lookup strategy.
 //!
 //! Lookup follows Algorithm 2 faithfully: only the bucket-sum-zero skip
 //! is counter-driven ("the lookup routine is more like a traditional one
@@ -22,16 +18,10 @@
 //! disabled (sound for the same reason as the single-slot rule 1); it is
 //! benchmarked by the ablation suite.
 
-use hash_kit::{BucketFamily, KeyHash, SplitMix64};
-use mem_model::{InsertOutcome, InsertReport, MemMeter};
+use hash_kit::{KeyHash, SplitMix64};
 
 use crate::config::{DeletionMode, McConfig};
-use crate::counters::CounterArray;
-use crate::single::{McFull, MAX_D};
-use crate::stash::Stash;
-
-/// Slot-hint sentinel: "no copy in this table".
-const NO_SLOT: u8 = 0xFF;
+use crate::engine::{BucketLayout, CopyProbe, Engine, Probe};
 
 /// Configuration of a [`BlockedMcCuckoo`].
 #[derive(Debug, Clone)]
@@ -63,14 +53,12 @@ impl BlockedConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry<K, V> {
-    key: K,
-    value: V,
-    /// Slot of this item's copy in candidate table `t` at creation time
-    /// (`NO_SLOT` when table `t` received no copy). Stale entries are
-    /// possible for destroyed siblings; always verified before use.
-    hints: [u8; MAX_D],
+/// The `l`-slot bucket layout: set-associative buckets, counters per
+/// slot, Algorithm-2 lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedLayout {
+    pub(crate) l: usize,
+    pub(crate) aggressive: bool,
 }
 
 /// Multi-slot multi-copy cuckoo table ("B-McCuckoo").
@@ -85,32 +73,76 @@ struct Entry<K, V> {
 /// // The first item copied itself into all three candidate buckets.
 /// assert_eq!(t.copy_count(&1), 3);
 /// ```
-#[derive(Debug)]
-pub struct BlockedMcCuckoo<K, V> {
-    family: BucketFamily,
-    d: usize,
-    l: usize,
-    n: usize,
-    deletion: DeletionMode,
-    maxloop: u32,
-    aggressive_lookup: bool,
-    /// Off-chip slots: `(table * n + bucket) * l + slot`.
-    slots: Vec<Option<Entry<K, V>>>,
-    /// Off-chip 1-bit stash flags, one per bucket.
-    flags: Vec<bool>,
-    /// On-chip per-slot copy counters.
-    counters: CounterArray,
-    stash: Stash<K, V>,
-    stash_policy: crate::config::StashPolicy,
-    resolution: crate::config::ResolutionPolicy,
-    seed: u64,
-    distinct: usize,
-    redundant_writes: u64,
-    rng: SplitMix64,
-    meter: MemMeter,
+pub type BlockedMcCuckoo<K, V> = Engine<K, V, BlockedLayout>;
+
+impl BucketLayout for BlockedLayout {
+    const RNG_TWEAK: u64 = 0xB10C_0C0A_57A5_4B1D;
+
+    fn slots(&self) -> usize {
+        self.l
+    }
+
+    fn draw_slot(&self, rng: &mut SplitMix64) -> usize {
+        // Always draws (even for l = 1) to keep the walk stream stable
+        // across slot counts.
+        rng.next_below(self.l as u64) as usize
+    }
+
+    /// Algorithm 2: skip sum-zero buckets, otherwise read the bucket
+    /// (one off-chip access) and scan its `l` slots.
+    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(t: &Engine<K, V, Self>, key: &K) -> Probe {
+        let cands = t.candidate_buckets(key);
+        t.meter_counter_scan();
+        let sums: Vec<u32> = (0..t.d).map(|i| t.bucket_sum(cands[i])).collect();
+        // Extension: Bloom-style early miss (sound without deletions —
+        // an insertion leaves no candidate bucket entirely empty).
+        if t.layout.aggressive && t.deletion == DeletionMode::Disabled && sums.contains(&0) {
+            return Probe::Miss { check_stash: false };
+        }
+        let mut visited_flags_ok = true;
+        for i in 0..t.d {
+            if sums[i] == 0 {
+                continue; // Algorithm 2: skip empty buckets
+            }
+            t.meter.offchip_read(1);
+            visited_flags_ok &= t.flags[cands[i]];
+            for s in 0..t.layout.l {
+                let idx = t.slot_idx(cands[i], s);
+                if t.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
+                    return Probe::Found(idx);
+                }
+            }
+        }
+        Probe::Miss {
+            check_stash: t.stash_screen(&cands, visited_flags_ok),
+        }
+    }
+
+    /// All-copies probe: first hit via Algorithm 2, siblings through the
+    /// verified hint set.
+    fn probe_copies<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+    ) -> CopyProbe {
+        match Self::probe_first(t, key) {
+            Probe::Found(idx) => {
+                let entry = t.slots[idx].as_ref().expect("probe found it");
+                let count = t.counters.get(idx);
+                let hints = entry.hints;
+                let ekey = entry.key.clone();
+                let mut locations = t.locate_siblings(&ekey, &hints, count, idx);
+                locations.push(idx);
+                CopyProbe::Found {
+                    locations,
+                    primary: idx,
+                }
+            }
+            Probe::Miss { check_stash } => CopyProbe::Miss { check_stash },
+        }
+    }
 }
 
-impl<K: KeyHash + Eq + Clone, V: Clone> BlockedMcCuckoo<K, V> {
+impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, BlockedLayout> {
     /// Build a table from `config`.
     ///
     /// # Panics
@@ -121,699 +153,30 @@ impl<K: KeyHash + Eq + Clone, V: Clone> BlockedMcCuckoo<K, V> {
             (1..=8).contains(&config.slots),
             "slots per bucket must be 1..=8"
         );
-        let base = &config.base;
-        let family = BucketFamily::new(base.family, base.d, base.buckets_per_table, base.seed);
-        let total_buckets = base.d * base.buckets_per_table;
-        let total_slots = total_buckets * config.slots;
-        let mut slots = Vec::with_capacity(total_slots);
-        slots.resize_with(total_slots, || None);
-        Self {
-            family,
-            d: base.d,
-            l: config.slots,
-            n: base.buckets_per_table,
-            deletion: base.deletion,
-            maxloop: base.maxloop,
-            aggressive_lookup: config.aggressive_lookup,
-            slots,
-            flags: vec![false; total_buckets],
-            counters: CounterArray::new(total_slots, base.d as u8),
-            stash: Stash::new(base.stash),
-            stash_policy: base.stash,
-            resolution: base.resolution,
-            seed: base.seed,
-            distinct: 0,
-            redundant_writes: 0,
-            rng: SplitMix64::new(base.seed ^ 0xB10C_0C0A_57A5_4B1D),
-            meter: MemMeter::new(),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Accessors
-    // ------------------------------------------------------------------
-
-    /// Number of hash functions.
-    pub fn d(&self) -> usize {
-        self.d
+        Engine::from_config(
+            config.base,
+            BlockedLayout {
+                l: config.slots,
+                aggressive: config.aggressive_lookup,
+            },
+        )
     }
 
     /// Slots per bucket.
     pub fn slots_per_bucket(&self) -> usize {
-        self.l
-    }
-
-    /// Distinct keys in the main table.
-    pub fn main_len(&self) -> usize {
-        self.distinct
-    }
-
-    /// Items in the stash.
-    pub fn stash_len(&self) -> usize {
-        self.stash.len()
-    }
-
-    /// Total distinct keys stored.
-    pub fn len(&self) -> usize {
-        self.distinct + self.stash.len()
-    }
-
-    /// True if nothing is stored.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Total slot count.
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Load ratio: distinct items / slot count.
-    pub fn load_ratio(&self) -> f64 {
-        self.len() as f64 / self.capacity() as f64
-    }
-
-    /// Access meter.
-    pub fn meter(&self) -> &MemMeter {
-        &self.meter
-    }
-
-    /// Cumulative proactive redundant writes (Theorem 2 accounting).
-    pub fn redundant_writes(&self) -> u64 {
-        self.redundant_writes
+        self.layout.l
     }
 
     /// Whether the aggressive-lookup extension is enabled.
     pub fn aggressive_lookup_enabled(&self) -> bool {
-        self.aggressive_lookup
+        self.layout.aggressive
     }
-
-    /// Reconstruct the base configuration (used by snapshots).
-    pub fn config_snapshot(&self) -> McConfig {
-        McConfig {
-            d: self.d,
-            buckets_per_table: self.n,
-            maxloop: self.maxloop,
-            resolution: self.resolution,
-            deletion: self.deletion,
-            stash: self.stash_policy,
-            family: self.family.kind(),
-            seed: self.seed,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Geometry
-    // ------------------------------------------------------------------
-
-    /// Global bucket ids of `key`'s candidates.
-    #[inline]
-    fn candidate_buckets(&self, key: &K) -> [usize; MAX_D] {
-        let mut raw = [0usize; MAX_D];
-        self.family.buckets_into(key, &mut raw[..self.d]);
-        let mut out = [usize::MAX; MAX_D];
-        for i in 0..self.d {
-            out[i] = i * self.n + raw[i];
-        }
-        out
-    }
-
-    #[inline]
-    fn slot_idx(&self, bucket: usize, slot: usize) -> usize {
-        bucket * self.l + slot
-    }
-
-    /// Sum of a bucket's slot counters (on-chip, metered by caller).
-    fn bucket_sum(&self, bucket: usize) -> u32 {
-        (0..self.l)
-            .map(|s| self.counters.get(self.slot_idx(bucket, s)) as u32)
-            .sum()
-    }
-
-    /// Meter one on-chip read per slot counter of the candidate set.
-    fn meter_counter_scan(&self) {
-        self.meter.onchip_read((self.d * self.l) as u64);
-    }
-
-    // ------------------------------------------------------------------
-    // Insertion (Algorithm 1, generalised to the d-ary principles)
-    // ------------------------------------------------------------------
-
-    /// Upsert: update all copies if present, else insert fresh.
-    pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
-        if let Some(report) = self.try_update(&key, &value) {
-            return Ok(report);
-        }
-        self.insert_new(key, value)
-    }
-
-    /// Insert a key known to be absent (the measured operation).
-    pub fn insert_new(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
-        debug_assert!(
-            self.raw_find(&key).is_none() && !self.raw_in_stash(&key),
-            "insert_new requires a fresh key"
-        );
-        let cands = self.candidate_buckets(&key);
-        self.meter_counter_scan();
-        if let Some(copies) = self.try_place(&key, &value, &cands) {
-            self.distinct += 1;
-            self.check_paranoid();
-            return Ok(InsertReport::clean(copies));
-        }
-        let out = self.resolve_collision(key, value);
-        self.check_paranoid();
-        out
-    }
-
-    /// Apply the insertion principles over the candidate buckets. Claims
-    /// at most one slot per bucket, writes all copies with a shared hint
-    /// set, finalizes counters. `None` on a real collision (all `d·l`
-    /// candidate counters equal 1).
-    fn try_place(&mut self, key: &K, value: &V, cands: &[usize; MAX_D]) -> Option<u8> {
-        let mut claimed: [Option<u8>; MAX_D] = [None; MAX_D];
-        let mut claimed_len = 0usize;
-
-        // Principle 1: one copy into every bucket with a free slot.
-        for i in 0..self.d {
-            if let Some(s) =
-                (0..self.l).find(|&s| self.counters.get(self.slot_idx(cands[i], s)) == 0)
-            {
-                claimed[i] = Some(s as u8);
-                claimed_len += 1;
-            }
-        }
-
-        // Principles 2+3: overwrite redundant copies, highest counter
-        // value first; among buckets offering the same value, prefer the
-        // most "available" bucket (largest counter sum — Algorithm 1's
-        // sort key).
-        for target in (2..=self.d as u8).rev() {
-            loop {
-                if claimed_len as u8 + 2 > target {
-                    break;
-                }
-                let mut best: Option<(usize, usize, u32)> = None; // (i, slot, sum)
-                for i in 0..self.d {
-                    if claimed[i].is_some() {
-                        continue;
-                    }
-                    let Some(s) = (0..self.l)
-                        .find(|&s| self.counters.get(self.slot_idx(cands[i], s)) == target)
-                    else {
-                        continue;
-                    };
-                    let sum = self.bucket_sum(cands[i]);
-                    // MSRV 1.75: spelled without `Option::is_none_or`.
-                    if best.map(|(_, _, bs)| sum > bs).unwrap_or(true) {
-                        best = Some((i, s, sum));
-                    }
-                }
-                let Some((i, s, _)) = best else { break };
-                // Victim sibling maintenance happens at claim time.
-                self.decrement_victim_siblings(cands[i], s);
-                claimed[i] = Some(s as u8);
-                claimed_len += 1;
-            }
-        }
-
-        if claimed_len == 0 {
-            return None;
-        }
-        self.write_copies(key, value, cands, &claimed, claimed_len);
-        Some(claimed_len as u8)
-    }
-
-    /// Read the victim in `(bucket, slot)` (about to be overwritten) and
-    /// decrement its siblings' counters, located through its verified
-    /// hints.
-    fn decrement_victim_siblings(&mut self, bucket: usize, slot: usize) {
-        let idx = self.slot_idx(bucket, slot);
-        let vcount = self.counters.get(idx);
-        debug_assert!(vcount >= 2);
-        self.meter.offchip_read(1);
-        let victim = self.slots[idx].as_ref().expect("counter ≥ 1 ⇒ occupied");
-        let vkey = victim.key.clone();
-        let vhints = victim.hints;
-        let siblings = self.locate_siblings(&vkey, &vhints, vcount, idx);
-        debug_assert_eq!(siblings.len(), vcount as usize - 1);
-        self.meter.onchip_write(siblings.len() as u64);
-        for sidx in siblings {
-            self.counters.set(sidx, vcount - 1);
-        }
-    }
-
-    /// Locate the live sibling copies of `key` (total `count` copies,
-    /// excluding the one at `exclude`), using its hint set verified
-    /// against counters and, when ambiguous, slot contents.
-    fn locate_siblings(
-        &self,
-        key: &K,
-        hints: &[u8; MAX_D],
-        count: u8,
-        exclude: usize,
-    ) -> Vec<usize> {
-        let cands = self.candidate_buckets(key);
-        self.meter.onchip_read(self.d as u64);
-        let needed = count as usize - 1;
-        let matches: Vec<usize> = (0..self.d)
-            .filter(|&t| hints[t] != NO_SLOT)
-            .map(|t| self.slot_idx(cands[t], hints[t] as usize))
-            .filter(|&p| p != exclude && self.counters.get(p) == count)
-            .collect();
-        debug_assert!(matches.len() >= needed);
-        if matches.len() == needed {
-            return matches;
-        }
-        let mut confirmed = Vec::with_capacity(needed);
-        for (pos, &m) in matches.iter().enumerate() {
-            if confirmed.len() == needed {
-                break;
-            }
-            if matches.len() - pos == needed - confirmed.len() {
-                confirmed.extend_from_slice(&matches[pos..]);
-                break;
-            }
-            self.meter.verify_read(1);
-            if self.slots[m].as_ref().is_some_and(|e| e.key == *key) {
-                confirmed.push(m);
-            }
-        }
-        debug_assert_eq!(confirmed.len(), needed);
-        confirmed
-    }
-
-    /// Write the claimed copies with a shared hint set and finalize
-    /// counters.
-    fn write_copies(
-        &mut self,
-        key: &K,
-        value: &V,
-        cands: &[usize; MAX_D],
-        claimed: &[Option<u8>; MAX_D],
-        claimed_len: usize,
-    ) {
-        let mut hints = [NO_SLOT; MAX_D];
-        for i in 0..self.d {
-            if let Some(s) = claimed[i] {
-                hints[i] = s;
-            }
-        }
-        self.meter.offchip_write(claimed_len as u64);
-        self.meter.onchip_write(claimed_len as u64);
-        for i in 0..self.d {
-            let Some(s) = claimed[i] else { continue };
-            let idx = self.slot_idx(cands[i], s as usize);
-            self.slots[idx] = Some(Entry {
-                key: key.clone(),
-                value: value.clone(),
-                hints,
-            });
-            self.counters.set(idx, claimed_len as u8);
-        }
-        self.redundant_writes += claimed_len as u64 - 1;
-    }
-
-    /// Collision resolution: random-walk over candidate slots
-    /// (Algorithm 1's tail), re-applying the placement principles for
-    /// each evicted item.
-    fn resolve_collision(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
-        let mut kickouts = 0u32;
-        let mut carried_key = key;
-        let mut carried_value = value;
-        let mut prev_bucket = usize::MAX;
-        loop {
-            if kickouts >= self.maxloop {
-                return self.stash_item(carried_key, carried_value, kickouts);
-            }
-            let cands = self.candidate_buckets(&carried_key);
-            let victim_bucket = loop {
-                let i = self.rng.next_below(self.d as u64) as usize;
-                if cands[i] != prev_bucket {
-                    break i;
-                }
-            };
-            let (vb, vslot) = (
-                cands[victim_bucket],
-                self.rng.next_below(self.l as u64) as usize,
-            );
-            let idx = self.slot_idx(vb, vslot);
-            debug_assert_eq!(self.counters.get(idx), 1, "walk only sees sole copies");
-            let mut hints = [NO_SLOT; MAX_D];
-            hints[victim_bucket] = vslot as u8;
-            self.meter.offchip_read(1);
-            self.meter.offchip_write(1);
-            let old = self.slots[idx]
-                .replace(Entry {
-                    key: carried_key,
-                    value: carried_value,
-                    hints,
-                })
-                .expect("victim slot occupied");
-            carried_key = old.key;
-            carried_value = old.value;
-            prev_bucket = vb;
-            kickouts += 1;
-            let cands = self.candidate_buckets(&carried_key);
-            self.meter_counter_scan();
-            if let Some(copies) = self.try_place(&carried_key, &carried_value, &cands) {
-                self.distinct += 1;
-                return Ok(InsertReport {
-                    outcome: InsertOutcome::Placed,
-                    kickouts,
-                    collision: true,
-                    copies_written: copies,
-                });
-            }
-        }
-    }
-
-    fn stash_item(
-        &mut self,
-        key: K,
-        value: V,
-        kickouts: u32,
-    ) -> Result<InsertReport, McFull<K, V>> {
-        let cands = self.candidate_buckets(&key);
-        let report = InsertReport {
-            outcome: InsertOutcome::Stashed,
-            kickouts,
-            collision: true,
-            copies_written: 0,
-        };
-        match self.stash.push(key, value, &self.meter) {
-            Ok(()) => {
-                self.meter.offchip_write(self.d as u64);
-                for &c in cands.iter().take(self.d) {
-                    self.flags[c] = true;
-                }
-                Ok(report)
-            }
-            Err((key, value)) => Err(McFull {
-                evicted: (key, value),
-                report: InsertReport {
-                    outcome: InsertOutcome::Failed,
-                    ..report
-                },
-            }),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Lookup (Algorithm 2)
-    // ------------------------------------------------------------------
-
-    /// Look up `key`.
-    pub fn get(&self, key: &K) -> Option<&V> {
-        match self.probe(key) {
-            Probe::Found(idx) => self.slots[idx].as_ref().map(|e| &e.value),
-            Probe::Miss { check_stash } => {
-                if check_stash {
-                    self.stash.get(key, &self.meter)
-                } else {
-                    None
-                }
-            }
-        }
-    }
-
-    /// Whether `key` is stored.
-    pub fn contains(&self, key: &K) -> bool {
-        self.get(key).is_some()
-    }
-
-    /// Live copies of `key` in the main table (unmetered diagnostic).
-    pub fn copy_count(&self, key: &K) -> u8 {
-        self.raw_find(key).map_or(0, |idx| self.counters.get(idx))
-    }
-
-    fn probe(&self, key: &K) -> Probe {
-        let cands = self.candidate_buckets(key);
-        self.meter_counter_scan();
-        let sums: Vec<u32> = (0..self.d).map(|i| self.bucket_sum(cands[i])).collect();
-        // Extension: Bloom-style early miss (sound without deletions —
-        // an insertion leaves no candidate bucket entirely empty).
-        if self.aggressive_lookup && self.deletion == DeletionMode::Disabled && sums.contains(&0) {
-            return Probe::Miss { check_stash: false };
-        }
-        let mut visited_flags_ok = true;
-        for i in 0..self.d {
-            if sums[i] == 0 {
-                continue; // Algorithm 2: skip empty buckets
-            }
-            self.meter.offchip_read(1);
-            visited_flags_ok &= self.flags[cands[i]];
-            for s in 0..self.l {
-                let idx = self.slot_idx(cands[i], s);
-                if self.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
-                    return Probe::Found(idx);
-                }
-            }
-        }
-        Probe::Miss {
-            check_stash: self.stash_screen(&cands, visited_flags_ok),
-        }
-    }
-
-    /// Stash screening: counters-all-one rule (no deletions) plus the
-    /// visited-flag veto.
-    fn stash_screen(&self, cands: &[usize; MAX_D], visited_flags_ok: bool) -> bool {
-        if !self.stash.enabled() || self.stash.is_empty() {
-            return false;
-        }
-        match self.deletion {
-            DeletionMode::Disabled => {
-                let all_ones = (0..self.d).all(|i| {
-                    (0..self.l).all(|s| self.counters.get(self.slot_idx(cands[i], s)) == 1)
-                });
-                all_ones && visited_flags_ok
-            }
-            DeletionMode::Reset | DeletionMode::Tombstone => visited_flags_ok,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Deletion (Algorithm 3)
-    // ------------------------------------------------------------------
-
-    /// Remove `key` — counters only, zero off-chip writes.
-    ///
-    /// # Panics
-    /// Panics under [`DeletionMode::Disabled`].
-    pub fn remove(&mut self, key: &K) -> Option<V> {
-        assert!(
-            self.deletion != DeletionMode::Disabled,
-            "this table was configured with DeletionMode::Disabled"
-        );
-        let out = match self.probe(key) {
-            Probe::Found(idx) => {
-                let entry = self.slots[idx].as_ref().expect("probe found it");
-                let count = self.counters.get(idx);
-                let hints = entry.hints;
-                let ekey = entry.key.clone();
-                let mut locations = self.locate_siblings(&ekey, &hints, count, idx);
-                locations.push(idx);
-                self.meter.onchip_write(locations.len() as u64);
-                let mut value = None;
-                for &l in &locations {
-                    match self.deletion {
-                        DeletionMode::Reset => self.counters.set(l, 0),
-                        DeletionMode::Tombstone => self.counters.set_tombstone(l),
-                        DeletionMode::Disabled => unreachable!(),
-                    }
-                    let e = self.slots[l].take();
-                    if l == idx {
-                        value = e.map(|e| e.value);
-                    }
-                }
-                self.distinct -= 1;
-                value
-            }
-            Probe::Miss { check_stash } => {
-                if check_stash {
-                    self.stash.remove(key, &self.meter)
-                } else {
-                    None
-                }
-            }
-        };
-        self.check_paranoid();
-        out
-    }
-
-    fn try_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
-        match self.probe(key) {
-            Probe::Found(idx) => {
-                let entry = self.slots[idx].as_ref().expect("probe found it");
-                let count = self.counters.get(idx);
-                let hints = entry.hints;
-                let ekey = entry.key.clone();
-                let mut locations = self.locate_siblings(&ekey, &hints, count, idx);
-                locations.push(idx);
-                self.meter.offchip_write(locations.len() as u64);
-                for &l in &locations {
-                    let hints = self.slots[l].as_ref().expect("copy occupied").hints;
-                    self.slots[l] = Some(Entry {
-                        key: key.clone(),
-                        value: value.clone(),
-                        hints,
-                    });
-                }
-                Some(InsertReport {
-                    outcome: InsertOutcome::Updated,
-                    kickouts: 0,
-                    collision: false,
-                    copies_written: locations.len() as u8,
-                })
-            }
-            Probe::Miss { check_stash } => {
-                if check_stash && self.stash.remove(key, &self.meter).is_some() {
-                    self.stash
-                        .push(key.clone(), value.clone(), &self.meter)
-                        .ok()
-                        .expect("stash accepted this key before");
-                    return Some(InsertReport {
-                        outcome: InsertOutcome::Updated,
-                        kickouts: 0,
-                        collision: false,
-                        copies_written: 0,
-                    });
-                }
-                None
-            }
-        }
-    }
-
-    /// Re-synchronise stash flags and retry stashed items (§III.F).
-    pub fn refresh_stash(&mut self) -> usize {
-        self.meter.offchip_write(self.flags.len() as u64);
-        self.flags.fill(false);
-        let items = self.stash.drain_all();
-        let before = items.len();
-        for (k, v) in items {
-            let _ = self.insert_new(k, v);
-        }
-        before - self.stash.len()
-    }
-
-    // ------------------------------------------------------------------
-    // Iteration & diagnostics (unmetered)
-    // ------------------------------------------------------------------
-
-    /// Iterate distinct `(key, value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(move |(idx, s)| {
-                let e = s.as_ref()?;
-                let locs = self.raw_copy_locations(&e.key);
-                (locs.iter().min() == Some(&idx)).then_some((&e.key, &e.value))
-            })
-            .chain(self.stash.iter())
-    }
-
-    fn raw_find(&self, key: &K) -> Option<usize> {
-        let cands = self.candidate_buckets(key);
-        for &c in cands.iter().take(self.d) {
-            for s in 0..self.l {
-                let idx = self.slot_idx(c, s);
-                if self.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
-                    return Some(idx);
-                }
-            }
-        }
-        None
-    }
-
-    fn raw_in_stash(&self, key: &K) -> bool {
-        self.stash.iter().any(|(k, _)| k == key)
-    }
-
-    fn raw_copy_locations(&self, key: &K) -> Vec<usize> {
-        let cands = self.candidate_buckets(key);
-        let mut out = Vec::new();
-        for &c in cands.iter().take(self.d) {
-            for s in 0..self.l {
-                let idx = self.slot_idx(c, s);
-                if self.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
-                    out.push(idx);
-                }
-            }
-        }
-        out
-    }
-
-    /// Exhaustive structural validation (see [`crate::invariant`]).
-    pub fn check_invariants(&self) -> Result<(), String> {
-        if self.counters.len() != self.slots.len() {
-            return Err("counter plane length mismatch".into());
-        }
-        let mut distinct_seen = 0usize;
-        for idx in 0..self.slots.len() {
-            let c = self.counters.get(idx);
-            match (&self.slots[idx], c) {
-                (None, 0) => {}
-                (None, c) => return Err(format!("slot {idx}: vacant but counter {c}")),
-                (Some(_), 0) => return Err(format!("slot {idx}: occupied but counter 0")),
-                (Some(e), c) => {
-                    let bucket = idx / self.l;
-                    let cands = self.candidate_buckets(&e.key);
-                    let Some(t) = (0..self.d).find(|&t| cands[t] == bucket) else {
-                        return Err(format!("slot {idx}: occupant not hashed here"));
-                    };
-                    // Self-hint must be accurate.
-                    if e.hints[t] as usize != idx % self.l {
-                        return Err(format!("slot {idx}: self-hint wrong"));
-                    }
-                    let locs = self.raw_copy_locations(&e.key);
-                    if locs.len() != c as usize {
-                        return Err(format!(
-                            "slot {idx}: counter {c} but {} live copies",
-                            locs.len()
-                        ));
-                    }
-                    for &l in &locs {
-                        if self.counters.get(l) != c {
-                            return Err(format!("slot {idx}: sibling {l} counter mismatch"));
-                        }
-                    }
-                    if locs.iter().min() == Some(&idx) {
-                        distinct_seen += 1;
-                    }
-                }
-            }
-        }
-        if distinct_seen != self.distinct {
-            return Err(format!(
-                "distinct count {} but {} found",
-                self.distinct, distinct_seen
-            ));
-        }
-        for (k, _) in self.stash.iter() {
-            if self.raw_find(k).is_some() {
-                return Err("stash item also present in main table".into());
-            }
-        }
-        Ok(())
-    }
-
-    #[inline]
-    fn check_paranoid(&self) {
-        #[cfg(feature = "paranoid")]
-        if let Err(e) = self.check_invariants() {
-            panic!("invariant violated: {e}");
-        }
-    }
-}
-
-enum Probe {
-    Found(usize),
-    Miss { check_stash: bool },
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mem_model::InsertOutcome;
     use std::collections::HashMap;
     use workloads::UniqueKeys;
 

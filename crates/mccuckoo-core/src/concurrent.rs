@@ -213,6 +213,18 @@ where
         out
     }
 
+    /// Insert a key known to be absent, skipping the in-place update
+    /// scan. Same failure contract as [`Self::insert`]: on `Err` nothing
+    /// was mutated. Inserting a key that is already present corrupts the
+    /// copy bookkeeping (`debug_assert`ed).
+    pub fn insert_new(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let mut writer = self.writer.lock();
+        debug_assert!(self.get(&key).is_none(), "insert_new of a present key");
+        let out = self.insert_fresh_locked(key, value, &mut writer);
+        self.check_paranoid_locked();
+        out
+    }
+
     fn insert_locked(&self, key: K, value: V, writer: &mut WriterState) -> Result<(), (K, V)> {
         // Update in place if present (writer is exclusive, so a plain
         // scan is race-free against other writers).
@@ -235,6 +247,18 @@ where
             }
             return Ok(());
         }
+        self.insert_fresh_locked(key, value, writer)
+    }
+
+    /// The fresh-key insertion path (placement, then precomputed
+    /// backward-executed relocation). Caller holds the writer lock and
+    /// has established that `key` is absent.
+    fn insert_fresh_locked(
+        &self,
+        key: K,
+        value: V,
+        writer: &mut WriterState,
+    ) -> Result<(), (K, V)> {
         if self.try_place_locked(&key, &value) {
             self.distinct.fetch_add(1, Ordering::AcqRel);
             return Ok(());
@@ -288,6 +312,19 @@ where
         }
         self.check_paranoid_locked();
         value
+    }
+
+    /// Remove every item and zero every counter. Writer-exclusive;
+    /// concurrent readers see each bucket cleared atomically (per-bucket
+    /// seqlock brackets), so a racing lookup returns either the old value
+    /// or a miss — never torn state.
+    pub fn clear(&self) {
+        let _writer = self.writer.lock();
+        for idx in 0..self.cells.len() {
+            self.write_bucket(idx, None, Some(0));
+        }
+        self.distinct.store(0, Ordering::Release);
+        self.check_paranoid_locked();
     }
 
     /// Exhaustive structural validation (see [`crate::invariant`]).
@@ -544,6 +581,29 @@ mod tests {
         t.insert(5, 51).unwrap();
         assert_eq!(t.get(&5), Some(51));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_new_and_clear_roundtrip() {
+        let t = table(256 / SCALE, 11);
+        let mut keys = UniqueKeys::new(12);
+        let ks = keys.take_vec(300 / SCALE);
+        for &k in &ks {
+            t.insert_new(k, k).unwrap();
+        }
+        assert_eq!(t.len(), ks.len());
+        t.clear();
+        assert!(t.is_empty());
+        for &k in &ks {
+            assert_eq!(t.get(&k), None);
+        }
+        t.check_invariants().unwrap();
+        // A cleared table is fully reusable.
+        for &k in &ks {
+            t.insert_new(k, k + 1).unwrap();
+        }
+        assert_eq!(t.get(&ks[0]), Some(ks[0] + 1));
+        t.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,0 +1,1023 @@
+//! The shared multi-copy cuckoo engine.
+//!
+//! [`McCuckoo`](crate::McCuckoo) and
+//! [`BlockedMcCuckoo`](crate::BlockedMcCuckoo) are two instantiations of
+//! the one [`Engine`] defined here: the single-slot table is the `l = 1`
+//! case, the blocked table ("B-McCuckoo", §III.G) the `l`-slot case. The
+//! geometry- and probe-strategy differences live in a [`BucketLayout`]
+//! implementation; everything else — candidate generation, foresighted
+//! insertion, the kick walk, counter maintenance, deletion, the stash —
+//! is this module's shared control flow.
+//!
+//! Layout: `d` sub-tables of `n` buckets of `l` slots off-chip, plus a
+//! 1-bit stash flag per *bucket* that travels with the bucket; and an
+//! on-chip [`CounterArray`] with one counter per *slot* recording how
+//! many live copies the slot's occupant has.
+//!
+//! ## Insertion principles (§III.B.1, Algorithm 1)
+//! 1. copy into **every** candidate bucket with a free slot;
+//! 2. never overwrite a slot of value 1;
+//! 3. overwrite the rest in decreasing order of value, while the
+//!    overwrite still leaves the victim at least as many copies as the
+//!    inserted item gains (formally: overwrite value `V` only while the
+//!    inserted item's current copy count `c` satisfies `c + 2 ≤ V`).
+//!
+//! ## Lookup
+//! The probe strategy is the paper-mandated per-variant difference and
+//! therefore a [`BucketLayout`] hook:
+//!
+//! * the single-slot layout partitions candidates by counter value,
+//!   skips impossible partitions and probes at most `S − V + 1` buckets
+//!   of a surviving partition (§III.B.2 / Theorem 3);
+//! * the blocked layout follows Algorithm 2: only the bucket-sum-zero
+//!   skip is counter-driven ("the lookup routine is more like a
+//!   traditional one that does not rely much on the counters").
+//!
+//! ## Copy-set disambiguation
+//! When a redundant copy of victim `B` (copy count `v`) is overwritten,
+//! `B`'s remaining copies must be decremented. Every stored entry
+//! carries creation-time slot hints (one per candidate table, Fig. 5);
+//! copies sit in hinted slots whose counter equals `v`, and when more
+//! slots match than copies exist the extras are resolved with
+//! verification reads (`DESIGN.md` §4 — the paper leaves this ambiguity
+//! implicit).
+
+use hash_kit::{BucketFamily, KeyHash, SplitMix64};
+use mem_model::{InsertOutcome, InsertReport, MemMeter};
+
+use crate::config::{DeletionMode, McConfig, ResolutionPolicy};
+use crate::counters::CounterArray;
+use crate::stash::Stash;
+
+/// Maximum supported `d` (the paper argues d = 3 suffices in practice).
+pub const MAX_D: usize = 4;
+
+/// Slot-hint sentinel: "no copy in this table".
+pub(crate) const NO_SLOT: u8 = 0xFF;
+
+/// Insertion failure: relocation budget exhausted and no stash configured.
+///
+/// As with classic cuckoo hashing, the inserted item was placed during
+/// the walk and `evicted` is the last displaced victim; every other item
+/// remains findable.
+#[derive(Debug)]
+pub struct McFull<K, V> {
+    /// The item that fell out of the table.
+    pub evicted: (K, V),
+    /// Instrumentation of the failed insertion.
+    pub report: InsertReport,
+}
+
+/// A stored item plus its copy-location metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry<K, V> {
+    pub(crate) key: K,
+    pub(crate) value: V,
+    /// Slot of this item's copy in candidate table `t` at creation time
+    /// (`NO_SLOT` when table `t` received no copy). Written identically
+    /// into every copy; entries can go stale when a sibling copy is
+    /// destroyed, so they are always cross-checked against counters (and
+    /// content when still ambiguous). Travels with the item off-chip —
+    /// the victim read that counter maintenance needs anyway brings it
+    /// in for free, sparing most verification reads (Fig. 5).
+    pub(crate) hints: [u8; MAX_D],
+}
+
+/// Result of a layout's first-hit probe.
+#[derive(Debug)]
+pub enum Probe {
+    /// Slot index of the first copy found.
+    Found(usize),
+    /// Not in the main table.
+    Miss {
+        /// Whether stash screening allows the stash lookup.
+        check_stash: bool,
+    },
+}
+
+/// Result of a layout's all-copies probe (deletion/update path).
+#[derive(Debug)]
+pub enum CopyProbe {
+    /// Every live copy of the key.
+    Found {
+        /// Slot indices of all copies.
+        locations: Vec<usize>,
+        /// The copy whose value the operation should report (the one the
+        /// probe actually read).
+        primary: usize,
+    },
+    /// Not in the main table.
+    Miss {
+        /// Whether stash screening allows the stash access.
+        check_stash: bool,
+    },
+}
+
+/// The per-variant half of the algorithm: geometry (slots per bucket)
+/// and the paper-mandated probe strategies.
+///
+/// [`SingleLayout`](crate::single::SingleLayout) is the `l = 1`
+/// instantiation with partition-pruned lookups;
+/// [`BlockedLayout`](crate::blocked::BlockedLayout) is the `l`-slot
+/// instantiation with Algorithm 2 lookups.
+pub trait BucketLayout: std::fmt::Debug {
+    /// XOR tweak applied to the configuration seed for the kick-walk RNG
+    /// (keeps the walk streams of distinct variants decorrelated).
+    const RNG_TWEAK: u64;
+
+    /// Slots per bucket (`l`).
+    fn slots(&self) -> usize;
+
+    /// Draw the victim slot for one kick-walk eviction. The single-slot
+    /// layout returns 0 without consuming randomness; the blocked layout
+    /// always draws, even for `l = 1`.
+    fn draw_slot(&self, rng: &mut SplitMix64) -> usize;
+
+    /// Find the first slot holding `key`, or decide the miss path
+    /// (including stash screening).
+    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(t: &Engine<K, V, Self>, key: &K) -> Probe
+    where
+        Self: Sized;
+
+    /// Locate **all** copies of `key` (deletion principles, §III.B.3).
+    fn probe_copies<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+    ) -> CopyProbe
+    where
+        Self: Sized;
+}
+
+/// The generic multi-copy cuckoo table. Use through the
+/// [`McCuckoo`](crate::McCuckoo) / [`BlockedMcCuckoo`](crate::BlockedMcCuckoo)
+/// aliases.
+#[derive(Debug)]
+pub struct Engine<K, V, L: BucketLayout> {
+    pub(crate) layout: L,
+    pub(crate) family: BucketFamily,
+    pub(crate) d: usize,
+    pub(crate) n: usize,
+    pub(crate) deletion: DeletionMode,
+    pub(crate) maxloop: u32,
+    pub(crate) resolution: ResolutionPolicy,
+    /// Off-chip slots: `(table * n + bucket) * l + slot`.
+    pub(crate) slots: Vec<Option<Entry<K, V>>>,
+    /// Off-chip 1-bit stash flags, one per bucket (read/written together
+    /// with the bucket, so they cost no dedicated accesses on lookups).
+    pub(crate) flags: Vec<bool>,
+    /// On-chip per-slot copy counters.
+    pub(crate) counters: CounterArray,
+    /// On-chip 5-bit kick-history counters, one per bucket (MinCounter
+    /// policy only).
+    pub(crate) kick_history: Option<Vec<u8>>,
+    pub(crate) stash: Stash<K, V>,
+    pub(crate) stash_policy: crate::config::StashPolicy,
+    /// Construction seed (retained for snapshots/rehash derivation).
+    pub(crate) seed: u64,
+    /// Distinct live keys in the main table.
+    pub(crate) distinct: usize,
+    /// Cumulative proactive redundant writes (Theorem 2 accounting).
+    pub(crate) redundant_writes: u64,
+    pub(crate) rng: SplitMix64,
+    pub(crate) meter: MemMeter,
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
+    /// Build a table from a validated base configuration and a layout.
+    pub(crate) fn from_config(config: McConfig, layout: L) -> Self {
+        config.validate();
+        let family = BucketFamily::new(
+            config.family,
+            config.d,
+            config.buckets_per_table,
+            config.seed,
+        );
+        let l = layout.slots();
+        let total_buckets = config.d * config.buckets_per_table;
+        let total_slots = total_buckets * l;
+        let mut slots = Vec::with_capacity(total_slots);
+        slots.resize_with(total_slots, || None);
+        Self {
+            layout,
+            family,
+            d: config.d,
+            n: config.buckets_per_table,
+            deletion: config.deletion,
+            maxloop: config.maxloop,
+            resolution: config.resolution,
+            slots,
+            flags: vec![false; total_buckets],
+            counters: CounterArray::new(total_slots, config.d as u8),
+            kick_history: match config.resolution {
+                ResolutionPolicy::MinCounter => Some(vec![0u8; total_buckets]),
+                ResolutionPolicy::RandomWalk => None,
+            },
+            stash: Stash::new(config.stash),
+            stash_policy: config.stash,
+            seed: config.seed,
+            distinct: 0,
+            redundant_writes: 0,
+            rng: SplitMix64::new(config.seed ^ L::RNG_TWEAK),
+            meter: MemMeter::new(),
+        }
+    }
+
+    /// Reconstruct the base configuration this table is equivalent to
+    /// (used by snapshots; note a resized table reports its *current*
+    /// geometry).
+    pub fn config_snapshot(&self) -> McConfig {
+        McConfig {
+            d: self.d,
+            buckets_per_table: self.n,
+            maxloop: self.maxloop,
+            resolution: self.resolution,
+            deletion: self.deletion,
+            stash: self.stash_policy,
+            family: self.family.kind(),
+            seed: self.seed,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of hash functions.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Distinct keys stored in the main table.
+    pub fn main_len(&self) -> usize {
+        self.distinct
+    }
+
+    /// Items in the stash.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Total distinct keys stored (main table + stash).
+    pub fn len(&self) -> usize {
+        self.distinct + self.stash.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slot count (`d × buckets_per_table × slots_per_bucket`).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Load ratio: distinct items / slot count (the paper's measure —
+    /// note redundant copies do *not* inflate it).
+    pub fn load_ratio(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    /// Access meter.
+    pub fn meter(&self) -> &MemMeter {
+        &self.meter
+    }
+
+    /// Deletion mode the table was configured with.
+    pub fn deletion_mode(&self) -> DeletionMode {
+        self.deletion
+    }
+
+    /// Cumulative proactive redundant writes — copies written beyond the
+    /// first per placement. Theorem 2 bounds this by
+    /// `S · ((d−1)/d + Σ_{t=3..d} (t−2)/(t(t−1)))` (= 5S/6 for d = 3).
+    pub fn redundant_writes(&self) -> u64 {
+        self.redundant_writes
+    }
+
+    /// On-chip bytes consumed by the counter array (plus the kick
+    /// history under the MinCounter policy).
+    pub fn onchip_bytes(&self) -> usize {
+        self.counters.onchip_bytes() + self.kick_history.as_ref().map_or(0, |k| k.len() * 5 / 8)
+    }
+
+    /// Buckets per sub-table (`n`).
+    pub fn buckets_per_table(&self) -> usize {
+        self.n
+    }
+
+    /// Remove and return every stored item (main table + stash),
+    /// leaving the table empty. Host-side maintenance: unmetered except
+    /// through the callers that model it (see `rehash`).
+    pub(crate) fn drain_items(&mut self) -> Vec<(K, V)> {
+        let mut items: Vec<(K, V)> = Vec::with_capacity(self.len());
+        for idx in 0..self.slots.len() {
+            if self.counters.get(idx) == 0 {
+                continue; // vacant (or tombstoned)
+            }
+            let entry = self.slots[idx].take().expect("counter>0 ⇒ occupied");
+            // Emit once per item: clear the counters of all copies so the
+            // siblings are skipped when the scan reaches them.
+            let locs = self.raw_copy_locations(&entry.key);
+            self.counters.set(idx, 0);
+            for l in locs {
+                self.counters.set(l, 0);
+                self.slots[l] = None;
+            }
+            items.push((entry.key, entry.value));
+        }
+        for (k, v) in self.stash.drain_all() {
+            items.push((k, v));
+        }
+        self.distinct = 0;
+        items
+    }
+
+    /// Re-derive hash functions (and optionally the geometry) and clear
+    /// all storage planes. Used by rehash/resize.
+    pub(crate) fn rebuild_storage(&mut self, new_buckets_per_table: Option<usize>, seed: u64) {
+        if let Some(n) = new_buckets_per_table {
+            assert!(n > 0, "table must be non-empty");
+            self.n = n;
+        }
+        self.family = self.family.reseeded_with_len(seed, self.n);
+        let total_buckets = self.d * self.n;
+        let total_slots = total_buckets * self.layout.slots();
+        self.slots.clear();
+        self.slots.resize_with(total_slots, || None);
+        self.flags.clear();
+        self.flags.resize(total_buckets, false);
+        self.counters = CounterArray::new(total_slots, self.d as u8);
+        if let Some(h) = &mut self.kick_history {
+            h.clear();
+            h.resize(total_buckets, 0);
+        }
+        self.distinct = 0;
+        self.redundant_writes = 0;
+    }
+
+    /// Remove every item, keeping geometry and hash functions.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.flags.fill(false);
+        self.counters.reset();
+        if let Some(h) = &mut self.kick_history {
+            h.fill(0);
+        }
+        let _ = self.stash.drain_all();
+        self.distinct = 0;
+        self.redundant_writes = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry helpers
+    // ------------------------------------------------------------------
+
+    /// Global bucket indices of `key`'s `d` candidates.
+    #[inline]
+    pub(crate) fn candidate_buckets(&self, key: &K) -> [usize; MAX_D] {
+        let mut raw = [0usize; MAX_D];
+        self.family.buckets_into(key, &mut raw[..self.d]);
+        let mut out = [usize::MAX; MAX_D];
+        for i in 0..self.d {
+            out[i] = i * self.n + raw[i];
+        }
+        out
+    }
+
+    /// Global slot index of `(bucket, slot)`.
+    #[inline]
+    pub(crate) fn slot_idx(&self, bucket: usize, slot: usize) -> usize {
+        bucket * self.layout.slots() + slot
+    }
+
+    /// Sum of a bucket's slot counters (on-chip, metered by caller).
+    pub(crate) fn bucket_sum(&self, bucket: usize) -> u32 {
+        (0..self.layout.slots())
+            .map(|s| self.counters.get(self.slot_idx(bucket, s)) as u32)
+            .sum()
+    }
+
+    /// Meter one on-chip read per slot counter of the candidate set.
+    pub(crate) fn meter_counter_scan(&self) {
+        self.meter
+            .onchip_read((self.d * self.layout.slots()) as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (Algorithm 1, generalised to the d-ary principles)
+    // ------------------------------------------------------------------
+
+    /// Upsert: update the value if `key` exists (all copies are
+    /// rewritten), otherwise insert it fresh.
+    pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        if let Some(report) = self.try_update(&key, &value) {
+            return Ok(report);
+        }
+        self.insert_new(key, value)
+    }
+
+    /// Insert a key **known to be absent** (checked in debug builds).
+    /// This is the operation the paper's experiments measure; the
+    /// existence probe of [`Engine::insert`] is skipped.
+    pub fn insert_new(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        debug_assert!(
+            self.raw_find(&key).is_none() && !self.raw_in_stash(&key),
+            "insert_new requires a fresh key"
+        );
+        let cands = self.candidate_buckets(&key);
+        self.meter_counter_scan();
+        if let Some(copies) = self.try_place(&key, &value, &cands) {
+            self.distinct += 1;
+            self.check_paranoid();
+            return Ok(InsertReport::clean(copies));
+        }
+        let out = self.resolve_collision(key, value);
+        self.check_paranoid();
+        out
+    }
+
+    /// Apply the insertion principles over the candidate buckets. Claims
+    /// at most one slot per bucket, writes all copies with a shared hint
+    /// set, finalizes counters. `None` on a real collision (all `d·l`
+    /// candidate counters equal 1).
+    fn try_place(&mut self, key: &K, value: &V, cands: &[usize; MAX_D]) -> Option<u8> {
+        let l = self.layout.slots();
+        let mut claimed: [Option<u8>; MAX_D] = [None; MAX_D];
+        let mut claimed_len = 0usize;
+
+        // Principle 1: one copy into every bucket with a free slot
+        // (counter 0 reads as empty for insertion; tombstones too).
+        for i in 0..self.d {
+            if let Some(s) = (0..l).find(|&s| self.counters.get(self.slot_idx(cands[i], s)) == 0) {
+                claimed[i] = Some(s as u8);
+                claimed_len += 1;
+            }
+        }
+
+        // Principles 2+3: overwrite redundant copies, highest counter
+        // value first, while the inserted item still ends up no more
+        // redundant than the diminished victim (c + 2 ≤ V); among
+        // buckets offering the same value, prefer the most "available"
+        // bucket (largest counter sum — Algorithm 1's sort key; a
+        // degenerate tie at l = 1). Victim bookkeeping happens at claim
+        // time; the content write is deferred so every copy can carry
+        // the complete hint set.
+        for target in (2..=self.d as u8).rev() {
+            loop {
+                if claimed_len as u8 + 2 > target {
+                    break;
+                }
+                let mut best: Option<(usize, usize, u32)> = None; // (i, slot, sum)
+                for i in 0..self.d {
+                    if claimed[i].is_some() {
+                        continue;
+                    }
+                    let Some(s) =
+                        (0..l).find(|&s| self.counters.get(self.slot_idx(cands[i], s)) == target)
+                    else {
+                        continue;
+                    };
+                    let sum = self.bucket_sum(cands[i]);
+                    // MSRV 1.75: spelled without `Option::is_none_or`.
+                    if best.map(|(_, _, bs)| sum > bs).unwrap_or(true) {
+                        best = Some((i, s, sum));
+                    }
+                }
+                let Some((i, s, _)) = best else { break };
+                self.decrement_victim_siblings(cands[i], s);
+                claimed[i] = Some(s as u8);
+                claimed_len += 1;
+            }
+        }
+
+        if claimed_len == 0 {
+            debug_assert!(
+                (0..self.d)
+                    .all(|i| (0..l).all(|s| self.counters.get(self.slot_idx(cands[i], s)) == 1)),
+                "collision ⇔ all ones"
+            );
+            return None;
+        }
+        self.write_copies(key, value, cands, &claimed, claimed_len);
+        Some(claimed_len as u8)
+    }
+
+    /// Read the victim in `(bucket, slot)` (about to be overwritten) and
+    /// decrement its siblings' counters, located through its verified
+    /// hints (copy-set disambiguation).
+    fn decrement_victim_siblings(&mut self, bucket: usize, slot: usize) {
+        let idx = self.slot_idx(bucket, slot);
+        let vcount = self.counters.get(idx);
+        debug_assert!(vcount >= 2, "principle 2: never overwrite value 1");
+        // The victim's identity (and hint set) is needed to locate its
+        // siblings: one off-chip read.
+        self.meter.offchip_read(1);
+        let victim = self.slots[idx].as_ref().expect("counter ≥ 1 ⇒ occupied");
+        let vkey = victim.key.clone();
+        let vhints = victim.hints;
+        let siblings = self.locate_siblings(&vkey, &vhints, vcount, idx);
+        debug_assert_eq!(siblings.len(), vcount as usize - 1);
+        self.meter.onchip_write(siblings.len() as u64);
+        for sidx in siblings {
+            self.counters.set(sidx, vcount - 1);
+        }
+    }
+
+    /// Locate the live sibling copies of `key` (total `count` copies,
+    /// excluding the one at `exclude`), using its hint set verified
+    /// against counters and, when ambiguous, slot contents.
+    pub(crate) fn locate_siblings(
+        &self,
+        key: &K,
+        hints: &[u8; MAX_D],
+        count: u8,
+        exclude: usize,
+    ) -> Vec<usize> {
+        let cands = self.candidate_buckets(key);
+        self.meter.onchip_read(self.d as u64);
+        let needed = count as usize - 1;
+        let matches: Vec<usize> = (0..self.d)
+            .filter(|&t| hints[t] != NO_SLOT)
+            .map(|t| self.slot_idx(cands[t], hints[t] as usize))
+            .filter(|&p| p != exclude && self.counters.get(p) == count)
+            .collect();
+        debug_assert!(matches.len() >= needed, "copies must be among matches");
+        if matches.len() == needed {
+            return matches;
+        }
+        // Ambiguous: verify contents until the remainder is forced.
+        let mut confirmed = Vec::with_capacity(needed);
+        for (pos, &m) in matches.iter().enumerate() {
+            if confirmed.len() == needed {
+                break;
+            }
+            if matches.len() - pos == needed - confirmed.len() {
+                confirmed.extend_from_slice(&matches[pos..]);
+                break;
+            }
+            self.meter.verify_read(1);
+            if self.slots[m].as_ref().is_some_and(|e| e.key == *key) {
+                confirmed.push(m);
+            }
+        }
+        debug_assert_eq!(confirmed.len(), needed);
+        confirmed
+    }
+
+    /// Write the claimed copies with a shared hint set and finalize
+    /// counters.
+    fn write_copies(
+        &mut self,
+        key: &K,
+        value: &V,
+        cands: &[usize; MAX_D],
+        claimed: &[Option<u8>; MAX_D],
+        claimed_len: usize,
+    ) {
+        let mut hints = [NO_SLOT; MAX_D];
+        for i in 0..self.d {
+            if let Some(s) = claimed[i] {
+                hints[i] = s;
+            }
+        }
+        self.meter.offchip_write(claimed_len as u64);
+        self.meter.onchip_write(claimed_len as u64);
+        for i in 0..self.d {
+            let Some(s) = claimed[i] else { continue };
+            let idx = self.slot_idx(cands[i], s as usize);
+            self.slots[idx] = Some(Entry {
+                key: key.clone(),
+                value: value.clone(),
+                hints,
+            });
+            self.counters.set(idx, claimed_len as u8);
+        }
+        self.redundant_writes += claimed_len as u64 - 1;
+    }
+
+    /// Collision resolution (§III.D): the counters have already proven
+    /// that every candidate slot holds a sole copy, so relocation begins
+    /// immediately; each step re-applies the insertion principles for the
+    /// carried item and the counters pinpoint a usable slot the moment
+    /// one exists on the walk.
+    fn resolve_collision(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        let mut kickouts = 0u32;
+        let mut carried_key = key;
+        let mut carried_value = value;
+        let mut prev_bucket = usize::MAX;
+        loop {
+            if kickouts >= self.maxloop {
+                return self.stash_item(carried_key, carried_value, kickouts);
+            }
+            let cands = self.candidate_buckets(&carried_key);
+            let vi = self.pick_victim(&cands, prev_bucket);
+            let vb = cands[vi];
+            let vslot = self.layout.draw_slot(&mut self.rng);
+            let idx = self.slot_idx(vb, vslot);
+            debug_assert_eq!(self.counters.get(idx), 1, "walk only sees sole copies");
+            let mut hints = [NO_SLOT; MAX_D];
+            hints[vi] = vslot as u8;
+            // Swap the carried item into the victim's slot: one read
+            // (victim identity) + one write. Counter stays 1 (sole copy
+            // out, sole copy in).
+            self.meter.offchip_read(1);
+            self.meter.offchip_write(1);
+            let old = self.slots[idx]
+                .replace(Entry {
+                    key: carried_key,
+                    value: carried_value,
+                    hints,
+                })
+                .expect("victims hold sole copies");
+            carried_key = old.key;
+            carried_value = old.value;
+            prev_bucket = vb;
+            kickouts += 1;
+            // Try to settle the evicted item by the normal principles.
+            let cands = self.candidate_buckets(&carried_key);
+            self.meter_counter_scan();
+            if let Some(copies) = self.try_place(&carried_key, &carried_value, &cands) {
+                self.distinct += 1;
+                return Ok(InsertReport {
+                    outcome: InsertOutcome::Placed,
+                    kickouts,
+                    collision: true,
+                    copies_written: copies,
+                });
+            }
+        }
+    }
+
+    /// Choose the candidate index to evict from, excluding `prev_bucket`.
+    fn pick_victim(&mut self, cands: &[usize; MAX_D], prev_bucket: usize) -> usize {
+        match self.resolution {
+            ResolutionPolicy::RandomWalk => loop {
+                let i = self.rng.next_below(self.d as u64) as usize;
+                if cands[i] != prev_bucket {
+                    return i;
+                }
+            },
+            ResolutionPolicy::MinCounter => {
+                let hist = self.kick_history.as_ref().expect("policy has history");
+                self.meter.onchip_read(self.d as u64);
+                let mut best: Vec<usize> = Vec::with_capacity(self.d);
+                let mut best_val = u8::MAX;
+                for i in 0..self.d {
+                    if cands[i] == prev_bucket {
+                        continue;
+                    }
+                    let h = hist[cands[i]];
+                    match h.cmp(&best_val) {
+                        std::cmp::Ordering::Less => {
+                            best_val = h;
+                            best.clear();
+                            best.push(i);
+                        }
+                        std::cmp::Ordering::Equal => best.push(i),
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                let pick = best[self.rng.next_below(best.len() as u64) as usize];
+                let hist = self.kick_history.as_mut().unwrap();
+                hist[cands[pick]] = (hist[cands[pick]] + 1).min(31); // 5-bit saturating
+                self.meter.onchip_write(1);
+                pick
+            }
+        }
+    }
+
+    /// Stash a failed item and raise the flags of its candidates
+    /// (§III.E): d posted flag writes.
+    fn stash_item(
+        &mut self,
+        key: K,
+        value: V,
+        kickouts: u32,
+    ) -> Result<InsertReport, McFull<K, V>> {
+        let cands = self.candidate_buckets(&key);
+        let report = InsertReport {
+            outcome: InsertOutcome::Stashed,
+            kickouts,
+            collision: true,
+            copies_written: 0,
+        };
+        match self.stash.push(key, value, &self.meter) {
+            Ok(()) => {
+                self.meter.offchip_write(self.d as u64);
+                for &c in cands.iter().take(self.d) {
+                    self.flags[c] = true;
+                }
+                Ok(report)
+            }
+            Err((key, value)) => Err(McFull {
+                evicted: (key, value),
+                report: InsertReport {
+                    outcome: InsertOutcome::Failed,
+                    ..report
+                },
+            }),
+        }
+    }
+
+    /// If `key` exists, rewrite the value of every copy (and/or the stash
+    /// entry) and return an `Updated` report.
+    fn try_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
+        match L::probe_copies(self, key) {
+            CopyProbe::Found { locations, .. } => {
+                self.meter.offchip_write(locations.len() as u64);
+                for &l in &locations {
+                    let hints = self.slots[l].as_ref().expect("copy occupied").hints;
+                    self.slots[l] = Some(Entry {
+                        key: key.clone(),
+                        value: value.clone(),
+                        hints,
+                    });
+                }
+                Some(InsertReport {
+                    outcome: InsertOutcome::Updated,
+                    kickouts: 0,
+                    collision: false,
+                    copies_written: locations.len() as u8,
+                })
+            }
+            CopyProbe::Miss { check_stash } => {
+                if check_stash {
+                    if let Some(v) = self.stash_update(key, value) {
+                        return Some(v);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn stash_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
+        // Linear/hashed stash: remove + re-push keeps the metering honest.
+        let _old = self.stash.remove(key, &self.meter)?;
+        self.stash
+            .push(key.clone(), value.clone(), &self.meter)
+            .ok()
+            .expect("stash accepted this key before");
+        Some(InsertReport {
+            outcome: InsertOutcome::Updated,
+            kickouts: 0,
+            collision: false,
+            copies_written: 0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Look up `key` using the layout's probe strategy and the stash
+    /// screening rules (§III.E–F).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        match L::probe_first(self, key) {
+            Probe::Found(idx) => self.slots[idx].as_ref().map(|e| &e.value),
+            Probe::Miss { check_stash } => {
+                if check_stash {
+                    self.stash.get(key, &self.meter)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is stored (main table or stash).
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live copies of `key` in the main table (0 if absent or
+    /// stashed). Unmetered diagnostic.
+    pub fn copy_count(&self, key: &K) -> u8 {
+        self.raw_find(key).map_or(0, |idx| self.counters.get(idx))
+    }
+
+    /// Stash screening (§III.E–F): decide whether a failed main-table
+    /// lookup needs to consult the stash.
+    pub(crate) fn stash_screen(&self, cands: &[usize; MAX_D], visited_flags_ok: bool) -> bool {
+        if !self.stash.enabled() || self.stash.is_empty() {
+            return false;
+        }
+        match self.deletion {
+            // Counters never increase while deletions are disabled, and a
+            // stashed item saw all-ones; any other value excludes it.
+            DeletionMode::Disabled => {
+                let l = self.layout.slots();
+                let all_ones = (0..self.d)
+                    .all(|i| (0..l).all(|s| self.counters.get(self.slot_idx(cands[i], s)) == 1));
+                all_ones && visited_flags_ok
+            }
+            // With deletions, re-occupied buckets may carry any counter;
+            // only the flags of actually-visited buckets can veto
+            // (§III.F), at the price of more false positives.
+            DeletionMode::Reset | DeletionMode::Tombstone => visited_flags_ok,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion (Algorithm 3)
+    // ------------------------------------------------------------------
+
+    /// Remove `key`, returning its value. Copies are erased by counter
+    /// updates only — **zero off-chip writes** (§III.B.3).
+    ///
+    /// # Panics
+    /// Panics if the table was configured with
+    /// [`DeletionMode::Disabled`].
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        assert!(
+            self.deletion != DeletionMode::Disabled,
+            "this table was configured with DeletionMode::Disabled"
+        );
+        let out = match L::probe_copies(self, key) {
+            CopyProbe::Found { locations, primary } => {
+                self.meter.onchip_write(locations.len() as u64);
+                #[cfg(feature = "testhooks")]
+                let skip_first = crate::testhooks::take_skip_counter_reset();
+                #[cfg(not(feature = "testhooks"))]
+                let skip_first = false;
+                for (i, &l) in locations.iter().enumerate() {
+                    if skip_first && i == 0 {
+                        continue;
+                    }
+                    match self.deletion {
+                        DeletionMode::Reset => self.counters.set(l, 0),
+                        DeletionMode::Tombstone => self.counters.set_tombstone(l),
+                        DeletionMode::Disabled => unreachable!(),
+                    }
+                }
+                // Physical reclamation: the modelled system leaves stale
+                // bytes to be overwritten later; dropping them here costs
+                // no modelled write and keeps the `counter = 0 ⇔ vacant`
+                // invariant tight.
+                let mut value = None;
+                for &l in &locations {
+                    let e = self.slots[l].take();
+                    if l == primary {
+                        value = e.map(|e| e.value);
+                    }
+                }
+                self.distinct -= 1;
+                value
+            }
+            CopyProbe::Miss { check_stash } => {
+                if check_stash {
+                    self.stash.remove(key, &self.meter)
+                } else {
+                    None
+                }
+            }
+        };
+        self.check_paranoid();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Stash maintenance
+    // ------------------------------------------------------------------
+
+    /// Re-synchronise the stash flags (§III.F): clear every flag, then
+    /// re-insert all stashed items (which either settle in the table or
+    /// re-stash and re-raise their flags). Returns how many items left
+    /// the stash. The bulk flag clear is metered as one write per bucket.
+    pub fn refresh_stash(&mut self) -> usize {
+        self.meter.offchip_write(self.flags.len() as u64);
+        self.flags.fill(false);
+        let items = self.stash.drain_all();
+        let before = items.len();
+        for (k, v) in items {
+            // insert_new: stash keys are never in the main table.
+            let _ = self.insert_new(k, v);
+        }
+        before - self.stash.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration & diagnostics (unmetered)
+    // ------------------------------------------------------------------
+
+    /// Iterate distinct `(key, value)` pairs (main table, then stash).
+    /// Unmetered: iteration is a host-side maintenance operation.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, s)| {
+                let e = s.as_ref()?;
+                // Emit an item only at its smallest copy location.
+                let locs = self.raw_copy_locations(&e.key);
+                (locs.iter().min() == Some(&idx)).then_some((&e.key, &e.value))
+            })
+            .chain(self.stash.iter())
+    }
+
+    /// Unmetered: the first candidate slot holding `key`, if any.
+    pub(crate) fn raw_find(&self, key: &K) -> Option<usize> {
+        let cands = self.candidate_buckets(key);
+        let l = self.layout.slots();
+        for &c in cands.iter().take(self.d) {
+            for s in 0..l {
+                let idx = self.slot_idx(c, s);
+                if self.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn raw_in_stash(&self, key: &K) -> bool {
+        self.stash.iter().any(|(k, _)| k == key)
+    }
+
+    /// Unmetered: every slot holding `key`.
+    pub(crate) fn raw_copy_locations(&self, key: &K) -> Vec<usize> {
+        let cands = self.candidate_buckets(key);
+        let l = self.layout.slots();
+        let mut out = Vec::new();
+        for &c in cands.iter().take(self.d) {
+            for s in 0..l {
+                let idx = self.slot_idx(c, s);
+                if self.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Exhaustive structural validation; returns the first violation as a
+    /// human-readable message. Used pervasively by the tests and after
+    /// every mutation under the `paranoid` feature.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let l = self.layout.slots();
+        if self.counters.len() != self.slots.len() || self.flags.len() * l != self.slots.len() {
+            return Err("length mismatch between planes".into());
+        }
+        let mut distinct_seen = 0usize;
+        for idx in 0..self.slots.len() {
+            let c = self.counters.get(idx);
+            match (&self.slots[idx], c) {
+                (None, 0) => {}
+                (None, c) => return Err(format!("slot {idx}: vacant but counter {c}")),
+                (Some(_), 0) => return Err(format!("slot {idx}: occupied but counter 0")),
+                (Some(e), c) => {
+                    let bucket = idx / l;
+                    let cands = self.candidate_buckets(&e.key);
+                    let Some(t) = (0..self.d).find(|&t| cands[t] == bucket) else {
+                        return Err(format!("slot {idx}: occupant not hashed here"));
+                    };
+                    // Self-hint must be accurate.
+                    if e.hints[t] as usize != idx % l {
+                        return Err(format!("slot {idx}: self-hint wrong"));
+                    }
+                    let locs = self.raw_copy_locations(&e.key);
+                    if locs.len() != c as usize {
+                        return Err(format!(
+                            "slot {idx}: counter {c} but {} live copies",
+                            locs.len()
+                        ));
+                    }
+                    for &loc in &locs {
+                        if self.counters.get(loc) != c {
+                            return Err(format!(
+                                "slot {idx}: sibling {loc} has counter {} ≠ {c}",
+                                self.counters.get(loc)
+                            ));
+                        }
+                    }
+                    if locs.iter().min() == Some(&idx) {
+                        distinct_seen += 1;
+                    }
+                }
+            }
+        }
+        if distinct_seen != self.distinct {
+            return Err(format!(
+                "distinct count {} but {} found",
+                self.distinct, distinct_seen
+            ));
+        }
+        for (k, _) in self.stash.iter() {
+            if self.raw_find(k).is_some() {
+                return Err("stash item also present in main table".into());
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn check_paranoid(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(e) = self.check_invariants() {
+            panic!("invariant violated: {e}");
+        }
+    }
+}

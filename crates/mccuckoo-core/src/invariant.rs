@@ -19,13 +19,9 @@ pub trait Validate {
     fn validate(&self) -> Result<(), String>;
 }
 
-impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone> Validate for crate::McCuckoo<K, V> {
-    fn validate(&self) -> Result<(), String> {
-        self.check_invariants()
-    }
-}
-
-impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone> Validate for crate::BlockedMcCuckoo<K, V> {
+impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone, L: crate::engine::BucketLayout> Validate
+    for crate::engine::Engine<K, V, L>
+{
     fn validate(&self) -> Result<(), String> {
         self.check_invariants()
     }

@@ -23,9 +23,22 @@
 //!
 //! # Crate layout
 //!
-//! * [`McCuckoo`] — the single-slot d-ary table (d = 3 in the paper),
-//! * [`BlockedMcCuckoo`] — the multi-slot extension ("B-McCuckoo",
-//!   §III.G; Algorithms 1–3),
+//! One shared engine, two instantiations, one public trait:
+//!
+//! * [`engine`] — the generic multi-copy cuckoo core:
+//!   [`Engine`](engine::Engine) holds the shared
+//!   insert/lookup/remove/kick-walk/stash control flow, parameterised by
+//!   a [`BucketLayout`](engine::BucketLayout) (slots per bucket, victim
+//!   slot choice, the two probe strategies),
+//! * [`McCuckoo`] = `Engine<K, V, SingleLayout>` — the single-slot d-ary
+//!   table (d = 3 in the paper) with partition-pruned lookups
+//!   ([`single`]),
+//! * [`BlockedMcCuckoo`] = `Engine<K, V, BlockedLayout>` — the
+//!   multi-slot extension ("B-McCuckoo", §III.G; Algorithms 1–3) with
+//!   Algorithm-2 lookups ([`blocked`]),
+//! * [`McTable`] — the object-safe trait ([`table`]) implemented by both
+//!   instantiations, [`ConcurrentMcCuckoo`], and the baseline tables, so
+//!   harnesses and benchmarks drive every variant through one interface,
 //! * [`counters`] — the packed on-chip counter array,
 //! * [`stash`] — off-chip stash structures,
 //! * [`concurrent`] — one-writer-many-readers wrapper (§III.H),
@@ -52,6 +65,7 @@ pub mod blocked;
 pub mod concurrent;
 pub mod config;
 pub mod counters;
+pub mod engine;
 pub mod invariant;
 pub mod map;
 pub mod multiset;
@@ -59,6 +73,7 @@ pub mod persist;
 pub mod rehash;
 pub mod single;
 pub mod stash;
+pub mod table;
 #[cfg(feature = "testhooks")]
 pub mod testhooks;
 
@@ -66,8 +81,10 @@ pub use blocked::{BlockedConfig, BlockedMcCuckoo};
 pub use concurrent::ConcurrentMcCuckoo;
 pub use config::{DeletionMode, McConfig, ResolutionPolicy, StashPolicy};
 pub use counters::CounterArray;
+pub use engine::McFull;
 pub use map::McMap;
 pub use multiset::MultisetIndex;
 pub use persist::{BlockedSnapshot, TableSnapshot};
 pub use rehash::{RehashOverflow, RehashReport};
 pub use single::McCuckoo;
+pub use table::McTable;

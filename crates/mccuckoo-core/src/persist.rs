@@ -17,9 +17,10 @@
 use hash_kit::KeyHash;
 use jsonlite::{FromJson, Json, JsonError, ToJson};
 
-use crate::blocked::{BlockedConfig, BlockedMcCuckoo};
+use crate::blocked::{BlockedConfig, BlockedLayout, BlockedMcCuckoo};
 use crate::config::McConfig;
-use crate::single::McCuckoo;
+use crate::engine::Engine;
+use crate::single::{McCuckoo, SingleLayout};
 
 /// A serialisable snapshot of a single-slot table.
 #[derive(Debug, Clone)]
@@ -96,7 +97,7 @@ impl<K: FromJson, V: FromJson> FromJson for BlockedSnapshot<K, V> {
     }
 }
 
-impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
+impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
     /// Capture a logical snapshot of the table.
     pub fn to_snapshot(&self) -> TableSnapshot<K, V> {
         TableSnapshot {
@@ -120,7 +121,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
     }
 }
 
-impl<K: KeyHash + Eq + Clone, V: Clone> BlockedMcCuckoo<K, V> {
+impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, BlockedLayout> {
     /// Capture a logical snapshot of the table.
     pub fn to_snapshot(&self) -> BlockedSnapshot<K, V> {
         BlockedSnapshot {

@@ -11,7 +11,8 @@
 
 use hash_kit::KeyHash;
 
-use crate::single::McCuckoo;
+use crate::engine::Engine;
+use crate::single::SingleLayout;
 
 /// Outcome of a successful rehash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +36,7 @@ pub struct RehashOverflow<K, V> {
     pub report: RehashReport,
 }
 
-impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
+impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
     /// Rehash all items with freshly derived hash functions, optionally
     /// into `new_buckets_per_table` buckets per sub-table (same size
     /// when `None`). Items in the stash are re-offered to the main
@@ -81,8 +82,8 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::config::{DeletionMode, McConfig, StashPolicy};
+    use crate::single::McCuckoo;
     use workloads::UniqueKeys;
 
     #[test]

@@ -1,18 +1,11 @@
 //! The single-slot d-ary McCuckoo table — the paper's core design
-//! (§III.A–F).
+//! (§III.A–F), as the `l = 1` instantiation of the shared
+//! [`engine`](crate::engine).
 //!
-//! Layout: `d` sub-tables of `n` buckets off-chip, one item per bucket,
-//! plus a 1-bit stash flag per bucket that travels with the bucket; and
-//! an on-chip [`CounterArray`] with one counter per bucket recording how
-//! many live copies the bucket's occupant has.
-//!
-//! ## Insertion principles (§III.B.1)
-//! 1. occupy **all** empty candidate buckets;
-//! 2. never overwrite buckets of value 1;
-//! 3. overwrite the rest in decreasing order of value, while the
-//!    overwrite still leaves the victim at least as many copies as the
-//!    inserted item gains (formally: overwrite value `V` only while the
-//!    inserted item's current copy count `c` satisfies `c + 2 ≤ V`).
+//! Everything structural (insertion principles, kick walk, counter
+//! maintenance, deletion, stash, invariants) lives in
+//! [`Engine`]; this module contributes
+//! [`SingleLayout`] and the single-slot lookup strategy:
 //!
 //! ## Lookup principles (§III.B.2)
 //! 1. any candidate counter of 0 ⇒ definite miss (disabled under
@@ -20,727 +13,52 @@
 //! 2. partition candidates by counter value, skip partitions smaller
 //!    than their value;
 //! 3. probe at most `S − V + 1` buckets of a surviving partition.
-//!
-//! ## Copy-set disambiguation
-//! When a redundant copy of victim `B` (copy count `v`) is overwritten,
-//! `B`'s remaining copies must be decremented. All copies sit in
-//! candidates of `B` whose counter equals `v`; if more candidates match
-//! than `B` has copies, the extras are resolved with verification reads
-//! (`DESIGN.md` §4 — the paper leaves this ambiguity implicit).
 
-use hash_kit::{BucketFamily, KeyHash, SplitMix64};
-use mem_model::{InsertOutcome, InsertReport, MemMeter};
+use hash_kit::{KeyHash, SplitMix64};
 
-use crate::config::{DeletionMode, McConfig, ResolutionPolicy};
-use crate::counters::CounterArray;
-use crate::stash::Stash;
+use crate::config::DeletionMode;
+use crate::engine::{BucketLayout, CopyProbe, Engine, Probe};
 
-/// Maximum supported `d` (the paper argues d = 3 suffices in practice).
-pub const MAX_D: usize = 4;
+pub use crate::engine::{McFull, MAX_D};
 
-/// Insertion failure: relocation budget exhausted and no stash configured.
-///
-/// As with classic cuckoo hashing, the inserted item was placed during
-/// the walk and `evicted` is the last displaced victim; every other item
-/// remains findable.
-#[derive(Debug)]
-pub struct McFull<K, V> {
-    /// The item that fell out of the table.
-    pub evicted: (K, V),
-    /// Instrumentation of the failed insertion.
-    pub report: InsertReport,
-}
-
-#[derive(Debug, Clone)]
-struct Entry<K, V> {
-    key: K,
-    value: V,
-    /// Bit `i` set ⇔ candidate `i` received a copy when this item's
-    /// copies were created. Written identically into every copy; bits
-    /// can go stale when a sibling copy is destroyed, so they are always
-    /// cross-checked against counters (and content when still
-    /// ambiguous). Travels with the item off-chip — the victim read that
-    /// counter maintenance needs anyway brings it in for free, sparing
-    /// most verification reads (the single-slot analogue of the blocked
-    /// variant's slot hints, Fig. 5).
-    hints: u8,
-}
+/// The `l = 1` bucket layout: one slot per bucket, counters per bucket,
+/// partition-pruned lookups (§III.B.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleLayout;
 
 /// Multi-copy Cuckoo hash table (single slot per bucket).
 ///
 /// See the [crate docs](crate) for a quick start. Keys are deduplicated:
-/// [`McCuckoo::insert`] is an upsert; [`McCuckoo::insert_new`] skips the
-/// existence probe for workloads known to carry distinct keys (this is
-/// what the paper's experiments measure).
-#[derive(Debug)]
-pub struct McCuckoo<K, V> {
-    family: BucketFamily,
-    d: usize,
-    n: usize,
-    deletion: DeletionMode,
-    maxloop: u32,
-    resolution: ResolutionPolicy,
-    /// Off-chip main table, `d * n` buckets.
-    buckets: Vec<Option<Entry<K, V>>>,
-    /// Off-chip 1-bit stash flags, one per bucket (read/written together
-    /// with the bucket, so they cost no dedicated accesses on lookups).
-    flags: Vec<bool>,
-    /// On-chip copy counters.
-    counters: CounterArray,
-    /// On-chip 5-bit kick-history counters (MinCounter policy only).
-    kick_history: Option<Vec<u8>>,
-    stash: Stash<K, V>,
-    stash_policy: crate::config::StashPolicy,
-    /// Construction seed (retained for snapshots/rehash derivation).
-    seed: u64,
-    /// Distinct live keys in the main table.
-    distinct: usize,
-    /// Cumulative proactive redundant writes (Theorem 2 accounting).
-    redundant_writes: u64,
-    rng: SplitMix64,
-    meter: MemMeter,
-}
+/// `insert` is an upsert; `insert_new` skips the existence probe for
+/// workloads known to carry distinct keys (this is what the paper's
+/// experiments measure). All operations are documented on
+/// [`Engine`].
+pub type McCuckoo<K, V> = Engine<K, V, SingleLayout>;
 
-impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
-    /// Build a table from `config`.
-    ///
-    /// # Panics
-    /// Panics if the configuration is invalid (see
-    /// [`McConfig`] limits).
-    pub fn new(config: McConfig) -> Self {
-        config.validate();
-        let family = BucketFamily::new(
-            config.family,
-            config.d,
-            config.buckets_per_table,
-            config.seed,
-        );
-        let total = config.d * config.buckets_per_table;
-        let mut buckets = Vec::with_capacity(total);
-        buckets.resize_with(total, || None);
-        Self {
-            family,
-            d: config.d,
-            n: config.buckets_per_table,
-            deletion: config.deletion,
-            maxloop: config.maxloop,
-            resolution: config.resolution,
-            buckets,
-            flags: vec![false; total],
-            counters: CounterArray::new(total, config.d as u8),
-            kick_history: match config.resolution {
-                ResolutionPolicy::MinCounter => Some(vec![0u8; total]),
-                ResolutionPolicy::RandomWalk => None,
-            },
-            stash: Stash::new(config.stash),
-            stash_policy: config.stash,
-            seed: config.seed,
-            distinct: 0,
-            redundant_writes: 0,
-            rng: SplitMix64::new(config.seed ^ 0x3C0C_A11E_D0C0_FFEE),
-            meter: MemMeter::new(),
-        }
+impl BucketLayout for SingleLayout {
+    const RNG_TWEAK: u64 = 0x3C0C_A11E_D0C0_FFEE;
+
+    fn slots(&self) -> usize {
+        1
     }
 
-    /// Reconstruct the configuration this table is equivalent to
-    /// (used by snapshots; note a resized table reports its *current*
-    /// geometry).
-    pub fn config_snapshot(&self) -> McConfig {
-        McConfig {
-            d: self.d,
-            buckets_per_table: self.n,
-            maxloop: self.maxloop,
-            resolution: self.resolution,
-            deletion: self.deletion,
-            stash: self.stash_policy,
-            family: self.family_kind(),
-            seed: self.seed,
-        }
+    fn draw_slot(&self, _rng: &mut SplitMix64) -> usize {
+        0 // sole slot; no randomness consumed
     }
 
-    fn family_kind(&self) -> hash_kit::FamilyKind {
-        self.family.kind()
-    }
-
-    // ------------------------------------------------------------------
-    // Accessors
-    // ------------------------------------------------------------------
-
-    /// Number of hash functions.
-    pub fn d(&self) -> usize {
-        self.d
-    }
-
-    /// Distinct keys stored in the main table.
-    pub fn main_len(&self) -> usize {
-        self.distinct
-    }
-
-    /// Items in the stash.
-    pub fn stash_len(&self) -> usize {
-        self.stash.len()
-    }
-
-    /// Total distinct keys stored (main table + stash).
-    pub fn len(&self) -> usize {
-        self.distinct + self.stash.len()
-    }
-
-    /// True if nothing is stored.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Total bucket count (`d × buckets_per_table`).
-    pub fn capacity(&self) -> usize {
-        self.buckets.len()
-    }
-
-    /// Load ratio: distinct items / bucket count (the paper's measure —
-    /// note redundant copies do *not* inflate it).
-    pub fn load_ratio(&self) -> f64 {
-        self.len() as f64 / self.capacity() as f64
-    }
-
-    /// Access meter.
-    pub fn meter(&self) -> &MemMeter {
-        &self.meter
-    }
-
-    /// Deletion mode the table was configured with.
-    pub fn deletion_mode(&self) -> DeletionMode {
-        self.deletion
-    }
-
-    /// Cumulative proactive redundant writes — copies written beyond the
-    /// first per placement. Theorem 2 bounds this by
-    /// `S · ((d−1)/d + Σ_{t=3..d} (t−2)/(t(t−1)))` (= 5S/6 for d = 3).
-    pub fn redundant_writes(&self) -> u64 {
-        self.redundant_writes
-    }
-
-    /// On-chip bytes consumed by the counter array.
-    pub fn onchip_bytes(&self) -> usize {
-        self.counters.onchip_bytes() + self.kick_history.as_ref().map_or(0, |k| k.len() * 5 / 8)
-    }
-
-    /// Buckets per sub-table (`n`).
-    pub fn buckets_per_table(&self) -> usize {
-        self.n
-    }
-
-    /// Remove and return every stored item (main table + stash),
-    /// leaving the table empty. Host-side maintenance: unmetered except
-    /// through the callers that model it (see [`McCuckoo::rehash`]).
-    pub(crate) fn drain_items(&mut self) -> Vec<(K, V)> {
-        let mut items: Vec<(K, V)> = Vec::with_capacity(self.len());
-        for idx in 0..self.buckets.len() {
-            if self.counters.get(idx) == 0 {
-                continue; // vacant (or tombstoned)
-            }
-            let entry = self.buckets[idx].take().expect("counter>0 ⇒ occupied");
-            // Emit once per item: clear the counters of all copies so the
-            // siblings are skipped when the scan reaches them.
-            let locs = self.raw_copy_locations(&entry.key);
-            self.counters.set(idx, 0);
-            for l in locs {
-                self.counters.set(l, 0);
-                self.buckets[l] = None;
-            }
-            items.push((entry.key, entry.value));
-        }
-        for (k, v) in self.stash.drain_all() {
-            items.push((k, v));
-        }
-        self.distinct = 0;
-        items
-    }
-
-    /// Re-derive hash functions (and optionally the geometry) and clear
-    /// all storage planes. Used by rehash/resize.
-    pub(crate) fn rebuild_storage(&mut self, new_buckets_per_table: Option<usize>, seed: u64) {
-        if let Some(n) = new_buckets_per_table {
-            assert!(n > 0, "table must be non-empty");
-            self.n = n;
-        }
-        self.family = self.family.reseeded_with_len(seed, self.n);
-        let total = self.d * self.n;
-        self.buckets.clear();
-        self.buckets.resize_with(total, || None);
-        self.flags.clear();
-        self.flags.resize(total, false);
-        self.counters = CounterArray::new(total, self.d as u8);
-        if let Some(h) = &mut self.kick_history {
-            h.clear();
-            h.resize(total, 0);
-        }
-        self.distinct = 0;
-        self.redundant_writes = 0;
-    }
-
-    /// Remove every item, keeping geometry and hash functions.
-    pub fn clear(&mut self) {
-        for b in &mut self.buckets {
-            *b = None;
-        }
-        self.flags.fill(false);
-        self.counters.reset();
-        if let Some(h) = &mut self.kick_history {
-            h.fill(0);
-        }
-        let _ = self.stash.drain_all();
-        self.distinct = 0;
-        self.redundant_writes = 0;
-    }
-
-    // ------------------------------------------------------------------
-    // Geometry helpers
-    // ------------------------------------------------------------------
-
-    /// Global bucket indices of `key`'s `d` candidates.
-    #[inline]
-    fn candidates(&self, key: &K) -> [usize; MAX_D] {
-        let mut raw = [0usize; MAX_D];
-        self.family.buckets_into(key, &mut raw[..self.d]);
-        let mut out = [usize::MAX; MAX_D];
-        for i in 0..self.d {
-            out[i] = i * self.n + raw[i];
-        }
-        out
-    }
-
-    /// Counter values of the candidates, metered as one on-chip read per
-    /// counter.
-    #[inline]
-    fn read_counters(&self, cands: &[usize; MAX_D]) -> [u8; MAX_D] {
-        self.meter.onchip_read(self.d as u64);
-        let mut vals = [0u8; MAX_D];
-        for i in 0..self.d {
-            vals[i] = self.counters.get(cands[i]);
-        }
-        vals
-    }
-
-    // ------------------------------------------------------------------
-    // Insertion
-    // ------------------------------------------------------------------
-
-    /// Upsert: update the value if `key` exists (all copies are
-    /// rewritten), otherwise insert it fresh.
-    pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
-        if let Some(report) = self.try_update(&key, &value) {
-            return Ok(report);
-        }
-        self.insert_new(key, value)
-    }
-
-    /// Insert a key **known to be absent** (checked in debug builds).
-    /// This is the operation the paper's experiments measure; the
-    /// existence probe of [`McCuckoo::insert`] is skipped.
-    pub fn insert_new(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
-        debug_assert!(
-            self.raw_find(&key).is_none() && !self.raw_in_stash(&key),
-            "insert_new requires a fresh key"
-        );
-        let cands = self.candidates(&key);
-        let cvals = self.read_counters(&cands);
-        if let Some(copies) = self.try_place(&key, &value, &cands, &cvals) {
-            self.distinct += 1;
-            self.check_paranoid();
-            return Ok(InsertReport::clean(copies));
-        }
-        let out = self.resolve_collision(key, value);
-        self.check_paranoid();
-        out
-    }
-
-    /// Place copies of `(key, value)` using insertion principles 1–3.
-    /// Returns the number of copies written, or `None` on a real
-    /// collision (all candidates at counter 1). Finalizes counters.
-    fn try_place(
-        &mut self,
-        key: &K,
-        value: &V,
-        cands: &[usize; MAX_D],
-        cvals: &[u8; MAX_D],
-    ) -> Option<u8> {
-        let mut cvals = *cvals;
-        let mut claimed = [false; MAX_D];
-        let mut placed_len = 0usize;
-
-        // Principle 1: claim every empty candidate (counter 0 reads as
-        // empty for insertion; tombstones too).
-        for i in 0..self.d {
-            if cvals[i] == 0 {
-                claimed[i] = true;
-                placed_len += 1;
-            }
-        }
-
-        // Principles 2+3: overwrite redundant copies, largest value
-        // first, while the inserted item still ends up no more redundant
-        // than the diminished victim (c + 2 ≤ V). Victim bookkeeping
-        // happens at claim time; the content write is deferred so every
-        // copy can carry the complete hint bitmap.
-        loop {
-            let mut best: Option<usize> = None;
-            for i in 0..self.d {
-                if claimed[i] {
-                    continue;
-                }
-                // MSRV 1.75: spelled without `Option::is_none_or`.
-                if cvals[i] >= 2 && best.map(|b| cvals[i] > cvals[b]).unwrap_or(true) {
-                    best = Some(i);
-                }
-            }
-            let Some(i) = best else { break };
-            let v = cvals[i];
-            if placed_len as u8 + 2 > v {
-                break;
-            }
-            self.release_victim_copy(cands[i], &mut cvals, cands);
-            claimed[i] = true;
-            placed_len += 1;
-        }
-
-        if placed_len == 0 {
-            debug_assert!((0..self.d).all(|i| cvals[i] == 1), "collision ⇔ all ones");
-            return None;
-        }
-        // Write phase: every copy carries the full hint bitmap, then the
-        // counters are finalized to the total copy count.
-        let mut hints = 0u8;
-        for (i, &c) in claimed.iter().enumerate().take(self.d) {
-            if c {
-                hints |= 1 << i;
-            }
-        }
-        self.meter.offchip_write(placed_len as u64);
-        self.meter.onchip_write(placed_len as u64);
-        for i in 0..self.d {
-            if claimed[i] {
-                self.buckets[cands[i]] = Some(Entry {
-                    key: key.clone(),
-                    value: value.clone(),
-                    hints,
-                });
-                self.counters.set(cands[i], placed_len as u8);
-            }
-        }
-        self.redundant_writes += placed_len as u64 - 1;
-        Some(placed_len as u8)
-    }
-
-    /// Read the redundant copy at `idx` (about to be overwritten) and
-    /// decrement its owner's sibling counters (copy-set disambiguation,
-    /// hint-assisted).
-    fn release_victim_copy(&mut self, idx: usize, cvals: &mut [u8; MAX_D], cands: &[usize; MAX_D]) {
-        let vcount = self.counters.get(idx);
-        debug_assert!(vcount >= 2, "principle 2: never overwrite value 1");
-        // The victim's identity (and hint bitmap) is needed to locate its
-        // siblings: one off-chip read.
-        self.meter.offchip_read(1);
-        let victim = self.buckets[idx]
-            .as_ref()
-            .expect("counter ≥ 1 implies occupied");
-        let victim_key = victim.key.clone();
-        let victim_hints = victim.hints;
-        let others = self.locate_copies(&victim_key, victim_hints, vcount, Some(idx));
-        debug_assert_eq!(others.len(), vcount as usize - 1);
-        self.meter.onchip_write(others.len() as u64);
-        for &o in &others {
-            self.counters.set(o, vcount - 1);
-            // Keep the caller's cached view of shared candidates fresh.
-            for i in 0..self.d {
-                if cands[i] == o {
-                    cvals[i] = vcount - 1;
-                }
-            }
-        }
-    }
-
-    /// Locate the live copies of `key`, which has exactly `count` copies,
-    /// excluding `exclude` (the copy being overwritten) when given.
-    ///
-    /// All copies sit in candidates flagged by the creation-time hint
-    /// bitmap whose counter equals `count`; when more positions match
-    /// than copies exist (a stale hint whose new occupant coincidentally
-    /// shares the counter value), the extras are resolved with
-    /// verification reads.
-    fn locate_copies(&self, key: &K, hints: u8, count: u8, exclude: Option<usize>) -> Vec<usize> {
-        let cands = self.candidates(key);
-        self.meter.onchip_read(self.d as u64);
-        let needed = count as usize - exclude.is_some() as usize;
-        let matches: Vec<usize> = (0..self.d)
-            .filter(|&i| hints >> i & 1 == 1)
-            .map(|i| cands[i])
-            .filter(|&c| Some(c) != exclude && self.counters.get(c) == count)
-            .collect();
-        debug_assert!(matches.len() >= needed, "copies must be among matches");
-        if matches.len() == needed {
-            return matches;
-        }
-        // Ambiguous: verify contents until the remainder is forced.
-        let mut confirmed = Vec::with_capacity(needed);
-        for (pos, &m) in matches.iter().enumerate() {
-            if confirmed.len() == needed {
-                break;
-            }
-            if matches.len() - pos == needed - confirmed.len() {
-                confirmed.extend_from_slice(&matches[pos..]);
-                break;
-            }
-            self.meter.verify_read(1);
-            if self.buckets[m].as_ref().is_some_and(|e| e.key == *key) {
-                confirmed.push(m);
-            }
-        }
-        debug_assert_eq!(confirmed.len(), needed);
-        confirmed
-    }
-
-    /// Collision resolution (§III.D): the counters have already proven
-    /// that every candidate holds a sole copy, so relocation begins
-    /// immediately; each step re-applies the insertion principles for the
-    /// carried item and the counters pinpoint a usable bucket the moment
-    /// one exists on the walk.
-    fn resolve_collision(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
-        let mut kickouts = 0u32;
-        let mut carried_key = key;
-        let mut carried_value = value;
-        let mut prev = usize::MAX;
-        loop {
-            if kickouts >= self.maxloop {
-                return self.stash_item(carried_key, carried_value, kickouts);
-            }
-            let cands = self.candidates(&carried_key);
-            let victim_idx = self.pick_victim(&cands, prev);
-            let hint_bit = (0..self.d)
-                .find(|&i| cands[i] == victim_idx)
-                .expect("victim is a candidate");
-            // Swap the carried item into the victim's bucket: one read
-            // (victim identity) + one write. Counter stays 1 (sole copy
-            // out, sole copy in).
-            self.meter.offchip_read(1);
-            self.meter.offchip_write(1);
-            let old = self.buckets[victim_idx]
-                .replace(Entry {
-                    key: carried_key,
-                    value: carried_value,
-                    hints: 1 << hint_bit,
-                })
-                .expect("victims hold sole copies");
-            carried_key = old.key;
-            carried_value = old.value;
-            prev = victim_idx;
-            kickouts += 1;
-            // Try to settle the evicted item by the normal principles.
-            let cands = self.candidates(&carried_key);
-            let cvals = self.read_counters(&cands);
-            if let Some(_copies) = self.try_place(&carried_key, &carried_value, &cands, &cvals) {
-                self.distinct += 1;
-                return Ok(InsertReport {
-                    outcome: InsertOutcome::Placed,
-                    kickouts,
-                    collision: true,
-                    copies_written: _copies,
-                });
-            }
-        }
-    }
-
-    /// Choose the bucket to evict from among `cands`, excluding `prev`.
-    fn pick_victim(&mut self, cands: &[usize; MAX_D], prev: usize) -> usize {
-        match self.resolution {
-            ResolutionPolicy::RandomWalk => loop {
-                let i = self.rng.next_below(self.d as u64) as usize;
-                if cands[i] != prev {
-                    return cands[i];
-                }
-            },
-            ResolutionPolicy::MinCounter => {
-                let hist = self.kick_history.as_mut().expect("policy has history");
-                self.meter.onchip_read(self.d as u64);
-                let mut best: Vec<usize> = Vec::with_capacity(self.d);
-                let mut best_val = u8::MAX;
-                for i in 0..self.d {
-                    if cands[i] == prev {
-                        continue;
-                    }
-                    let h = hist[cands[i]];
-                    match h.cmp(&best_val) {
-                        std::cmp::Ordering::Less => {
-                            best_val = h;
-                            best.clear();
-                            best.push(cands[i]);
-                        }
-                        std::cmp::Ordering::Equal => best.push(cands[i]),
-                        std::cmp::Ordering::Greater => {}
-                    }
-                }
-                let pick = best[self.rng.next_below(best.len() as u64) as usize];
-                let hist = self.kick_history.as_mut().unwrap();
-                hist[pick] = (hist[pick] + 1).min(31); // 5-bit saturating
-                self.meter.onchip_write(1);
-                pick
-            }
-        }
-    }
-
-    /// Stash a failed item and raise the flags of its candidates
-    /// (§III.E): d posted flag writes.
-    fn stash_item(
-        &mut self,
-        key: K,
-        value: V,
-        kickouts: u32,
-    ) -> Result<InsertReport, McFull<K, V>> {
-        let cands = self.candidates(&key);
-        let report = InsertReport {
-            outcome: InsertOutcome::Stashed,
-            kickouts,
-            collision: true,
-            copies_written: 0,
-        };
-        match self.stash.push(key, value, &self.meter) {
-            Ok(()) => {
-                self.meter.offchip_write(self.d as u64);
-                for &c in cands.iter().take(self.d) {
-                    self.flags[c] = true;
-                }
-                Ok(report)
-            }
-            Err((key, value)) => Err(McFull {
-                evicted: (key, value),
-                report: InsertReport {
-                    outcome: InsertOutcome::Failed,
-                    ..report
-                },
-            }),
-        }
-    }
-
-    /// If `key` exists, rewrite the value of every copy (and/or the stash
-    /// entry) and return an `Updated` report.
-    fn try_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
-        let found = self.probe_for_copies(key);
-        match found {
-            ProbeResult::Found { locations, .. } => {
-                self.meter.offchip_write(locations.len() as u64);
-                for &l in &locations {
-                    let hints = self.buckets[l].as_ref().expect("copy occupied").hints;
-                    self.buckets[l] = Some(Entry {
-                        key: key.clone(),
-                        value: value.clone(),
-                        hints,
-                    });
-                }
-                Some(InsertReport {
-                    outcome: InsertOutcome::Updated,
-                    kickouts: 0,
-                    collision: false,
-                    copies_written: locations.len() as u8,
-                })
-            }
-            ProbeResult::Miss { check_stash } => {
-                if check_stash {
-                    if let Some(v) = self.stash_update(key, value) {
-                        return Some(v);
-                    }
-                }
-                None
-            }
-        }
-    }
-
-    fn stash_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
-        // Linear/hashed stash: remove + re-push keeps the metering honest.
-        let _old = self.stash.remove(key, &self.meter)?;
-        self.stash
-            .push(key.clone(), value.clone(), &self.meter)
-            .ok()
-            .expect("stash accepted this key before");
-        Some(InsertReport {
-            outcome: InsertOutcome::Updated,
-            kickouts: 0,
-            collision: false,
-            copies_written: 0,
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // Lookup
-    // ------------------------------------------------------------------
-
-    /// Look up `key` using the partition-pruned probe (§III.B.2) and the
-    /// stash screening rules (§III.E–F).
-    pub fn get(&self, key: &K) -> Option<&V> {
-        match self.probe_for_first(key) {
-            FirstProbe::Found(idx) => self.buckets[idx].as_ref().map(|e| &e.value),
-            FirstProbe::Miss { check_stash } => {
-                if check_stash {
-                    self.stash.get(key, &self.meter)
-                } else {
-                    None
-                }
-            }
-        }
-    }
-
-    /// Whether `key` is stored (main table or stash).
-    pub fn contains(&self, key: &K) -> bool {
-        self.get(key).is_some()
-    }
-
-    /// Lookup **without** the partition-pruning rules 2–3: every
-    /// non-empty candidate is probed in order, like a single-copy table
-    /// would. Rule 1 (the Bloom shortcut) and stash screening still
-    /// apply. Exists for the pruning ablation benchmark; results are
-    /// identical to [`McCuckoo::get`], only the access counts differ.
-    pub fn get_unpruned(&self, key: &K) -> Option<&V> {
-        let cands = self.candidates(key);
-        let cvals = self.read_counters(&cands);
-        if self.rule1_miss(&cands, &cvals) {
-            return None;
-        }
-        let mut visited_flags_ok = true;
-        for i in 0..self.d {
-            if cvals[i] == 0 {
-                continue;
-            }
-            let p = cands[i];
-            self.meter.offchip_read(1);
-            visited_flags_ok &= self.flags[p];
-            if self.buckets[p].as_ref().is_some_and(|e| e.key == *key) {
-                return self.buckets[p].as_ref().map(|e| &e.value);
-            }
-        }
-        if self.stash_screen(&cvals, visited_flags_ok) {
-            self.stash.get(key, &self.meter)
-        } else {
-            None
-        }
-    }
-
-    /// Number of live copies of `key` in the main table (0 if absent or
-    /// stashed). Unmetered diagnostic.
-    pub fn copy_count(&self, key: &K) -> u8 {
-        self.raw_find(key).map_or(0, |idx| self.counters.get(idx))
-    }
-
-    /// Shared probe: find the first bucket holding `key`, or decide the
-    /// miss path. Collects visited flags for stash screening.
-    fn probe_for_first(&self, key: &K) -> FirstProbe {
-        let cands = self.candidates(key);
-        let cvals = self.read_counters(&cands);
+    /// Partition-pruned first-hit probe (§III.B.2). At `l = 1` the
+    /// global bucket index doubles as the slot index.
+    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(t: &Engine<K, V, Self>, key: &K) -> Probe {
+        let cands = t.candidate_buckets(key);
+        let cvals = read_counters(t, &cands);
         // Lookup rule 1 (mode-dependent).
-        if self.rule1_miss(&cands, &cvals) {
-            return FirstProbe::Miss { check_stash: false };
+        if rule1_miss(t, &cands, &cvals) {
+            return Probe::Miss { check_stash: false };
         }
         let mut visited_flags_ok = true;
         // Partitions in decreasing counter value.
-        for v in (1..=self.d as u8).rev() {
-            let positions: Vec<usize> = (0..self.d)
+        for v in (1..=t.d as u8).rev() {
+            let positions: Vec<usize> = (0..t.d)
                 .filter(|&i| cvals[i] == v)
                 .map(|i| cands[i])
                 .collect();
@@ -749,120 +67,33 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
             }
             let budget = positions.len() - v as usize + 1; // rule 3
             for &p in positions.iter().take(budget) {
-                self.meter.offchip_read(1);
-                visited_flags_ok &= self.flags[p];
-                if self.buckets[p].as_ref().is_some_and(|e| e.key == *key) {
-                    return FirstProbe::Found(p);
+                t.meter.offchip_read(1);
+                visited_flags_ok &= t.flags[p];
+                if t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
+                    return Probe::Found(p);
                 }
             }
         }
-        FirstProbe::Miss {
-            check_stash: self.stash_screen(&cvals, visited_flags_ok),
+        Probe::Miss {
+            check_stash: t.stash_screen(&cands, visited_flags_ok),
         }
-    }
-
-    /// Lookup rule 1: a definitely-empty candidate proves absence.
-    fn rule1_miss(&self, cands: &[usize; MAX_D], cvals: &[u8; MAX_D]) -> bool {
-        match self.deletion {
-            DeletionMode::Disabled => (0..self.d).any(|i| cvals[i] == 0),
-            // A zero may be a deletion scar: rule 1 is unsound.
-            DeletionMode::Reset => false,
-            // Tombstones read as non-zero for lookups.
-            DeletionMode::Tombstone => {
-                (0..self.d).any(|i| cvals[i] == 0 && !self.counters.is_tombstone(cands[i]))
-            }
-        }
-    }
-
-    /// Stash screening (§III.E–F): decide whether a failed main-table
-    /// lookup needs to consult the stash.
-    fn stash_screen(&self, cvals: &[u8; MAX_D], visited_flags_ok: bool) -> bool {
-        if !self.stash.enabled() || self.stash.is_empty() {
-            return false;
-        }
-        match self.deletion {
-            // Counters never increase while deletions are disabled, and a
-            // stashed item saw all-ones; any other value excludes it.
-            // All-ones ⇒ every candidate was visited, so the flags are
-            // all known.
-            DeletionMode::Disabled => (0..self.d).all(|i| cvals[i] == 1) && visited_flags_ok,
-            // With deletions, re-occupied buckets may carry any counter;
-            // only the flags of actually-visited buckets can veto
-            // (§III.F), at the price of more false positives.
-            DeletionMode::Reset | DeletionMode::Tombstone => visited_flags_ok,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Deletion
-    // ------------------------------------------------------------------
-
-    /// Remove `key`, returning its value. Copies are erased by counter
-    /// updates only — **zero off-chip writes** (§III.B.3).
-    ///
-    /// # Panics
-    /// Panics if the table was configured with
-    /// [`DeletionMode::Disabled`].
-    pub fn remove(&mut self, key: &K) -> Option<V> {
-        assert!(
-            self.deletion != DeletionMode::Disabled,
-            "this table was configured with DeletionMode::Disabled"
-        );
-        let out = match self.probe_for_copies(key) {
-            ProbeResult::Found { locations, first } => {
-                self.meter.onchip_write(locations.len() as u64);
-                #[cfg(feature = "testhooks")]
-                let skip_first = crate::testhooks::take_skip_counter_reset();
-                #[cfg(not(feature = "testhooks"))]
-                let skip_first = false;
-                for (i, &l) in locations.iter().enumerate() {
-                    if skip_first && i == 0 {
-                        continue;
-                    }
-                    match self.deletion {
-                        DeletionMode::Reset => self.counters.set(l, 0),
-                        DeletionMode::Tombstone => self.counters.set_tombstone(l),
-                        DeletionMode::Disabled => unreachable!(),
-                    }
-                }
-                // Physical reclamation: the modelled system leaves stale
-                // bytes to be overwritten later; dropping them here costs
-                // no modelled write and keeps the `counter = 0 ⇔ vacant`
-                // invariant tight.
-                let mut value = None;
-                for &l in &locations {
-                    let e = self.buckets[l].take();
-                    if l == first {
-                        value = e.map(|e| e.value);
-                    }
-                }
-                self.distinct -= 1;
-                value
-            }
-            ProbeResult::Miss { check_stash } => {
-                if check_stash {
-                    self.stash.remove(key, &self.meter)
-                } else {
-                    None
-                }
-            }
-        };
-        self.check_paranoid();
-        out
     }
 
     /// Deletion/update probe: locate **all** copies of `key` (deletion
     /// principles, §III.B.3). Within the matching partition, probing may
     /// stop early once the remaining copies are pinned by counting.
-    fn probe_for_copies(&self, key: &K) -> ProbeResult {
-        let cands = self.candidates(key);
-        let cvals = self.read_counters(&cands);
-        if self.rule1_miss(&cands, &cvals) {
-            return ProbeResult::Miss { check_stash: false };
+    fn probe_copies<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+    ) -> CopyProbe {
+        let cands = t.candidate_buckets(key);
+        let cvals = read_counters(t, &cands);
+        if rule1_miss(t, &cands, &cvals) {
+            return CopyProbe::Miss { check_stash: false };
         }
         let mut visited_flags_ok = true;
-        for v in (1..=self.d as u8).rev() {
-            let positions: Vec<usize> = (0..self.d)
+        for v in (1..=t.d as u8).rev() {
+            let positions: Vec<usize> = (0..t.d)
                 .filter(|&i| cvals[i] == v)
                 .map(|i| cands[i])
                 .collect();
@@ -891,9 +122,9 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
                     found.extend_from_slice(&positions[probed..]);
                     break;
                 }
-                self.meter.offchip_read(1);
-                visited_flags_ok &= self.flags[p];
-                if self.buckets[p].as_ref().is_some_and(|e| e.key == *key) {
+                t.meter.offchip_read(1);
+                visited_flags_ok &= t.flags[p];
+                if t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
                     if first.is_none() {
                         first = Some(p);
                     }
@@ -902,162 +133,96 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McCuckoo<K, V> {
             }
             if let Some(first) = first {
                 debug_assert_eq!(found.len(), v as usize, "all copies located");
-                return ProbeResult::Found {
+                return CopyProbe::Found {
                     locations: found,
-                    first,
+                    primary: first,
                 };
             }
         }
-        ProbeResult::Miss {
-            check_stash: self.stash_screen(&cvals, visited_flags_ok),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stash maintenance
-    // ------------------------------------------------------------------
-
-    /// Re-synchronise the stash flags (§III.F): clear every flag, then
-    /// re-insert all stashed items (which either settle in the table or
-    /// re-stash and re-raise their flags). Returns how many items left
-    /// the stash. The bulk flag clear is metered as one write per bucket.
-    pub fn refresh_stash(&mut self) -> usize {
-        self.meter.offchip_write(self.flags.len() as u64);
-        self.flags.fill(false);
-        let items = self.stash.drain_all();
-        let before = items.len();
-        for (k, v) in items {
-            // insert_new: stash keys are never in the main table.
-            let _ = self.insert_new(k, v);
-        }
-        before - self.stash.len()
-    }
-
-    // ------------------------------------------------------------------
-    // Iteration & diagnostics (unmetered)
-    // ------------------------------------------------------------------
-
-    /// Iterate distinct `(key, value)` pairs (main table, then stash).
-    /// Unmetered: iteration is a host-side maintenance operation.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter_map(move |(idx, b)| {
-                let e = b.as_ref()?;
-                // Emit an item only at its smallest copy location.
-                let locs = self.raw_copy_locations(&e.key);
-                (locs.iter().min() == Some(&idx)).then_some((&e.key, &e.value))
-            })
-            .chain(self.stash.iter())
-    }
-
-    /// Unmetered: the first candidate bucket holding `key`, if any.
-    fn raw_find(&self, key: &K) -> Option<usize> {
-        let cands = self.candidates(key);
-        (0..self.d)
-            .map(|i| cands[i])
-            .find(|&c| self.buckets[c].as_ref().is_some_and(|e| e.key == *key))
-    }
-
-    fn raw_in_stash(&self, key: &K) -> bool {
-        self.stash.iter().any(|(k, _)| k == key)
-    }
-
-    /// Unmetered: every bucket holding `key`.
-    fn raw_copy_locations(&self, key: &K) -> Vec<usize> {
-        let cands = self.candidates(key);
-        (0..self.d)
-            .map(|i| cands[i])
-            .filter(|&c| self.buckets[c].as_ref().is_some_and(|e| e.key == *key))
-            .collect()
-    }
-
-    /// Exhaustive structural validation; returns the first violation as a
-    /// human-readable message. Used pervasively by the tests and after
-    /// every mutation under the `paranoid` feature.
-    pub fn check_invariants(&self) -> Result<(), String> {
-        let total = self.buckets.len();
-        if self.counters.len() != total || self.flags.len() != total {
-            return Err("length mismatch between planes".into());
-        }
-        let mut distinct_seen = 0usize;
-        for idx in 0..total {
-            let c = self.counters.get(idx);
-            match (&self.buckets[idx], c) {
-                (None, 0) => {}
-                (None, c) => return Err(format!("bucket {idx}: vacant but counter {c}")),
-                (Some(_), 0) => {
-                    return Err(format!("bucket {idx}: occupied but counter 0"));
-                }
-                (Some(e), c) => {
-                    let cands = self.candidates(&e.key);
-                    let Some(pos) = (0..self.d).find(|&i| cands[i] == idx) else {
-                        return Err(format!("bucket {idx}: occupant not hashed here"));
-                    };
-                    if e.hints >> pos & 1 != 1 {
-                        return Err(format!("bucket {idx}: self-hint bit missing"));
-                    }
-                    let locs = self.raw_copy_locations(&e.key);
-                    if locs.len() != c as usize {
-                        return Err(format!(
-                            "bucket {idx}: counter {c} but {} live copies",
-                            locs.len()
-                        ));
-                    }
-                    for &l in &locs {
-                        if self.counters.get(l) != c {
-                            return Err(format!(
-                                "bucket {idx}: copy at {l} has counter {} ≠ {c}",
-                                self.counters.get(l)
-                            ));
-                        }
-                    }
-                    if locs.iter().min() == Some(&idx) {
-                        distinct_seen += 1;
-                    }
-                }
-            }
-        }
-        if distinct_seen != self.distinct {
-            return Err(format!(
-                "distinct count {} but {} found",
-                self.distinct, distinct_seen
-            ));
-        }
-        for (k, _) in self.stash.iter() {
-            if self.raw_find(k).is_some() {
-                return Err("stash item also present in main table".into());
-            }
-        }
-        Ok(())
-    }
-
-    #[inline]
-    fn check_paranoid(&self) {
-        #[cfg(feature = "paranoid")]
-        if let Err(e) = self.check_invariants() {
-            panic!("invariant violated: {e}");
+        CopyProbe::Miss {
+            check_stash: t.stash_screen(&cands, visited_flags_ok),
         }
     }
 }
 
-/// Result of the first-hit probe.
-enum FirstProbe {
-    Found(usize),
-    Miss { check_stash: bool },
+/// Counter values of the candidates, metered as one on-chip read per
+/// counter.
+#[inline]
+fn read_counters<K: KeyHash + Eq + Clone, V: Clone>(
+    t: &Engine<K, V, SingleLayout>,
+    cands: &[usize; MAX_D],
+) -> [u8; MAX_D] {
+    t.meter.onchip_read(t.d as u64);
+    let mut vals = [0u8; MAX_D];
+    for i in 0..t.d {
+        vals[i] = t.counters.get(cands[i]);
+    }
+    vals
 }
 
-/// Result of the all-copies probe.
-enum ProbeResult {
-    Found { locations: Vec<usize>, first: usize },
-    Miss { check_stash: bool },
+/// Lookup rule 1: a definitely-empty candidate proves absence.
+fn rule1_miss<K: KeyHash + Eq + Clone, V: Clone>(
+    t: &Engine<K, V, SingleLayout>,
+    cands: &[usize; MAX_D],
+    cvals: &[u8; MAX_D],
+) -> bool {
+    match t.deletion {
+        DeletionMode::Disabled => (0..t.d).any(|i| cvals[i] == 0),
+        // A zero may be a deletion scar: rule 1 is unsound.
+        DeletionMode::Reset => false,
+        // Tombstones read as non-zero for lookups.
+        DeletionMode::Tombstone => {
+            (0..t.d).any(|i| cvals[i] == 0 && !t.counters.is_tombstone(cands[i]))
+        }
+    }
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
+    /// Build a table from `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`McConfig`](crate::config::McConfig) limits).
+    pub fn new(config: crate::config::McConfig) -> Self {
+        Engine::from_config(config, SingleLayout)
+    }
+
+    /// Lookup **without** the partition-pruning rules 2–3: every
+    /// non-empty candidate is probed in order, like a single-copy table
+    /// would. Rule 1 (the Bloom shortcut) and stash screening still
+    /// apply. Exists for the pruning ablation benchmark; results are
+    /// identical to `get`, only the access counts differ.
+    pub fn get_unpruned(&self, key: &K) -> Option<&V> {
+        let cands = self.candidate_buckets(key);
+        let cvals = read_counters(self, &cands);
+        if rule1_miss(self, &cands, &cvals) {
+            return None;
+        }
+        let mut visited_flags_ok = true;
+        for i in 0..self.d {
+            if cvals[i] == 0 {
+                continue;
+            }
+            let p = cands[i];
+            self.meter.offchip_read(1);
+            visited_flags_ok &= self.flags[p];
+            if self.slots[p].as_ref().is_some_and(|e| e.key == *key) {
+                return self.slots[p].as_ref().map(|e| &e.value);
+            }
+        }
+        if self.stash_screen(&cands, visited_flags_ok) {
+            self.stash.get(key, &self.meter)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::StashPolicy;
+    use crate::config::{McConfig, ResolutionPolicy, StashPolicy};
+    use mem_model::InsertOutcome;
     use std::collections::HashMap;
     use workloads::UniqueKeys;
 
@@ -1493,7 +658,7 @@ mod tests {
         }
         for &k in &ks {
             // Every candidate counter of a present key must be non-zero.
-            let cands = t.candidates(&k);
+            let cands = t.candidate_buckets(&k);
             for &c in cands.iter().take(t.d()) {
                 assert!(t.counters.get(c) > 0);
             }

@@ -1,0 +1,255 @@
+//! One interface over every table variant.
+//!
+//! [`McTable`] is the object-safe trait implemented by
+//! [`McCuckoo`](crate::McCuckoo), [`BlockedMcCuckoo`](crate::BlockedMcCuckoo),
+//! [`ConcurrentMcCuckoo`](crate::ConcurrentMcCuckoo) and the baseline tables
+//! in `cuckoo-baselines`, so harnesses (the differential-fuzzing testkit),
+//! benchmarks and examples drive every variant through a single surface
+//! instead of per-table match arms.
+//!
+//! Design notes:
+//!
+//! * `insert`/`insert_new` return a plain [`InsertReport`]: a rejected
+//!   insertion surfaces as [`InsertOutcome::Failed`] in the report rather
+//!   than an `Err` carrying the evicted pair — callers that need the
+//!   evicted item back use the inherent per-table APIs.
+//! * `lookup` returns an owned `Option<V>` so that lock-free tables
+//!   (whose reads cannot hand out references into seqlocked cells)
+//!   implement the same signature as the sequential ones.
+//! * Tables without a stash or an access meter inherit the defaulted
+//!   `stash_len`/`refresh_stash`/`mem_stats` no-ops.
+//! * The trait is object-safe: `Box<dyn McTable<u64, u64>>` is the shape
+//!   the benchmark harness stores.
+
+use mem_model::{InsertOutcome, InsertReport, MemStats};
+
+use crate::engine::{BucketLayout, Engine};
+
+/// Uniform mutable-table interface over the multi-copy cuckoo variants
+/// and the single-copy baselines.
+pub trait McTable<K, V> {
+    /// Insert or update (upsert). A rejected insertion reports
+    /// [`InsertOutcome::Failed`]; the item is then not stored.
+    fn insert(&mut self, key: K, value: V) -> InsertReport;
+
+    /// Insert a key the caller guarantees is absent (skips the update
+    /// scan). Same failure contract as [`McTable::insert`].
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport;
+
+    /// Look up `key`, returning its value by clone/copy.
+    fn lookup(&self, key: &K) -> Option<V>;
+
+    /// Remove `key`, returning the stored value if it was present.
+    fn remove(&mut self, key: &K) -> Option<V>;
+
+    /// Remove every stored item, resetting the table to its freshly
+    /// built state (same capacity, same hash functions).
+    fn clear(&mut self);
+
+    /// Distinct keys currently stored (main table and stash).
+    fn len(&self) -> usize;
+
+    /// Total slot count of the main table.
+    fn capacity(&self) -> usize;
+
+    /// Whether `key` is stored.
+    fn contains(&self, key: &K) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// True if nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load factor: `len / capacity`.
+    fn load(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    /// Items currently in the stash (0 for stash-less tables).
+    fn stash_len(&self) -> usize {
+        0
+    }
+
+    /// Re-offer stashed items to the main table; returns how many moved
+    /// back (0 for stash-less tables).
+    fn refresh_stash(&mut self) -> usize {
+        0
+    }
+
+    /// Snapshot of the table's memory-access counters (all-zero for
+    /// unmetered tables).
+    fn mem_stats(&self) -> MemStats {
+        MemStats::default()
+    }
+}
+
+impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone, L: BucketLayout> McTable<K, V>
+    for Engine<K, V, L>
+{
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        Engine::insert(self, key, value).unwrap_or_else(|full| full.report)
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        Engine::insert_new(self, key, value).unwrap_or_else(|full| full.report)
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        Engine::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        Engine::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        Engine::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Engine::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        Engine::contains(self, key)
+    }
+
+    fn load(&self) -> f64 {
+        self.load_ratio()
+    }
+
+    fn stash_len(&self) -> usize {
+        Engine::stash_len(self)
+    }
+
+    fn refresh_stash(&mut self) -> usize {
+        Engine::refresh_stash(self)
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        self.meter().snapshot()
+    }
+}
+
+impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::ConcurrentMcCuckoo<K, V> {
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        match crate::ConcurrentMcCuckoo::insert(self, key, value) {
+            // The concurrent table does not report placement detail;
+            // a success counts as one committed copy.
+            Ok(()) => InsertReport::clean(1),
+            Err(_) => InsertReport {
+                outcome: InsertOutcome::Failed,
+                kickouts: 0,
+                collision: true,
+                copies_written: 0,
+            },
+        }
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        match crate::ConcurrentMcCuckoo::insert_new(self, key, value) {
+            Ok(()) => InsertReport::clean(1),
+            Err(_) => InsertReport {
+                outcome: InsertOutcome::Failed,
+                kickouts: 0,
+                collision: true,
+                copies_written: 0,
+            },
+        }
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        crate::ConcurrentMcCuckoo::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        crate::ConcurrentMcCuckoo::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        crate::ConcurrentMcCuckoo::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        crate::ConcurrentMcCuckoo::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        crate::ConcurrentMcCuckoo::contains(self, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::BlockedConfig;
+    use crate::{BlockedMcCuckoo, ConcurrentMcCuckoo, McConfig, McCuckoo};
+
+    /// The whole point of the trait: one generic driver for every table.
+    fn exercise<T: McTable<u64, u64>>(t: &mut T) {
+        assert!(t.is_empty());
+        for k in 1..=50u64 {
+            assert!(t.insert_new(k, k * 10).stored());
+        }
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.lookup(&7), Some(70));
+        assert_eq!(t.lookup(&51), None);
+        let r = t.insert(7, 71);
+        assert_eq!(r.outcome, InsertOutcome::Updated);
+        assert_eq!(t.lookup(&7), Some(71));
+        assert_eq!(t.remove(&7), Some(71));
+        assert!(!t.contains(&7));
+        assert!(t.load() > 0.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(&8), None);
+    }
+
+    #[test]
+    fn one_driver_fits_all_core_tables() {
+        let mut single: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper_with_deletion(128, 1));
+        exercise(&mut single);
+        let mut blocked: BlockedMcCuckoo<u64, u64> = BlockedMcCuckoo::new(BlockedConfig {
+            base: McConfig::paper_with_deletion(64, 2),
+            slots: 2,
+            aggressive_lookup: false,
+        });
+        exercise(&mut blocked);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn McTable<u64, u64>> = Box::new(McCuckoo::<u64, u64>::new(
+            McConfig::paper_with_deletion(128, 3),
+        ));
+        boxed.insert_new(5, 50);
+        assert_eq!(boxed.lookup(&5), Some(50));
+        assert_eq!(boxed.stash_len(), 0);
+        assert!(boxed.mem_stats().offchip_writes > 0);
+    }
+
+    #[test]
+    fn concurrent_table_conforms() {
+        let mut t = ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(128, 4));
+        // The concurrent upsert reports `Placed`, not `Updated` — it does
+        // not distinguish the two. Use the shared driver only up to that.
+        for k in 1..=50u64 {
+            assert!(McTable::insert_new(&mut t, k, k * 10).stored());
+        }
+        assert_eq!(McTable::lookup(&t, &7), Some(70));
+        assert_eq!(McTable::remove(&mut t, &7), Some(70));
+        McTable::clear(&mut t);
+        assert!(McTable::is_empty(&t));
+        assert_eq!(McTable::mem_stats(&t), MemStats::default());
+    }
+}

@@ -5,9 +5,10 @@
 //!
 //! * [`ops`] — op-sequence generation with adversarial mix profiles
 //!   (duplicate-heavy, delete-heavy, near-full);
-//! * [`target`] — uniform adapters over [`mccuckoo_core::McCuckoo`],
-//!   [`mccuckoo_core::BlockedMcCuckoo`] and
-//!   [`mccuckoo_core::ConcurrentMcCuckoo`];
+//! * [`target`] — one blanket adapter lifting any
+//!   [`mccuckoo_core::McTable`] implementor (single, blocked in several
+//!   slot/deletion configurations, concurrent) into the runner's
+//!   [`DiffTarget`] vocabulary;
 //! * [`diff`] — the shadow-oracle runner: every observable result is
 //!   compared against a model `HashMap`, and the table's exhaustive
 //!   invariant validator runs after every mutation batch;

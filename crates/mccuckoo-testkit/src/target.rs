@@ -1,19 +1,21 @@
 //! Uniform adapters over the tables under test.
 //!
-//! The differential runner drives everything through [`DiffTarget`]; the
-//! adapters translate the shared op vocabulary into each table's API and
-//! paper over the genuine API differences:
+//! The differential runner drives everything through [`DiffTarget`], a
+//! thin object-safe façade over [`mccuckoo_core::McTable`] plus the
+//! exhaustive invariant validator. Every table in the workspace
+//! implements `McTable` directly — including real `clear`, `insert_new`
+//! and stash refresh on every variant — so one blanket adapter covers
+//! all of them; there are no per-table adapters or rebuild-from-config
+//! workarounds here.
 //!
-//! * the concurrent table has no `insert_new`, `clear` or
-//!   `refresh_stash` — `insert_new` maps to `insert`, `clear` rebuilds
-//!   the table from its config, `refresh_stash` is a no-op;
-//! * the blocked table has no `clear` either and also rebuilds;
-//! * the concurrent table may *reject* an insert when full (no stash),
-//!   which the runner treats as an allowed outcome for fresh keys.
+//! The one genuine behavioural difference the runner tolerates: the
+//! concurrent table has no stash, so a fresh-key insert may be
+//! *rejected* when the table is full, which the runner treats as an
+//! allowed outcome.
 
 use mccuckoo_core::invariant::Validate;
 use mccuckoo_core::{
-    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo,
+    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
 };
 
 /// Which table implementation a fuzz case drives.
@@ -25,16 +27,22 @@ pub enum TableKind {
     SingleTombstone,
     /// [`BlockedMcCuckoo`] (2 slots per bucket) with reset deletion.
     Blocked,
+    /// [`BlockedMcCuckoo`] (2 slots per bucket) with tombstone deletion.
+    BlockedTombstone,
+    /// [`BlockedMcCuckoo`] with the paper's 3 slots per bucket.
+    Blocked3,
     /// [`ConcurrentMcCuckoo`] driven from one thread.
     Concurrent,
 }
 
 impl TableKind {
     /// All kinds, for sweep drivers.
-    pub const ALL: [TableKind; 4] = [
+    pub const ALL: [TableKind; 6] = [
         TableKind::Single,
         TableKind::SingleTombstone,
         TableKind::Blocked,
+        TableKind::BlockedTombstone,
+        TableKind::Blocked3,
         TableKind::Concurrent,
     ];
 
@@ -44,35 +52,56 @@ impl TableKind {
             TableKind::Single => "single",
             TableKind::SingleTombstone => "single-tombstone",
             TableKind::Blocked => "blocked",
+            TableKind::BlockedTombstone => "blocked-tombstone",
+            TableKind::Blocked3 => "blocked-3slot",
             TableKind::Concurrent => "concurrent",
         }
     }
 
     /// Build a fresh table of this kind.
     pub fn build(self, buckets: usize, seed: u64) -> Box<dyn DiffTarget> {
+        let blocked =
+            |deletion: DeletionMode, slots: usize, aggressive_lookup: bool| BlockedConfig {
+                base: McConfig::paper(buckets, seed).with_deletion(deletion),
+                slots,
+                aggressive_lookup,
+            };
         match self {
-            TableKind::Single => Box::new(SingleTarget::new(
-                McConfig::paper(buckets, seed).with_deletion(DeletionMode::Reset),
+            TableKind::Single => Box::new(Shim::new(
+                self.name(),
+                McCuckoo::new(McConfig::paper(buckets, seed).with_deletion(DeletionMode::Reset)),
             )),
-            TableKind::SingleTombstone => Box::new(SingleTarget::new(
-                McConfig::paper(buckets, seed).with_deletion(DeletionMode::Tombstone),
+            TableKind::SingleTombstone => Box::new(Shim::new(
+                self.name(),
+                McCuckoo::new(
+                    McConfig::paper(buckets, seed).with_deletion(DeletionMode::Tombstone),
+                ),
             )),
-            TableKind::Blocked => Box::new(BlockedTarget::new(BlockedConfig {
-                base: McConfig::paper(buckets, seed).with_deletion(DeletionMode::Reset),
-                slots: 2,
-                aggressive_lookup: true,
-            })),
-            TableKind::Concurrent => {
-                Box::new(ConcurrentTarget::new(McConfig::paper(buckets, seed)))
-            }
+            TableKind::Blocked => Box::new(Shim::new(
+                self.name(),
+                BlockedMcCuckoo::new(blocked(DeletionMode::Reset, 2, true)),
+            )),
+            TableKind::BlockedTombstone => Box::new(Shim::new(
+                self.name(),
+                BlockedMcCuckoo::new(blocked(DeletionMode::Tombstone, 2, false)),
+            )),
+            TableKind::Blocked3 => Box::new(Shim::new(
+                self.name(),
+                BlockedMcCuckoo::new(blocked(DeletionMode::Reset, 3, true)),
+            )),
+            TableKind::Concurrent => Box::new(Shim::new(
+                self.name(),
+                ConcurrentMcCuckoo::new(McConfig::paper(buckets, seed)),
+            )),
         }
     }
 
-    /// Total bucket capacity a table built with `buckets` will have
+    /// Total slot capacity a table built with `buckets` will have
     /// (used to size the near-full key domain).
     pub fn capacity(self, buckets: usize) -> usize {
         match self {
-            TableKind::Blocked => 3 * buckets * 2,
+            TableKind::Blocked | TableKind::BlockedTombstone => 3 * buckets * 2,
+            TableKind::Blocked3 => 3 * buckets * 3,
             _ => 3 * buckets,
         }
     }
@@ -93,7 +122,7 @@ pub trait DiffTarget {
     fn contains(&self, k: u64) -> bool;
     /// Delete, returning the stored value.
     fn remove(&mut self, k: u64) -> Option<u64>;
-    /// Drop everything (rebuilds where the API lacks `clear`).
+    /// Drop everything.
     fn clear(&mut self);
     /// Stash flag refresh; 0 where there is no stash.
     fn refresh_stash(&mut self) -> usize;
@@ -103,37 +132,30 @@ pub trait DiffTarget {
     fn len(&self) -> usize;
 }
 
-struct SingleTarget {
-    t: McCuckoo<u64, u64>,
-    tombstone: bool,
+/// The one adapter: any `McTable + Validate` is a [`DiffTarget`].
+struct Shim<T> {
+    name: &'static str,
+    t: T,
 }
 
-impl SingleTarget {
-    fn new(config: McConfig) -> Self {
-        let tombstone = config.deletion == DeletionMode::Tombstone;
-        Self {
-            t: McCuckoo::new(config),
-            tombstone,
-        }
+impl<T> Shim<T> {
+    fn new(name: &'static str, t: T) -> Self {
+        Self { name, t }
     }
 }
 
-impl DiffTarget for SingleTarget {
+impl<T: McTable<u64, u64> + Validate> DiffTarget for Shim<T> {
     fn name(&self) -> &'static str {
-        if self.tombstone {
-            "single-tombstone"
-        } else {
-            "single"
-        }
+        self.name
     }
     fn insert(&mut self, k: u64, v: u64) -> bool {
-        self.t.insert(k, v).map(|r| r.stored()).unwrap_or(false)
+        self.t.insert(k, v).stored()
     }
     fn insert_new(&mut self, k: u64, v: u64) -> bool {
-        self.t.insert_new(k, v).map(|r| r.stored()).unwrap_or(false)
+        self.t.insert_new(k, v).stored()
     }
     fn get(&self, k: u64) -> Option<u64> {
-        self.t.get(&k).copied()
+        self.t.lookup(&k)
     }
     fn contains(&self, k: u64) -> bool {
         self.t.contains(&k)
@@ -146,101 +168,6 @@ impl DiffTarget for SingleTarget {
     }
     fn refresh_stash(&mut self) -> usize {
         self.t.refresh_stash()
-    }
-    fn validate(&self) -> Result<(), String> {
-        Validate::validate(&self.t)
-    }
-    fn len(&self) -> usize {
-        self.t.len()
-    }
-}
-
-struct BlockedTarget {
-    t: BlockedMcCuckoo<u64, u64>,
-    config: BlockedConfig,
-}
-
-impl BlockedTarget {
-    fn new(config: BlockedConfig) -> Self {
-        Self {
-            t: BlockedMcCuckoo::new(config.clone()),
-            config,
-        }
-    }
-}
-
-impl DiffTarget for BlockedTarget {
-    fn name(&self) -> &'static str {
-        "blocked"
-    }
-    fn insert(&mut self, k: u64, v: u64) -> bool {
-        self.t.insert(k, v).map(|r| r.stored()).unwrap_or(false)
-    }
-    fn insert_new(&mut self, k: u64, v: u64) -> bool {
-        self.t.insert_new(k, v).map(|r| r.stored()).unwrap_or(false)
-    }
-    fn get(&self, k: u64) -> Option<u64> {
-        self.t.get(&k).copied()
-    }
-    fn contains(&self, k: u64) -> bool {
-        self.t.contains(&k)
-    }
-    fn remove(&mut self, k: u64) -> Option<u64> {
-        self.t.remove(&k)
-    }
-    fn clear(&mut self) {
-        self.t = BlockedMcCuckoo::new(self.config.clone());
-    }
-    fn refresh_stash(&mut self) -> usize {
-        self.t.refresh_stash()
-    }
-    fn validate(&self) -> Result<(), String> {
-        Validate::validate(&self.t)
-    }
-    fn len(&self) -> usize {
-        self.t.len()
-    }
-}
-
-struct ConcurrentTarget {
-    t: ConcurrentMcCuckoo<u64, u64>,
-    config: McConfig,
-}
-
-impl ConcurrentTarget {
-    fn new(config: McConfig) -> Self {
-        Self {
-            t: ConcurrentMcCuckoo::new(config.clone()),
-            config,
-        }
-    }
-}
-
-impl DiffTarget for ConcurrentTarget {
-    fn name(&self) -> &'static str {
-        "concurrent"
-    }
-    fn insert(&mut self, k: u64, v: u64) -> bool {
-        self.t.insert(k, v).is_ok()
-    }
-    fn insert_new(&mut self, k: u64, v: u64) -> bool {
-        // No separate fresh-key path in the concurrent API.
-        self.t.insert(k, v).is_ok()
-    }
-    fn get(&self, k: u64) -> Option<u64> {
-        self.t.get(&k)
-    }
-    fn contains(&self, k: u64) -> bool {
-        self.t.contains(&k)
-    }
-    fn remove(&mut self, k: u64) -> Option<u64> {
-        self.t.remove(&k)
-    }
-    fn clear(&mut self) {
-        self.t = ConcurrentMcCuckoo::new(self.config.clone());
-    }
-    fn refresh_stash(&mut self) -> usize {
-        0
     }
     fn validate(&self) -> Result<(), String> {
         Validate::validate(&self.t)

@@ -14,9 +14,10 @@
 
 use mccuckoo_suite::cuckoo_baselines::{CuckooConfig, DaryCuckoo};
 use mccuckoo_suite::hash_kit::lookup3;
-use mccuckoo_suite::mccuckoo_core::{DeletionMode, McConfig, McCuckoo};
+use mccuckoo_suite::mccuckoo_core::{DeletionMode, McConfig, McCuckoo, McTable};
 use mccuckoo_suite::workloads::Zipf;
 use mccuckoo_suite::KeyHash;
+use mccuckoo_suite::MemStats;
 use mccuckoo_suite::PlatformModel;
 
 /// An IPv4 5-tuple. Implements [`KeyHash`] by feeding its packed bytes
@@ -66,6 +67,51 @@ fn synth_flow(i: u64) -> FiveTuple {
     }
 }
 
+/// Replay the packet mix against any flow table. Everything goes through
+/// the [`McTable`] interface, so McCuckoo and the standard-cuckoo
+/// baseline run the *same* datapath code; the op stream is seeded, so
+/// both tables see an identical arrival sequence.
+///
+/// Mix: Zipf-popular data packets + 2% scans (absent flows) + churn
+/// (0.5% of packets close one flow and open another).
+fn run_packets<T: McTable<FiveTuple, FlowState>>(
+    table: &mut T,
+    packets: u64,
+    active_flows: u64,
+) -> (MemStats, u64) {
+    let mut zipf = Zipf::new(active_flows, 1.1, 2);
+    let mut rng = mccuckoo_suite::hash_kit::SplitMix64::new(3);
+    let before = table.mem_stats();
+    let mut next_flow = active_flows;
+    let mut opened = 0u64;
+    for p in 0..packets {
+        let roll = rng.next_below(1000);
+        if roll < 20 {
+            // Port scan: flow that does not exist.
+            let probe = synth_flow(u64::MAX - p);
+            assert!(table.lookup(&probe).is_none());
+        } else if roll < 25 {
+            // Flow churn: expire a random old flow, admit a new one.
+            let old = synth_flow(rng.next_below(next_flow));
+            if table.remove(&old).is_some() {
+                let newf = synth_flow(next_flow);
+                next_flow += 1;
+                opened += 1;
+                let _ = table.insert_new(newf, FlowState::default());
+            }
+        } else {
+            // Data packet on a popular live flow.
+            let f = synth_flow(zipf.sample() - 1);
+            if let Some(state) = table.lookup(&f) {
+                // A real datapath would update counters in place; the
+                // lookup cost is what we model.
+                let _ = (state.packets, state.bytes);
+            }
+        }
+    }
+    (table.mem_stats() - before, opened)
+}
+
 fn main() {
     const TABLE_N: usize = 65_536; // 3 × 64k buckets off-chip
     const ACTIVE_FLOWS: usize = 160_000; // ~81% load
@@ -76,58 +122,23 @@ fn main() {
     let mut base: DaryCuckoo<FiveTuple, FlowState> =
         DaryCuckoo::new(CuckooConfig::paper(TABLE_N, 1));
 
-    // Install the active flow set.
-    for i in 0..ACTIVE_FLOWS as u64 {
-        let f = synth_flow(i);
-        mc.insert_new(f, FlowState::default()).unwrap();
-        base.insert(f, FlowState::default()).ok();
+    // Install the active flow set — through the shared interface too.
+    fn install<T: McTable<FiveTuple, FlowState>>(t: &mut T, flows: u64) {
+        for i in 0..flows {
+            let _ = t.insert_new(synth_flow(i), FlowState::default());
+        }
     }
+    install(&mut mc, ACTIVE_FLOWS as u64);
+    install(&mut base, ACTIVE_FLOWS as u64);
     println!(
         "flow table at {:.1}% load ({} flows, {} stashed)",
         mc.load_ratio() * 100.0,
         mc.len(),
-        mc.stash_len()
+        McTable::stash_len(&mc),
     );
 
-    // Packet arrivals: Zipf-popular flows + 2% scans (absent flows) +
-    // churn (0.5% of packets close one flow and open another).
-    let mut zipf = Zipf::new(ACTIVE_FLOWS as u64, 1.1, 2);
-    let mut rng = mccuckoo_suite::hash_kit::SplitMix64::new(3);
-    let mc_before = mc.meter().snapshot();
-    let base_before = base.meter().snapshot();
-    let mut next_flow = ACTIVE_FLOWS as u64;
-    let mut opened = 0u64;
-    for p in 0..PACKETS {
-        let roll = rng.next_below(1000);
-        if roll < 20 {
-            // Port scan: flow that does not exist.
-            let probe = synth_flow(u64::MAX - p);
-            assert!(mc.get(&probe).is_none());
-            assert!(base.get(&probe).is_none());
-        } else if roll < 25 {
-            // Flow churn: expire a random old flow, admit a new one.
-            let old = synth_flow(rng.next_below(next_flow));
-            if mc.remove(&old).is_some() {
-                base.remove(&old);
-                let newf = synth_flow(next_flow);
-                next_flow += 1;
-                opened += 1;
-                let _ = mc.insert_new(newf, FlowState::default());
-                let _ = base.insert(newf, FlowState::default());
-            }
-        } else {
-            // Data packet on a popular live flow.
-            let f = synth_flow(zipf.sample() - 1);
-            if let Some(state) = mc.get(&f) {
-                // A real datapath would update counters in place; the
-                // lookup cost is what we model.
-                let _ = (state.packets, state.bytes);
-            }
-            let _ = base.get(&f);
-        }
-    }
-    let mc_delta = mc.meter().snapshot() - mc_before;
-    let base_delta = base.meter().snapshot() - base_before;
+    let (mc_delta, opened) = run_packets(&mut mc, PACKETS, ACTIVE_FLOWS as u64);
+    let (base_delta, _) = run_packets(&mut base, PACKETS, ACTIVE_FLOWS as u64);
 
     let per_pkt = |d: mccuckoo_suite::MemStats| d.offchip_total() as f64 / PACKETS as f64;
     println!("\nper-packet off-chip accesses over {PACKETS} packets ({opened} flows churned):");

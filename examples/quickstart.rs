@@ -4,8 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use mccuckoo_suite::cuckoo_baselines::{CuckooConfig, DaryCuckoo};
 use mccuckoo_suite::mccuckoo_core::{
-    BlockedConfig, BlockedMcCuckoo, DeletionMode, McConfig, McCuckoo,
+    BlockedConfig, BlockedMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
 };
 
 fn main() {
@@ -74,7 +75,41 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 5. Every structural invariant is checkable at runtime.
+    // 5. Every table — single, blocked, and the baselines — implements
+    //    the `McTable` trait, so generic code drives them all. The trait
+    //    is object-safe too: `Box<dyn McTable<K, V>>` works.
+    // ------------------------------------------------------------------
+    fn churn<T: McTable<u64, u64>>(t: &mut T) -> (usize, f64) {
+        for k in 0..300u64 {
+            let _ = t.insert_new(k, k * 10);
+        }
+        assert_eq!(t.lookup(&7), Some(70));
+        t.insert(7, 77); // upsert through the trait
+        assert_eq!(t.lookup(&7), Some(77));
+        t.remove(&7);
+        assert!(!t.contains(&7));
+        (t.len(), t.load())
+    }
+    let mut single: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper_with_deletion(1024, 3));
+    let mut blocked2: BlockedMcCuckoo<u64, u64> = BlockedMcCuckoo::new(BlockedConfig {
+        base: McConfig::paper_with_deletion(512, 3),
+        slots: 3,
+        aggressive_lookup: false,
+    });
+    let mut baseline: DaryCuckoo<u64, u64> = DaryCuckoo::new(CuckooConfig::paper(1024, 3));
+    for (name, (len, load)) in [
+        ("McCuckoo", churn(&mut single)),
+        ("B-McCuckoo", churn(&mut blocked2)),
+        ("d-ary Cuckoo", churn(&mut baseline)),
+    ] {
+        println!(
+            "{name:<12} via McTable: {len} items at {:.1}% load",
+            load * 100.0
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 6. Every structural invariant is checkable at runtime.
     // ------------------------------------------------------------------
     table
         .check_invariants()

@@ -1,14 +1,23 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper at full scale.
 # Results land in results/*.csv and results/full_run.txt.
+#
+# MCB_SMOKE=1 switches to the CI smoke mode: only the quick cross-scheme
+# bench_smoke pass runs, at a reduced scale, writing the machine-readable
+# summary to results/bench_smoke.json.
 set -e
 cd "$(dirname "$0")"
-: "${MCB_CAP:=393216}" "${MCB_RUNS:=5}" "${MCB_LOOKUPS:=100000}"
-export MCB_CAP MCB_RUNS MCB_LOOKUPS
-BINS="table1_first_collision fig9_kickouts fig10_insert_access fig11_first_failure \
+if [ "${MCB_SMOKE:-0}" = "1" ]; then
+    : "${MCB_CAP:=45000}" "${MCB_RUNS:=1}" "${MCB_LOOKUPS:=10000}"
+    BINS="bench_smoke"
+else
+    : "${MCB_CAP:=393216}" "${MCB_RUNS:=5}" "${MCB_LOOKUPS:=100000}"
+    BINS="table1_first_collision fig9_kickouts fig10_insert_access fig11_first_failure \
 fig12_lookup_hit fig13_lookup_miss fig14_delete table2_stash_single table3_stash_blocked \
 fig15_insert_latency fig16_lookup_latency ablation_counters ablation_pruning \
 ablation_deletion ablation_stash_screen ablation_hash_family ablation_chs ablation_pipeline ablation_onchip"
+fi
+export MCB_CAP MCB_RUNS MCB_LOOKUPS
 mkdir -p results
 : > results/full_run.txt
 for b in $BINS; do

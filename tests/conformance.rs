@@ -1,0 +1,156 @@
+//! Trait-conformance suite: every table in the workspace — the two
+//! McCuckoo engine layouts (in both deletion modes), the lock-free
+//! concurrent table, and both baselines — must honour the shared
+//! [`McTable`] contract. One generic driver exercises insert / upsert /
+//! lookup / remove / clear / load semantics; each table type gets its
+//! own `#[test]` so a failure names the offender.
+//!
+//! The only tolerated behavioural split is upsert reporting:
+//! `ConcurrentMcCuckoo` reports `Placed` for an overwrite of a present
+//! key (it does not distinguish the two), and the baselines implement
+//! upsert as remove-then-insert and report `Updated` like the engine
+//! does. The driver takes the expected outcome as a parameter.
+
+use mccuckoo_suite::cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
+use mccuckoo_suite::mccuckoo_core::{
+    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
+};
+use mem_model::InsertOutcome;
+
+const N: u64 = 200;
+
+/// Drive the full `McTable` contract against `t`.
+///
+/// `upsert_outcome` is what `insert` of a *present* key must report
+/// (`Updated` for everything except the concurrent table's `Placed`).
+fn conformance<T: McTable<u64, u64>>(mut t: T, upsert_outcome: InsertOutcome) {
+    // Fresh table.
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.lookup(&1), None);
+    assert!(!t.contains(&1));
+    assert_eq!(t.remove(&1), None);
+
+    // Fill with distinct keys; every insert at this light load must land.
+    for k in 0..N {
+        let r = t.insert_new(k, k * 3);
+        assert!(r.stored(), "insert_new({k}) failed: {:?}", r.outcome);
+    }
+    assert_eq!(t.len(), N as usize);
+    assert!(!t.is_empty());
+    assert!(t.load() > 0.0 && t.load() <= 1.0);
+    for k in 0..N {
+        assert_eq!(t.lookup(&k), Some(k * 3), "lookup({k}) after fill");
+        assert!(t.contains(&k));
+    }
+    assert_eq!(t.lookup(&(N + 1)), None);
+
+    // Upsert: value replaced, length unchanged, outcome as declared.
+    let r = t.insert(7, 777);
+    assert_eq!(r.outcome, upsert_outcome, "upsert report");
+    assert_eq!(t.lookup(&7), Some(777));
+    assert_eq!(t.len(), N as usize);
+
+    // Remove the even keys; odd keys must survive.
+    for k in (0..N).step_by(2) {
+        let expect = if k == 7 { 777 } else { k * 3 };
+        assert_eq!(t.remove(&k), Some(expect), "remove({k})");
+    }
+    assert_eq!(t.len(), (N / 2) as usize);
+    for k in 0..N {
+        if k % 2 == 0 {
+            assert_eq!(t.lookup(&k), None, "lookup({k}) after remove");
+        } else {
+            let expect = if k == 7 { 777 } else { k * 3 };
+            assert_eq!(t.lookup(&k), Some(expect), "odd key {k} must survive");
+        }
+    }
+
+    // Double-remove misses.
+    assert_eq!(t.remove(&0), None);
+
+    // Stash accessors are callable on every implementor (baselines
+    // default to empty) and refresh never invents occupancy.
+    let _ = t.stash_len();
+    let drained = t.refresh_stash();
+    assert!(drained <= N as usize);
+    let _ = t.mem_stats();
+
+    // Clear, then the table must be reusable from scratch.
+    t.clear();
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.stash_len(), 0);
+    for k in 0..N {
+        assert_eq!(t.lookup(&k), None, "lookup({k}) after clear");
+    }
+    for k in 0..N {
+        assert!(t.insert_new(k, k + 1).stored(), "reinsert({k}) after clear");
+    }
+    assert_eq!(t.len(), N as usize);
+    assert_eq!(t.lookup(&42), Some(43));
+}
+
+#[test]
+fn mccuckoo_reset_conforms() {
+    conformance(
+        McCuckoo::<u64, u64>::new(McConfig::paper_with_deletion(1024, 11)),
+        InsertOutcome::Updated,
+    );
+}
+
+#[test]
+fn mccuckoo_tombstone_conforms() {
+    conformance(
+        McCuckoo::<u64, u64>::new(McConfig::paper(1024, 12).with_deletion(DeletionMode::Tombstone)),
+        InsertOutcome::Updated,
+    );
+}
+
+#[test]
+fn blocked_two_slot_conforms() {
+    conformance(
+        BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+            base: McConfig::paper_with_deletion(512, 13),
+            slots: 2,
+            aggressive_lookup: true,
+        }),
+        InsertOutcome::Updated,
+    );
+}
+
+#[test]
+fn blocked_three_slot_tombstone_conforms() {
+    conformance(
+        BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+            base: McConfig::paper(512, 14).with_deletion(DeletionMode::Tombstone),
+            slots: 3,
+            aggressive_lookup: false,
+        }),
+        InsertOutcome::Updated,
+    );
+}
+
+#[test]
+fn concurrent_conforms() {
+    conformance(
+        ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(1024, 15)),
+        InsertOutcome::Placed,
+    );
+}
+
+#[test]
+fn dary_cuckoo_conforms() {
+    conformance(
+        DaryCuckoo::<u64, u64>::new(CuckooConfig::paper(1024, 16)),
+        InsertOutcome::Updated,
+    );
+}
+
+#[test]
+fn bcht_conforms() {
+    conformance(
+        Bcht::<u64, u64>::new(BchtConfig::paper(256, 17)),
+        InsertOutcome::Updated,
+    );
+}
