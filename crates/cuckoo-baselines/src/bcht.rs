@@ -162,6 +162,18 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
 
     /// Insert a fresh key.
     pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, BchtFull<K, V>> {
+        self.insert_tracked(key, value, None)
+    }
+
+    /// The insertion body. When `trail` is supplied, every kick's victim
+    /// slot is recorded in walk order so a failed walk can be unwound
+    /// ([`Self::unwind_failed_walk`]).
+    fn insert_tracked(
+        &mut self,
+        key: K,
+        value: V,
+        mut trail: Option<&mut Vec<usize>>,
+    ) -> Result<InsertReport, BchtFull<K, V>> {
         // Probe candidate buckets in order: one read per bucket.
         let cands: Vec<usize> = (0..self.d).map(|i| self.bucket_id(&key, i)).collect();
         for &b in &cands {
@@ -198,6 +210,9 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
             let victim_bucket = choices[self.rng.next_below(choices.len() as u64) as usize];
             let victim_slot =
                 victim_bucket * self.slots + self.rng.next_below(self.slots as u64) as usize;
+            if let Some(trail) = trail.as_mut() {
+                trail.push(victim_slot);
+            }
             let victim = self.entries[victim_slot]
                 .replace(carried)
                 .expect("victim slot occupied");
@@ -286,28 +301,62 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
         }
         self.len = 0;
     }
+
+    /// Undo a failed random-walk insertion from its victim-slot trail:
+    /// replay the kicks backwards, re-seating every displaced entry in
+    /// the slot it was evicted from. `evicted` is the last victim; the
+    /// reverse replay ends with the originally offered item "in hand",
+    /// which is dropped — the failed insert becomes a strict no-op.
+    fn unwind_failed_walk(&mut self, evicted: (K, V), trail: &[usize]) {
+        let mut hand = Entry {
+            key: evicted.0,
+            value: evicted.1,
+        };
+        for &slot in trail.iter().rev() {
+            hand = self.entries[slot]
+                .replace(hand)
+                .expect("kick-trail slots stay occupied");
+            self.meter.offchip_write(1);
+        }
+    }
 }
 
-/// [`McTable`] conformance. The same distinct-key and failed-insert
-/// caveats as [`crate::DaryCuckoo`]'s impl apply.
+/// [`McTable`] conformance, with the same upsert strengthening as
+/// [`crate::DaryCuckoo`]'s impl: a key found in a candidate bucket is
+/// updated **in place** (one off-chip write, no eviction risk), and a
+/// failed fresh insert is a strict no-op — the kick trail is unwound so
+/// [`InsertOutcome::Failed`] means "not stored and nothing else
+/// changed". The inherent [`Bcht::insert`] keeps the classic
+/// evict-on-failure semantics.
 impl<K: KeyHash + Eq, V: Clone> McTable<K, V> for Bcht<K, V> {
     fn insert(&mut self, key: K, value: V) -> InsertReport {
-        let existed = Bcht::remove(self, &key).is_some();
-        match Bcht::insert(self, key, value) {
-            Ok(mut r) => {
-                if existed {
-                    r.outcome = InsertOutcome::Updated;
+        for i in 0..self.d {
+            let b = self.bucket_id(&key, i);
+            self.meter.offchip_read(1);
+            for s in self.slot_range(b) {
+                if self.entries[s].as_ref().is_some_and(|e| e.key == key) {
+                    self.entries[s].as_mut().expect("probed occupied").value = value;
+                    self.meter.offchip_write(1);
+                    return InsertReport {
+                        outcome: InsertOutcome::Updated,
+                        kickouts: 0,
+                        collision: false,
+                        copies_written: 1,
+                    };
                 }
-                r
             }
-            Err(full) => full.report,
         }
+        McTable::insert_new(self, key, value)
     }
 
     fn insert_new(&mut self, key: K, value: V) -> InsertReport {
-        match Bcht::insert(self, key, value) {
+        let mut trail = Vec::new();
+        match Bcht::insert_tracked(self, key, value, Some(&mut trail)) {
             Ok(r) => r,
-            Err(full) => full.report,
+            Err(full) => {
+                self.unwind_failed_walk(full.evicted, &trail);
+                full.report
+            }
         }
     }
 
@@ -524,6 +573,54 @@ mod tests {
         let mut ks: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
         ks.sort_unstable();
         assert_eq!(ks, (0u64..120).collect::<Vec<_>>());
+    }
+
+    /// Sorted snapshot of the stored pairs, for no-op equality checks.
+    fn contents(t: &Bcht<u64, u64>) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn mctable_upsert_updates_in_place_with_one_write() {
+        let mut t = table(64, 16);
+        McTable::insert(&mut t, 42u64, 1);
+        let before = t.meter().snapshot();
+        let r = McTable::insert(&mut t, 42u64, 2);
+        let delta = t.meter().snapshot() - before;
+        assert_eq!(r.outcome, InsertOutcome::Updated);
+        assert_eq!(r.kickouts, 0);
+        assert_eq!(delta.offchip_writes, 1, "in-place upsert is a single write");
+        assert_eq!(t.get(&42), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn mctable_failed_insert_is_a_noop() {
+        // A tiny table with a tight kick budget: some trait-level inserts
+        // must fail, and each failure must leave the table bit-identical.
+        let mut t: Bcht<u64, u64> = Bcht::new(BchtConfig {
+            maxloop: 8,
+            ..BchtConfig::paper(2, 17)
+        });
+        let mut keys = UniqueKeys::new(18);
+        let mut failures = 0;
+        for _ in 0..60 {
+            let k = keys.next_key();
+            let before = contents(&t);
+            let len_before = t.len();
+            let r = McTable::insert(&mut t, k, k ^ 0xAB);
+            if r.outcome == InsertOutcome::Failed {
+                failures += 1;
+                assert_eq!(contents(&t), before, "failed insert must not mutate");
+                assert_eq!(t.len(), len_before);
+                assert!(!t.contains(&k), "rejected key must not be stored");
+            } else {
+                assert!(t.contains(&k));
+            }
+        }
+        assert!(failures > 0, "an 18-slot table cannot absorb 60 items");
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Concurrency scaling (§III.H): aggregate read throughput of the
 //! one-writer-many-readers table as reader count grows, with and
-//! without a concurrent writer churning the table.
+//! without a concurrent writer churning the table — plus the write-side
+//! sweep of the sharded serving layer: insert throughput across shard
+//! count × writer threads, batched and per-op, against the
+//! single-writer per-op baseline (shards = 1, writers = 1, batch = 1).
 //!
 //! Every read validates the availability guarantee (stable keys are
 //! always found); throughput is wall-clock, so run with `--release`.
@@ -10,12 +13,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mccuckoo_bench::report::{f2, write_csv, Table};
-use mccuckoo_core::{ConcurrentMcCuckoo, McConfig};
+use mccuckoo_core::{ConcurrentMcCuckoo, McConfig, ShardedMcCuckoo};
 use workloads::UniqueKeys;
 
 const TABLE_N: usize = 1 << 16;
 const STABLE: usize = 120_000;
 const RUN_MILLIS: u64 = 800;
+/// Total buckets across all shards of a write-sweep table.
+const WRITE_BUCKETS: usize = 1 << 16;
+/// Fresh keys inserted per write-sweep run (~41% of total capacity, so
+/// no insert is ever rejected and every run does identical work).
+const WRITE_OPS: usize = 80_000;
 
 fn run(readers: usize, with_writer: bool) -> f64 {
     let table: Arc<ConcurrentMcCuckoo<u64, u64>> =
@@ -70,6 +78,43 @@ fn run(readers: usize, with_writer: bool) -> f64 {
     reads.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64() / 1e6
 }
 
+/// Insert `WRITE_OPS` fresh keys into a `shards`-way sharded table from
+/// `writers` threads, `batch` keys per batched call (`batch == 1` uses
+/// the per-op path), returning Mops. Keys are pre-partitioned round-robin
+/// across writers, so every run inserts the same key set.
+fn run_write(shards: usize, writers: usize, batch: usize) -> f64 {
+    let table: Arc<ShardedMcCuckoo<u64, u64>> = Arc::new(ShardedMcCuckoo::new(
+        shards,
+        McConfig::paper(WRITE_BUCKETS / shards, 41),
+    ));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let table = table.clone();
+            scope.spawn(move || {
+                let keys: Vec<(u64, u64)> = (w..WRITE_OPS)
+                    .step_by(writers)
+                    .map(|i| (i as u64, i as u64 ^ 0xF00D))
+                    .collect();
+                if batch == 1 {
+                    for &(k, v) in &keys {
+                        table.insert(k, v).expect("40% load never rejects");
+                    }
+                } else {
+                    for chunk in keys.chunks(batch) {
+                        for r in table.insert_batch(chunk) {
+                            r.expect("40% load never rejects");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(table.len(), WRITE_OPS, "every key must land exactly once");
+    WRITE_OPS as f64 / secs / 1e6
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut table = Table::new(
@@ -89,6 +134,40 @@ fn main() {
     }
     table.print();
     write_csv("concurrency_scaling", &table);
+
+    // Write-side sweep: shard count × writer threads, batched (64 keys
+    // per lock acquisition) and per-op. Row one is the single-writer
+    // per-op baseline the sharded layer must beat.
+    let mut wtable = Table::new(
+        "Sharded write scaling: insert throughput (Mops)",
+        &["shards", "writers", "batch", "Mops"],
+    );
+    let baseline = run_write(1, 1, 1);
+    wtable.row(vec!["1".into(), "1".into(), "1".into(), f2(baseline)]);
+    let mut best_multi = 0.0f64;
+    for &shards in &[2usize, 4, 8] {
+        for &writers in &[1usize, 2, 4] {
+            for &batch in &[1usize, 64] {
+                let mops = run_write(shards, writers, batch);
+                if writers >= 4 {
+                    best_multi = best_multi.max(mops);
+                }
+                wtable.row(vec![
+                    shards.to_string(),
+                    writers.to_string(),
+                    batch.to_string(),
+                    f2(mops),
+                ]);
+            }
+        }
+    }
+    wtable.print();
+    write_csv("sharded_write_scaling", &wtable);
+    println!(
+        "(single-writer per-op baseline {} Mops; best sharded multi-writer {} Mops)",
+        f2(baseline),
+        f2(best_multi),
+    );
     println!(
         "({cores} logical cores available; every read asserts the §III.H availability guarantee)"
     );

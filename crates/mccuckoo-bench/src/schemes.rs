@@ -7,10 +7,11 @@
 //! are sized by **total slot capacity** so load ratios are comparable.
 
 use cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
-use mccuckoo_core::{BlockedConfig, BlockedMcCuckoo, McConfig, McCuckoo, McTable};
+use mccuckoo_core::{BlockedConfig, BlockedMcCuckoo, McConfig, McCuckoo, McTable, ShardedMcCuckoo};
 use mem_model::{InsertOutcome, InsertReport, MemStats};
 
-/// The four schemes of the paper's evaluation.
+/// The four schemes of the paper's evaluation, plus the sharded
+/// multi-writer serving layer built on the concurrent table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// Standard ternary Cuckoo hashing (single copy, 1 slot).
@@ -21,15 +22,28 @@ pub enum Scheme {
     Bcht,
     /// Blocked multi-copy Cuckoo, 3 hashes × 3 slots.
     BMcCuckoo,
+    /// 4-way sharded concurrent McCuckoo (not in the paper's figures;
+    /// swept by the smoke and concurrency harnesses).
+    Sharded,
 }
 
 impl Scheme {
-    /// All four, in the paper's presentation order.
+    /// The paper's four schemes, in its presentation order.
     pub const ALL: [Scheme; 4] = [
         Scheme::Cuckoo,
         Scheme::McCuckoo,
         Scheme::Bcht,
         Scheme::BMcCuckoo,
+    ];
+
+    /// The paper's four plus the sharded serving layer, for harnesses
+    /// (smoke tests) that cover everything buildable.
+    pub const WITH_SHARDED: [Scheme; 5] = [
+        Scheme::Cuckoo,
+        Scheme::McCuckoo,
+        Scheme::Bcht,
+        Scheme::BMcCuckoo,
+        Scheme::Sharded,
     ];
 
     /// The two single-slot schemes.
@@ -42,12 +56,13 @@ impl Scheme {
             Scheme::McCuckoo => "McCuckoo",
             Scheme::Bcht => "BCHT",
             Scheme::BMcCuckoo => "B-McCuckoo",
+            Scheme::Sharded => "Sharded-4",
         }
     }
 
     /// Whether this is a multi-copy scheme.
     pub fn multi_copy(&self) -> bool {
-        matches!(self, Scheme::McCuckoo | Scheme::BMcCuckoo)
+        matches!(self, Scheme::McCuckoo | Scheme::BMcCuckoo | Scheme::Sharded)
     }
 
     /// Whether this is a blocked (multi-slot) scheme, whose off-chip
@@ -64,6 +79,9 @@ impl Scheme {
             Scheme::McCuckoo => 0.90,
             Scheme::Bcht => 0.97,
             Scheme::BMcCuckoo => 0.98,
+            // Stash-less concurrent shards, each smaller than one
+            // monolithic table of the same total capacity: stalls first.
+            Scheme::Sharded => 0.85,
         }
     }
 }
@@ -121,6 +139,14 @@ impl AnyTable {
                 };
                 cfg.base.maxloop = maxloop;
                 Box::new(BlockedMcCuckoo::new(cfg))
+            }
+            Scheme::Sharded => {
+                // 4 shards of single-slot concurrent McCuckoo; deletion
+                // is always available (counter-only removes).
+                const SHARDS: usize = 4;
+                let mut cfg = McConfig::paper((cap_slots / 3 / SHARDS).max(1), seed);
+                cfg.maxloop = maxloop;
+                Box::new(ShardedMcCuckoo::new(SHARDS, cfg))
             }
         };
         Self { scheme, t }
@@ -192,7 +218,7 @@ mod tests {
 
     #[test]
     fn all_schemes_build_fill_and_serve() {
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::WITH_SHARDED {
             let mut t = AnyTable::build(scheme, 9_000, 1, 500, false);
             assert_eq!(t.scheme(), scheme);
             let mut keys = UniqueKeys::new(2);
@@ -211,7 +237,7 @@ mod tests {
 
     #[test]
     fn deletion_capable_builds_remove() {
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::WITH_SHARDED {
             let mut t = AnyTable::build(scheme, 9_000, 3, 500, true);
             let mut keys = UniqueKeys::new(4);
             let ks = keys.take_vec(1000);
@@ -227,7 +253,7 @@ mod tests {
 
     #[test]
     fn capacity_is_comparable_across_schemes() {
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::WITH_SHARDED {
             let t = AnyTable::build(scheme, 90_000, 5, 500, false);
             assert_eq!(t.capacity(), 90_000, "{}", scheme.label());
         }

@@ -203,12 +203,31 @@ where
     // Writer
     // ------------------------------------------------------------------
 
-    /// Insert or update. Returns `Err((key, value))` when the relocation
-    /// budget is exhausted — in which case, unlike the sequential
-    /// random-walk, **nothing was mutated** (the path is precomputed).
-    pub fn insert(&self, key: K, value: V) -> Result<(), (K, V)> {
+    /// Insert or update. Returns `Ok(true)` when an existing key was
+    /// updated in place and `Ok(false)` when the key was freshly placed.
+    /// Returns `Err((key, value))` when the relocation budget is
+    /// exhausted — in which case, unlike the sequential random-walk,
+    /// **nothing was mutated** (the path is precomputed).
+    pub fn insert(&self, key: K, value: V) -> Result<bool, (K, V)> {
         let mut writer = self.writer.lock();
         let out = self.insert_locked(key, value, &mut writer);
+        self.check_paranoid_locked();
+        out
+    }
+
+    /// Upsert a whole batch under **one** writer-lock acquisition.
+    ///
+    /// Results are positional: `out[i]` is what [`Self::insert`] would
+    /// have returned for `items[i]`. Failed items are skipped (the table
+    /// is left exactly as if their individual inserts had been rejected),
+    /// so one overflow does not poison the rest of the batch. Readers
+    /// remain lock-free throughout — they observe the batch item by item.
+    pub fn insert_batch(&self, items: &[(K, V)]) -> Vec<Result<bool, (K, V)>> {
+        let mut writer = self.writer.lock();
+        let out = items
+            .iter()
+            .map(|&(k, v)| self.insert_locked(k, v, &mut writer))
+            .collect();
         self.check_paranoid_locked();
         out
     }
@@ -225,7 +244,7 @@ where
         out
     }
 
-    fn insert_locked(&self, key: K, value: V, writer: &mut WriterState) -> Result<(), (K, V)> {
+    fn insert_locked(&self, key: K, value: V, writer: &mut WriterState) -> Result<bool, (K, V)> {
         // Update in place if present (writer is exclusive, so a plain
         // scan is race-free against other writers).
         let cands = self.candidates(&key);
@@ -245,9 +264,9 @@ where
                     self.write_bucket(cands[i], Some((key, value)), None);
                 }
             }
-            return Ok(());
+            return Ok(true);
         }
-        self.insert_fresh_locked(key, value, writer)
+        self.insert_fresh_locked(key, value, writer).map(|()| false)
     }
 
     /// The fresh-key insertion path (placement, then precomputed
@@ -288,6 +307,32 @@ where
     /// Remove `key` (counter-reset deletion). Returns its value.
     pub fn remove(&self, key: &K) -> Option<V> {
         let _writer = self.writer.lock();
+        let out = self.remove_locked(key);
+        self.check_paranoid_locked();
+        out
+    }
+
+    /// Remove a whole batch of keys under **one** writer-lock
+    /// acquisition. Results are positional: `out[i]` is what
+    /// [`Self::remove`] would have returned for `keys[i]` (duplicates in
+    /// the batch see the earlier removal — only the first wins).
+    pub fn remove_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        let _writer = self.writer.lock();
+        let out = keys.iter().map(|k| self.remove_locked(k)).collect();
+        self.check_paranoid_locked();
+        out
+    }
+
+    /// Look up a batch of keys. Reads are lock-free, so this is a plain
+    /// loop over [`Self::get`] — it exists so batched callers (the
+    /// sharded front end) have a positional batch API for all three op
+    /// kinds.
+    pub fn get_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// The deletion body. Caller holds the writer lock.
+    fn remove_locked(&self, key: &K) -> Option<V> {
         let cands = self.candidates(key);
         let mut value = None;
         let mut locations = [usize::MAX; MAX_D];
@@ -310,7 +355,6 @@ where
             }
             self.distinct.fetch_sub(1, Ordering::AcqRel);
         }
-        self.check_paranoid_locked();
         value
     }
 
@@ -577,10 +621,37 @@ mod tests {
     #[test]
     fn update_in_place() {
         let t = table(64, 3);
-        t.insert(5, 50).unwrap();
-        t.insert(5, 51).unwrap();
+        assert_eq!(t.insert(5, 50), Ok(false), "fresh key is a placement");
+        assert_eq!(t.insert(5, 51), Ok(true), "live key is an update");
         assert_eq!(t.get(&5), Some(51));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn batched_ops_match_singles() {
+        let singles = table(256, 21);
+        let batched = table(256, 21);
+        let mut keys = UniqueKeys::new(22);
+        let items: Vec<(u64, u64)> = keys.take_vec(400).into_iter().map(|k| (k, k + 7)).collect();
+        let mut single_results = Vec::new();
+        for &(k, v) in &items {
+            single_results.push(singles.insert(k, v));
+        }
+        assert_eq!(batched.insert_batch(&items), single_results);
+        assert_eq!(batched.len(), singles.len());
+        let ks: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        assert_eq!(batched.get_batch(&ks), singles.get_batch(&ks));
+        // Re-upserting the whole batch reports updates positionally.
+        let bumped: Vec<(u64, u64)> = items.iter().map(|&(k, v)| (k, v + 1)).collect();
+        assert!(batched.insert_batch(&bumped).iter().all(|r| *r == Ok(true)));
+        // Batch removal, with a duplicate: only the first occurrence wins.
+        let mut dup = ks.clone();
+        dup.push(ks[0]);
+        let removed = batched.remove_batch(&dup);
+        assert!(removed[..ks.len()].iter().all(|r| r.is_some()));
+        assert_eq!(removed[ks.len()], None, "duplicate key already removed");
+        assert!(batched.is_empty());
+        batched.check_invariants().unwrap();
     }
 
     #[test]
@@ -616,7 +687,7 @@ mod tests {
         for _ in 0..40 {
             let k = keys.next_key();
             match t.insert(k, k) {
-                Ok(()) => stored.push(k),
+                Ok(_) => stored.push(k),
                 Err((ek, _)) => {
                     failed = Some(ek);
                     break;

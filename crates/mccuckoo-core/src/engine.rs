@@ -1021,3 +1021,89 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use crate::{McConfig, McCuckoo};
+    use proptest::prelude::*;
+
+    /// The flag plane a refresh must leave behind: exactly the union of
+    /// the candidate buckets of the items still stashed afterwards.
+    fn expected_flags(t: &McCuckoo<u64, u64>) -> Vec<bool> {
+        let mut want = vec![false; t.flags.len()];
+        let stashed: Vec<u64> = t.stash.iter().map(|(k, _)| *k).collect();
+        for k in stashed {
+            for &b in t.candidate_buckets(&k).iter().take(t.d) {
+                want[b] = true;
+            }
+        }
+        want
+    }
+
+    proptest! {
+        /// §III.F: after `refresh_stash` the 1-bit flags are exactly the
+        /// candidate-bucket flags of the items that remained stashed —
+        /// no stale flag survives for an item that settled back into the
+        /// main table, and every survivor's d flags are re-raised. The
+        /// bulk flag clear is metered as one posted write per bucket
+        /// (`flags.len()`), checked exactly when the stash drains dry.
+        #[test]
+        fn refresh_stash_leaves_exact_flags_and_meters_the_clear(
+            seed in any::<u64>(),
+            buckets in 4usize..24,
+            maxloop in 2u32..12,
+            inserts in 16usize..160,
+            removes in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+        ) {
+            let config = McConfig {
+                maxloop,
+                deletion: crate::DeletionMode::Reset,
+                ..McConfig::paper(buckets, seed)
+            };
+            let mut t: McCuckoo<u64, u64> = McCuckoo::new(config);
+            // Overfill a small table so some inserts land in the stash.
+            let mut live: Vec<u64> = Vec::new();
+            for k in 0..inserts as u64 {
+                if t.insert(k, k * 3).is_ok() {
+                    live.push(k);
+                }
+            }
+            // Random deletions free buckets, so a refresh can actually
+            // move stashed items back into the table.
+            for idx in removes {
+                if live.is_empty() {
+                    break;
+                }
+                let k = live.swap_remove(idx.index(live.len()));
+                t.remove(&k);
+            }
+
+            let stashed_before = t.stash_len();
+            let before = t.meter.snapshot();
+            let moved = t.refresh_stash();
+            let delta = t.meter.snapshot() - before;
+
+            prop_assert_eq!(moved, stashed_before - t.stash_len());
+            prop_assert_eq!(&t.flags, &expected_flags(&t),
+                "flags must be exactly the candidates of still-stashed items");
+            prop_assert!(
+                delta.offchip_writes >= t.flags.len() as u64,
+                "the bulk clear alone posts one write per bucket"
+            );
+            if stashed_before == 0 {
+                prop_assert_eq!(delta.offchip_writes, t.flags.len() as u64,
+                    "an empty stash refresh is exactly the flag clear");
+            }
+            let inv = t.check_invariants();
+            prop_assert!(inv.is_ok(), "invariants: {:?}", inv);
+
+            // A second refresh keeps the properties: the stash can only
+            // shrink (the walks are randomized, so a retry may succeed
+            // where the first pass failed) and the flags stay exact.
+            let stash_now = t.stash_len();
+            t.refresh_stash();
+            prop_assert!(t.stash_len() <= stash_now);
+            prop_assert_eq!(&t.flags, &expected_flags(&t));
+        }
+    }
+}

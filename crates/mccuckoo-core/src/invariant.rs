@@ -33,6 +33,12 @@ impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> Validate for crate::ConcurrentMc
     }
 }
 
+impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> Validate for crate::ShardedMcCuckoo<K, V> {
+    fn validate(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
 impl<K: hash_kit::KeyHash + Eq + Clone, V> Validate for crate::MultisetIndex<K, V> {
     fn validate(&self) -> Result<(), String> {
         self.check_invariants()

@@ -42,6 +42,8 @@
 //! * [`counters`] — the packed on-chip counter array,
 //! * [`stash`] — off-chip stash structures,
 //! * [`concurrent`] — one-writer-many-readers wrapper (§III.H),
+//! * [`shard`] — N-way sharded multi-writer serving layer with batched
+//!   operations, built from independent [`concurrent`] shards,
 //! * [`multiset`] — multiset indexing via an external record arena
 //!   (§III.H),
 //! * [`invariant`] — exhaustive structural validators used by the test
@@ -71,6 +73,7 @@ pub mod map;
 pub mod multiset;
 pub mod persist;
 pub mod rehash;
+pub mod shard;
 pub mod single;
 pub mod stash;
 pub mod table;
@@ -86,5 +89,6 @@ pub use map::McMap;
 pub use multiset::MultisetIndex;
 pub use persist::{BlockedSnapshot, TableSnapshot};
 pub use rehash::{RehashOverflow, RehashReport};
+pub use shard::ShardedMcCuckoo;
 pub use single::McCuckoo;
 pub use table::McTable;

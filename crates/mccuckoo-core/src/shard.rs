@@ -1,0 +1,458 @@
+//! Sharded multi-writer serving layer over [`ConcurrentMcCuckoo`].
+//!
+//! [`ConcurrentMcCuckoo`] (§III.H) is one-writer-many-readers: every
+//! mutation serializes on a single mutex, so write throughput cannot
+//! scale past one core. [`ShardedMcCuckoo`] partitions the key space
+//! across `S` **independent** concurrent tables (shards) so up to `S`
+//! writers mutate disjoint shards in parallel while reads stay lock-free
+//! everywhere.
+//!
+//! **Shard selection.** A key's shard is the top `log2(S)` bits of a
+//! seeded 64-bit digest ([`hash_kit::KeyHash::hash_seeded`]) computed
+//! with a dedicated selector salt. Two properties matter:
+//!
+//! * the selector digest is *independent* of the in-shard bucket hashes
+//!   (different seed stream), so conditioning on "key landed in shard s"
+//!   does not bias its candidate buckets — each shard behaves exactly
+//!   like a stand-alone McCuckoo table at `1/S` of the key volume, and
+//!   the load guarantees of choice hashing survive partitioning (cf.
+//!   Dietzfelbinger–Mitzenmacher–Rink, *Cuckoo Hashing with Pages*);
+//! * taking the **top** bits leaves the low bits untouched for
+//!   power-of-two reductions downstream, avoiding bit reuse between the
+//!   selector and any hash that folds by `& (n - 1)`.
+//!
+//! **Per-shard state.** Each shard owns its complete McCuckoo state:
+//! cells, the on-chip copy-counter array, seqlock versions and its own
+//! writer mutex, built from a per-shard seed derived from the master
+//! seed by a [`SplitMix64`] stream. Counters never refer across shards —
+//! a copy count is a property of one key within one shard's candidate
+//! buckets — so **no operation ever needs cross-shard coordination**:
+//! an insert's kick walk, a deletion's counter reset and a lookup's
+//! candidate probe all touch exactly one shard. The only global value is
+//! `len()`, a sum of per-shard atomic counts (racy reads of it are as
+//! linearizable as any size estimate under concurrent writers).
+//!
+//! **Batching.** The batched entry points ([`ShardedMcCuckoo::insert_batch`],
+//! [`ShardedMcCuckoo::remove_batch`], [`ShardedMcCuckoo::lookup_batch`])
+//! group a caller's operations by destination shard and dispatch one
+//! per-shard batch each, so a shard's writer lock is taken **once per
+//! batch** instead of once per op. Results are returned in the caller's
+//! original order. Lookups take no lock at all; their grouping exists to
+//! keep consecutive probes within one shard's working set.
+
+use hash_kit::{KeyHash, SplitMix64};
+
+use crate::concurrent::ConcurrentMcCuckoo;
+use crate::config::McConfig;
+
+/// Decorrelates the shard selector from every table-level hash seed.
+const SELECTOR_SALT: u64 = 0x5AA2_D1CE_C7ED_BA5E;
+
+/// Derives per-shard master seeds from the configured seed.
+const SHARD_SEED_SALT: u64 = 0x51A8_DED5_EED5_7A2B;
+
+/// N-way sharded, multi-writer multi-copy cuckoo table.
+///
+/// ```
+/// use mccuckoo_core::{McConfig, ShardedMcCuckoo};
+/// use std::sync::Arc;
+///
+/// // 4 shards × (3 × 256) buckets; writers on different shards run in
+/// // parallel, readers are lock-free everywhere.
+/// let t = Arc::new(ShardedMcCuckoo::<u64, u64>::new(4, McConfig::paper(256, 7)));
+/// let results = t.insert_batch(&[(1, 10), (2, 20), (3, 30)]);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// assert_eq!(t.lookup_batch(&[2, 99]), vec![Some(20), None]);
+/// assert_eq!(t.remove(&1), Some(10));
+/// ```
+pub struct ShardedMcCuckoo<K, V> {
+    shards: Box<[ConcurrentMcCuckoo<K, V>]>,
+    /// `log2(shard count)`; 0 means a single shard.
+    shard_bits: u32,
+    select_seed: u64,
+}
+
+impl<K, V> ShardedMcCuckoo<K, V>
+where
+    K: KeyHash + Eq + Copy,
+    V: Copy,
+{
+    /// Build `shards` independent [`ConcurrentMcCuckoo`] shards, each
+    /// sized by `config` (total capacity is `shards × d ×
+    /// buckets_per_table`). Shard hash seeds are derived from
+    /// `config.seed`, so equal configurations build identical tables.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or not a power of two (the selector is
+    /// a bit slice).
+    pub fn new(shards: usize, config: McConfig) -> Self {
+        assert!(
+            shards > 0 && shards.is_power_of_two(),
+            "shard count must be a non-zero power of two, got {shards}"
+        );
+        let mut seeds = SplitMix64::new(config.seed ^ SHARD_SEED_SALT);
+        let built: Box<[ConcurrentMcCuckoo<K, V>]> = (0..shards)
+            .map(|_| {
+                let mut shard_config = config.clone();
+                shard_config.seed = seeds.next_u64();
+                ConcurrentMcCuckoo::new(shard_config)
+            })
+            .collect();
+        Self {
+            shards: built,
+            shard_bits: shards.trailing_zeros(),
+            select_seed: config.seed ^ SELECTOR_SALT,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves, for per-shard inspection (occupancy skew,
+    /// direct shard handles for dedicated writer threads).
+    pub fn shards(&self) -> &[ConcurrentMcCuckoo<K, V>] {
+        &self.shards
+    }
+
+    /// Which shard `key` routes to: the top `log2(S)` bits of the
+    /// seeded selector digest.
+    #[inline]
+    pub fn shard_of(&self, key: &K) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        (key.hash_seeded(self.select_seed) >> (64 - self.shard_bits)) as usize
+    }
+
+    /// Distinct keys stored across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Total bucket count across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Single-op API (mirrors `ConcurrentMcCuckoo`)
+    // ------------------------------------------------------------------
+
+    /// Lock-free lookup in the key's shard.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert or update in the key's shard. Same contract as
+    /// [`ConcurrentMcCuckoo::insert`]: `Ok(true)` = updated in place,
+    /// `Ok(false)` = freshly placed, `Err` = rejected with nothing
+    /// mutated.
+    pub fn insert(&self, key: K, value: V) -> Result<bool, (K, V)> {
+        self.shards[self.shard_of(&key)].insert(key, value)
+    }
+
+    /// Insert a key known to be absent. Same contract as
+    /// [`ConcurrentMcCuckoo::insert_new`].
+    pub fn insert_new(&self, key: K, value: V) -> Result<(), (K, V)> {
+        self.shards[self.shard_of(&key)].insert_new(key, value)
+    }
+
+    /// Remove `key` from its shard, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_of(key)].remove(key)
+    }
+
+    /// Clear every shard. Each shard clears under its own writer lock;
+    /// there is no cross-shard atomicity (a concurrent reader may see
+    /// shard 0 empty while shard 1 still serves).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.clear();
+        }
+    }
+
+    /// Exhaustive structural validation of every shard, plus the routing
+    /// invariant (each shard only holds keys that route to it — checked
+    /// structurally: a foreign key would fail its shard's own candidate
+    /// validation only probabilistically, so routing is asserted at the
+    /// API boundary instead and revalidated here per shard).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .check_invariants()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Batched API
+    // ------------------------------------------------------------------
+
+    /// Group `items`' positions by destination shard. Returns one
+    /// position list per shard; concatenated they are a permutation of
+    /// `0..items.len()`.
+    fn group_by_shard<T>(&self, items: &[T], shard_of: impl Fn(&T) -> usize) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, item) in items.iter().enumerate() {
+            groups[shard_of(item)].push(i);
+        }
+        groups
+    }
+
+    /// Upsert a batch, taking each involved shard's writer lock **once**.
+    ///
+    /// Results are positional: `out[i]` corresponds to `items[i]`
+    /// regardless of how the batch was regrouped internally. Failed items
+    /// leave their shard untouched, exactly like single-op inserts.
+    pub fn insert_batch(&self, items: &[(K, V)]) -> Vec<Result<bool, (K, V)>> {
+        let groups = self.group_by_shard(items, |(k, _)| self.shard_of(k));
+        let mut out: Vec<Option<Result<bool, (K, V)>>> = vec![None; items.len()];
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<(K, V)> = group.iter().map(|&i| items[i]).collect();
+            for (&i, result) in group.iter().zip(shard.insert_batch(&batch)) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("grouping covers every position"))
+            .collect()
+    }
+
+    /// Look up a batch. Lock-free; grouped by shard so consecutive
+    /// probes stay within one shard's working set. Results are
+    /// positional.
+    pub fn lookup_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        let groups = self.group_by_shard(keys, |k| self.shard_of(k));
+        let mut out: Vec<Option<Option<V>>> = vec![None; keys.len()];
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<K> = group.iter().map(|&i| keys[i]).collect();
+            for (&i, result) in group.iter().zip(shard.get_batch(&batch)) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("grouping covers every position"))
+            .collect()
+    }
+
+    /// Remove a batch, taking each involved shard's writer lock **once**.
+    /// Results are positional; a key duplicated within the batch is
+    /// removed by its first occurrence only.
+    pub fn remove_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        let groups = self.group_by_shard(keys, |k| self.shard_of(k));
+        let mut out: Vec<Option<Option<V>>> = vec![None; keys.len()];
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<K> = group.iter().map(|&i| keys[i]).collect();
+            for (&i, result) in group.iter().zip(shard.remove_batch(&batch)) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("grouping covers every position"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use workloads::UniqueKeys;
+
+    fn table(shards: usize, buckets: usize, seed: u64) -> ShardedMcCuckoo<u64, u64> {
+        ShardedMcCuckoo::new(shards, McConfig::paper(buckets, seed))
+    }
+
+    #[test]
+    fn routing_is_total_deterministic_and_spread() {
+        let t = table(8, 64, 1);
+        let mut per_shard = [0usize; 8];
+        for k in 0u64..4_000 {
+            let s = t.shard_of(&k);
+            assert!(s < 8);
+            assert_eq!(s, t.shard_of(&k), "routing must be deterministic");
+            per_shard[s] += 1;
+        }
+        // 4000 keys over 8 shards: each shard sees a non-trivial share.
+        for (s, &n) in per_shard.iter().enumerate() {
+            assert!(n > 250, "shard {s} got only {n} of 4000 keys");
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_cleanly() {
+        let t = table(1, 128, 2);
+        for k in 0u64..100 {
+            assert_eq!(t.insert(k, k * 2), Ok(false));
+        }
+        assert_eq!(t.shard_of(&17), 0);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(&17), Some(34));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_panics() {
+        let _ = table(3, 16, 0);
+    }
+
+    #[test]
+    fn ops_route_to_the_selected_shard_only() {
+        let t = table(4, 64, 3);
+        for k in 0u64..200 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0u64..200 {
+            let home = t.shard_of(&k);
+            for (s, shard) in t.shards().iter().enumerate() {
+                assert_eq!(
+                    shard.get(&k).is_some(),
+                    s == home,
+                    "key {k} visible in shard {s}, home {home}"
+                );
+            }
+        }
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn batched_ops_match_singles_and_preserve_order() {
+        let singles = table(4, 128, 4);
+        let batched = table(4, 128, 4);
+        let mut keys = UniqueKeys::new(5);
+        let items: Vec<(u64, u64)> = keys
+            .take_vec(600)
+            .into_iter()
+            .map(|k| (k, k ^ 42))
+            .collect();
+        let mut expect = Vec::new();
+        for &(k, v) in &items {
+            expect.push(singles.insert(k, v));
+        }
+        assert_eq!(batched.insert_batch(&items), expect, "positional results");
+        assert_eq!(batched.len(), singles.len());
+        let ks: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        assert_eq!(batched.lookup_batch(&ks), singles.lookup_batch(&ks));
+        // Upsert the same batch: every result must be `Ok(true)` in order.
+        let bumped: Vec<(u64, u64)> = items.iter().map(|&(k, v)| (k, v + 1)).collect();
+        assert!(batched.insert_batch(&bumped).iter().all(|r| *r == Ok(true)));
+        assert_eq!(batched.lookup_batch(&ks[..5]).len(), 5);
+        assert_eq!(
+            batched.remove_batch(&ks),
+            singles
+                .lookup_batch(&ks)
+                .iter()
+                .map(|v| v.map(|x| x + 1))
+                .collect::<Vec<_>>()
+        );
+        assert!(batched.is_empty());
+        batched.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn differential_against_hashmap_through_batches() {
+        let t = table(4, 64, 6);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = SplitMix64::new(7);
+        for round in 0..60u64 {
+            let mut batch = Vec::new();
+            for j in 0..32 {
+                batch.push((rng.next_below(500), round * 100 + j));
+            }
+            // The model applies the batch in order, skipping rejects —
+            // the same semantics insert_batch promises.
+            let results = t.insert_batch(&batch);
+            for (&(k, v), r) in batch.iter().zip(&results) {
+                if r.is_ok() {
+                    model.insert(k, v);
+                }
+            }
+            let probe: Vec<u64> = (0..16).map(|_| rng.next_below(500)).collect();
+            assert_eq!(
+                t.lookup_batch(&probe),
+                probe
+                    .iter()
+                    .map(|k| model.get(k).copied())
+                    .collect::<Vec<_>>()
+            );
+            let victims: Vec<u64> = (0..8).map(|_| rng.next_below(500)).collect();
+            let removed = t.remove_batch(&victims);
+            for (k, r) in victims.iter().zip(removed) {
+                assert_eq!(r, model.remove(k), "remove {k} in round {round}");
+            }
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), model.len());
+    }
+
+    #[test]
+    fn writers_on_distinct_shards_run_concurrently() {
+        // Four threads insert disjoint batches concurrently; nothing is
+        // lost and every shard stays structurally valid. On a multicore
+        // host the threads genuinely overlap; the correctness claim holds
+        // for every interleaving either way.
+        let t = std::sync::Arc::new(table(4, 1_024, 8));
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let base = 1 + w * per_thread;
+                    let items: Vec<(u64, u64)> =
+                        (base..base + per_thread).map(|k| (k, k * 3)).collect();
+                    for chunk in items.chunks(64) {
+                        for r in t.insert_batch(chunk) {
+                            r.expect("4k keys in 12k buckets must fit");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 4 * per_thread as usize);
+        for k in 1..=4 * per_thread {
+            assert_eq!(t.get(&k), Some(k * 3), "key {k} lost");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let t = table(2, 64, 9);
+        for k in 0u64..100 {
+            t.insert(k, k).unwrap();
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        for k in 0u64..100 {
+            assert_eq!(t.get(&k), None);
+        }
+        // Reusable after clear.
+        t.insert(5, 55).unwrap();
+        assert_eq!(t.get(&5), Some(55));
+        t.check_invariants().unwrap();
+    }
+}

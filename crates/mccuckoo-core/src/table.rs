@@ -2,7 +2,8 @@
 //!
 //! [`McTable`] is the object-safe trait implemented by
 //! [`McCuckoo`](crate::McCuckoo), [`BlockedMcCuckoo`](crate::BlockedMcCuckoo),
-//! [`ConcurrentMcCuckoo`](crate::ConcurrentMcCuckoo) and the baseline tables
+//! [`ConcurrentMcCuckoo`](crate::ConcurrentMcCuckoo),
+//! [`ShardedMcCuckoo`](crate::ShardedMcCuckoo) and the baseline tables
 //! in `cuckoo-baselines`, so harnesses (the differential-fuzzing testkit),
 //! benchmarks and examples drive every variant through a single surface
 //! instead of per-table match arms.
@@ -140,9 +141,13 @@ impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone, L: BucketLayout> McTable<K, V>
 impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::ConcurrentMcCuckoo<K, V> {
     fn insert(&mut self, key: K, value: V) -> InsertReport {
         match crate::ConcurrentMcCuckoo::insert(self, key, value) {
-            // The concurrent table does not report placement detail;
-            // a success counts as one committed copy.
-            Ok(()) => InsertReport::clean(1),
+            Ok(true) => InsertReport {
+                outcome: InsertOutcome::Updated,
+                kickouts: 0,
+                collision: false,
+                copies_written: 1,
+            },
+            Ok(false) => InsertReport::clean(1),
             Err(_) => InsertReport {
                 outcome: InsertOutcome::Failed,
                 kickouts: 0,
@@ -189,11 +194,67 @@ impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::Concurr
     }
 }
 
+impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::ShardedMcCuckoo<K, V> {
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        match crate::ShardedMcCuckoo::insert(self, key, value) {
+            Ok(true) => InsertReport {
+                outcome: InsertOutcome::Updated,
+                kickouts: 0,
+                collision: false,
+                copies_written: 1,
+            },
+            Ok(false) => InsertReport::clean(1),
+            Err(_) => InsertReport {
+                outcome: InsertOutcome::Failed,
+                kickouts: 0,
+                collision: true,
+                copies_written: 0,
+            },
+        }
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        match crate::ShardedMcCuckoo::insert_new(self, key, value) {
+            Ok(()) => InsertReport::clean(1),
+            Err(_) => InsertReport {
+                outcome: InsertOutcome::Failed,
+                kickouts: 0,
+                collision: true,
+                copies_written: 0,
+            },
+        }
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        crate::ShardedMcCuckoo::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        crate::ShardedMcCuckoo::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        crate::ShardedMcCuckoo::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        crate::ShardedMcCuckoo::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        crate::ShardedMcCuckoo::contains(self, key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::blocked::BlockedConfig;
-    use crate::{BlockedMcCuckoo, ConcurrentMcCuckoo, McConfig, McCuckoo};
+    use crate::{BlockedMcCuckoo, ConcurrentMcCuckoo, McConfig, McCuckoo, ShardedMcCuckoo};
 
     /// The whole point of the trait: one generic driver for every table.
     fn exercise<T: McTable<u64, u64>>(t: &mut T) {
@@ -240,16 +301,17 @@ mod tests {
 
     #[test]
     fn concurrent_table_conforms() {
+        // The concurrent upsert distinguishes `Updated` from `Placed`
+        // like every other implementor, so the shared driver applies.
         let mut t = ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(128, 4));
-        // The concurrent upsert reports `Placed`, not `Updated` — it does
-        // not distinguish the two. Use the shared driver only up to that.
-        for k in 1..=50u64 {
-            assert!(McTable::insert_new(&mut t, k, k * 10).stored());
-        }
-        assert_eq!(McTable::lookup(&t, &7), Some(70));
-        assert_eq!(McTable::remove(&mut t, &7), Some(70));
-        McTable::clear(&mut t);
-        assert!(McTable::is_empty(&t));
+        exercise(&mut t);
+        assert_eq!(McTable::mem_stats(&t), MemStats::default());
+    }
+
+    #[test]
+    fn sharded_table_conforms() {
+        let mut t = ShardedMcCuckoo::<u64, u64>::new(4, McConfig::paper(64, 5));
+        exercise(&mut t);
         assert_eq!(McTable::mem_stats(&t), MemStats::default());
     }
 }

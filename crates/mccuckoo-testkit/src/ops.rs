@@ -66,15 +66,22 @@ pub enum MixProfile {
     /// Insert-dominated at a key domain close to table capacity: the
     /// table operates at very high load, stashing and kicking out.
     NearFull,
+    /// Almost pure upserts over a tiny key domain: the same keys are
+    /// re-inserted over and over with fresh values, with only occasional
+    /// lookups to observe them and almost no deletions. Targets the
+    /// update-in-place path (a destructive remove-then-insert upsert
+    /// shows up immediately as churn, lost keys or stale values).
+    UpsertHammer,
 }
 
 impl MixProfile {
     /// All profiles, for sweep drivers.
-    pub const ALL: [MixProfile; 4] = [
+    pub const ALL: [MixProfile; 5] = [
         MixProfile::Balanced,
         MixProfile::DuplicateHeavy,
         MixProfile::DeleteHeavy,
         MixProfile::NearFull,
+        MixProfile::UpsertHammer,
     ];
 
     /// Op-kind weights: insert, insert_new, get, contains, remove,
@@ -85,6 +92,7 @@ impl MixProfile {
             MixProfile::DuplicateHeavy => [40, 15, 20, 5, 15, 1, 4],
             MixProfile::DeleteHeavy => [25, 5, 15, 5, 40, 2, 8],
             MixProfile::NearFull => [60, 10, 10, 3, 12, 0, 5],
+            MixProfile::UpsertHammer => [80, 2, 12, 3, 2, 0, 1],
         }
     }
 
@@ -96,6 +104,8 @@ impl MixProfile {
             MixProfile::DeleteHeavy => (capacity as u64 / 4).max(8),
             // ~95% of capacity: the stash works for a living.
             MixProfile::NearFull => (capacity as u64 * 95 / 100).max(8),
+            // Tiny domain: nearly every insert hits a live key.
+            MixProfile::UpsertHammer => 12,
         }
     }
 }

@@ -16,6 +16,7 @@
 use mccuckoo_core::invariant::Validate;
 use mccuckoo_core::{
     BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
+    ShardedMcCuckoo,
 };
 
 /// Which table implementation a fuzz case drives.
@@ -33,17 +34,20 @@ pub enum TableKind {
     Blocked3,
     /// [`ConcurrentMcCuckoo`] driven from one thread.
     Concurrent,
+    /// [`ShardedMcCuckoo`] (4 shards) driven from one thread.
+    Sharded,
 }
 
 impl TableKind {
     /// All kinds, for sweep drivers.
-    pub const ALL: [TableKind; 6] = [
+    pub const ALL: [TableKind; 7] = [
         TableKind::Single,
         TableKind::SingleTombstone,
         TableKind::Blocked,
         TableKind::BlockedTombstone,
         TableKind::Blocked3,
         TableKind::Concurrent,
+        TableKind::Sharded,
     ];
 
     /// Short name for reports.
@@ -55,6 +59,7 @@ impl TableKind {
             TableKind::BlockedTombstone => "blocked-tombstone",
             TableKind::Blocked3 => "blocked-3slot",
             TableKind::Concurrent => "concurrent",
+            TableKind::Sharded => "sharded-4",
         }
     }
 
@@ -93,6 +98,10 @@ impl TableKind {
                 self.name(),
                 ConcurrentMcCuckoo::new(McConfig::paper(buckets, seed)),
             )),
+            TableKind::Sharded => Box::new(Shim::new(
+                self.name(),
+                ShardedMcCuckoo::new(SHARDS, McConfig::paper((buckets / SHARDS).max(1), seed)),
+            )),
         }
     }
 
@@ -102,10 +111,14 @@ impl TableKind {
         match self {
             TableKind::Blocked | TableKind::BlockedTombstone => 3 * buckets * 2,
             TableKind::Blocked3 => 3 * buckets * 3,
+            TableKind::Sharded => 3 * (buckets / SHARDS).max(1) * SHARDS,
             _ => 3 * buckets,
         }
     }
 }
+
+/// Shard count of the [`TableKind::Sharded`] target.
+const SHARDS: usize = 4;
 
 /// The uniform mutable-table surface the differential runner drives.
 #[allow(clippy::len_without_is_empty)] // the runner never asks for emptiness

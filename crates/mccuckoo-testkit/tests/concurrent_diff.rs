@@ -182,3 +182,89 @@ fn concurrent_matches_oracle_single_threaded_histories() {
         assert_eq!(t.get(&k), Some(v));
     }
 }
+
+#[test]
+fn sharded_multi_writer_differential() {
+    // Four writer threads over a 4-shard table, each owning a disjoint
+    // key slice (keys of its residue class mod 4). Ownership makes the
+    // final state decidable — each key's history is written by exactly
+    // one thread — while the shard router spreads every thread's keys
+    // across all shards, so the per-shard writer locks really are
+    // contended by multiple threads. Writers use the batched entry
+    // points; a reader storm uses lookup_batch (unchecked mid-churn).
+    use mccuckoo_core::ShardedMcCuckoo;
+
+    const WRITERS: u64 = 4;
+    const DOMAIN: u64 = 2_400;
+    for seed in [7u64, 35] {
+        let t = Arc::new(ShardedMcCuckoo::<u64, u64>::new(
+            4,
+            McConfig::paper(256, seed),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let oracles: Vec<HashMap<u64, u64>> = std::thread::scope(|scope| {
+            let reader = {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let keys: Vec<u64> = (0..64).collect();
+                    while !stop.load(Ordering::Acquire) {
+                        let _ = t.lookup_batch(&keys);
+                    }
+                })
+            };
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|tid| {
+                    let t = Arc::clone(&t);
+                    scope.spawn(move || {
+                        let mut oracle: HashMap<u64, u64> = HashMap::new();
+                        let mut rng = SplitMix64::new(seed ^ (tid << 32) ^ 0x5AA2);
+                        for round in 0..150u64 {
+                            // Keys of this thread's residue class only.
+                            let batch: Vec<(u64, u64)> = (0..32)
+                                .map(|j| {
+                                    let k = rng.next_below(DOMAIN / WRITERS) * WRITERS + tid;
+                                    (k, round * 1_000 + j)
+                                })
+                                .collect();
+                            for (r, &(k, v)) in t.insert_batch(&batch).iter().zip(&batch) {
+                                if r.is_ok() {
+                                    oracle.insert(k, v);
+                                }
+                            }
+                            let dels: Vec<u64> = (0..8)
+                                .map(|_| rng.next_below(DOMAIN / WRITERS) * WRITERS + tid)
+                                .collect();
+                            for (r, &k) in t.remove_batch(&dels).iter().zip(&dels) {
+                                assert_eq!(
+                                    r.is_some(),
+                                    oracle.remove(&k).is_some(),
+                                    "seed {seed} writer {tid}: remove {k} diverged"
+                                );
+                            }
+                        }
+                        oracle
+                    })
+                })
+                .collect();
+            let oracles = writers.into_iter().map(|h| h.join().unwrap()).collect();
+            stop.store(true, Ordering::Release);
+            reader.join().unwrap();
+            oracles
+        });
+
+        t.check_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let merged: HashMap<u64, u64> = oracles.into_iter().flatten().collect();
+        assert_eq!(t.len(), merged.len(), "seed {seed}: distinct count");
+        let keys: Vec<u64> = (0..DOMAIN).collect();
+        for (k, got) in keys.iter().zip(t.lookup_batch(&keys)) {
+            assert_eq!(
+                got,
+                merged.get(k).copied(),
+                "seed {seed}: key {k} diverged from the merged oracle"
+            );
+        }
+    }
+}

@@ -1,29 +1,29 @@
 //! Trait-conformance suite: every table in the workspace — the two
 //! McCuckoo engine layouts (in both deletion modes), the lock-free
-//! concurrent table, and both baselines — must honour the shared
-//! [`McTable`] contract. One generic driver exercises insert / upsert /
-//! lookup / remove / clear / load semantics; each table type gets its
-//! own `#[test]` so a failure names the offender.
+//! concurrent table, the sharded serving layer, and both baselines —
+//! must honour the shared [`McTable`] contract. One generic driver
+//! exercises insert / upsert / lookup / remove / clear / load semantics;
+//! each table type gets its own `#[test]` so a failure names the
+//! offender.
 //!
-//! The only tolerated behavioural split is upsert reporting:
-//! `ConcurrentMcCuckoo` reports `Placed` for an overwrite of a present
-//! key (it does not distinguish the two), and the baselines implement
-//! upsert as remove-then-insert and report `Updated` like the engine
-//! does. The driver takes the expected outcome as a parameter.
+//! There is no tolerated behavioural split any more: upsert of a present
+//! key reports `Updated` and rewrites the value **in place** on every
+//! implementor (the baselines used to emulate upsert as destructive
+//! remove-then-insert; the concurrent table used to report `Placed`),
+//! and a `Failed` insert leaves the table untouched. The storm drivers
+//! at the bottom pin both properties down under near-full load.
 
 use mccuckoo_suite::cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
 use mccuckoo_suite::mccuckoo_core::{
     BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
+    ShardedMcCuckoo,
 };
 use mem_model::InsertOutcome;
 
 const N: u64 = 200;
 
 /// Drive the full `McTable` contract against `t`.
-///
-/// `upsert_outcome` is what `insert` of a *present* key must report
-/// (`Updated` for everything except the concurrent table's `Placed`).
-fn conformance<T: McTable<u64, u64>>(mut t: T, upsert_outcome: InsertOutcome) {
+fn conformance<T: McTable<u64, u64>>(mut t: T) {
     // Fresh table.
     assert!(t.is_empty());
     assert_eq!(t.len(), 0);
@@ -45,9 +45,9 @@ fn conformance<T: McTable<u64, u64>>(mut t: T, upsert_outcome: InsertOutcome) {
     }
     assert_eq!(t.lookup(&(N + 1)), None);
 
-    // Upsert: value replaced, length unchanged, outcome as declared.
+    // Upsert: value replaced, length unchanged, reported as an update.
     let r = t.insert(7, 777);
-    assert_eq!(r.outcome, upsert_outcome, "upsert report");
+    assert_eq!(r.outcome, InsertOutcome::Updated, "upsert report");
     assert_eq!(t.lookup(&7), Some(777));
     assert_eq!(t.len(), N as usize);
 
@@ -93,64 +93,243 @@ fn conformance<T: McTable<u64, u64>>(mut t: T, upsert_outcome: InsertOutcome) {
 
 #[test]
 fn mccuckoo_reset_conforms() {
-    conformance(
-        McCuckoo::<u64, u64>::new(McConfig::paper_with_deletion(1024, 11)),
-        InsertOutcome::Updated,
-    );
+    conformance(McCuckoo::<u64, u64>::new(McConfig::paper_with_deletion(
+        1024, 11,
+    )));
 }
 
 #[test]
 fn mccuckoo_tombstone_conforms() {
-    conformance(
-        McCuckoo::<u64, u64>::new(McConfig::paper(1024, 12).with_deletion(DeletionMode::Tombstone)),
-        InsertOutcome::Updated,
-    );
+    conformance(McCuckoo::<u64, u64>::new(
+        McConfig::paper(1024, 12).with_deletion(DeletionMode::Tombstone),
+    ));
 }
 
 #[test]
 fn blocked_two_slot_conforms() {
-    conformance(
-        BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
-            base: McConfig::paper_with_deletion(512, 13),
-            slots: 2,
-            aggressive_lookup: true,
-        }),
-        InsertOutcome::Updated,
-    );
+    conformance(BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+        base: McConfig::paper_with_deletion(512, 13),
+        slots: 2,
+        aggressive_lookup: true,
+    }));
 }
 
 #[test]
 fn blocked_three_slot_tombstone_conforms() {
-    conformance(
-        BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
-            base: McConfig::paper(512, 14).with_deletion(DeletionMode::Tombstone),
-            slots: 3,
-            aggressive_lookup: false,
-        }),
-        InsertOutcome::Updated,
-    );
+    conformance(BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+        base: McConfig::paper(512, 14).with_deletion(DeletionMode::Tombstone),
+        slots: 3,
+        aggressive_lookup: false,
+    }));
 }
 
 #[test]
 fn concurrent_conforms() {
-    conformance(
-        ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(1024, 15)),
-        InsertOutcome::Placed,
-    );
+    conformance(ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(
+        1024, 15,
+    )));
+}
+
+#[test]
+fn sharded_conforms() {
+    conformance(ShardedMcCuckoo::<u64, u64>::new(
+        4,
+        McConfig::paper(256, 18),
+    ));
 }
 
 #[test]
 fn dary_cuckoo_conforms() {
-    conformance(
-        DaryCuckoo::<u64, u64>::new(CuckooConfig::paper(1024, 16)),
-        InsertOutcome::Updated,
-    );
+    conformance(DaryCuckoo::<u64, u64>::new(CuckooConfig::paper(1024, 16)));
 }
 
 #[test]
 fn bcht_conforms() {
-    conformance(
-        Bcht::<u64, u64>::new(BchtConfig::paper(256, 17)),
-        InsertOutcome::Updated,
+    conformance(Bcht::<u64, u64>::new(BchtConfig::paper(256, 17)));
+}
+
+// ---------------------------------------------------------------------
+// Upsert regression storms (the destructive remove-then-insert bug)
+// ---------------------------------------------------------------------
+
+/// Fill `t` near its insertion limit, then hammer upserts of the live
+/// keys. On every implementor the upserts must (a) report `Updated`,
+/// never `Failed` — a destructive remove-then-insert emulation puts the
+/// key at eviction risk exactly here — (b) keep every other key intact
+/// with its newest value, and (c) cost at most `writes_bound` off-chip
+/// writes each (`None` skips the meter check for unmetered tables). The
+/// old baseline adapters paid 2 writes per upsert (remove + insert);
+/// the multi-copy engine pays one write per stored copy, never more
+/// than its `d = 3`.
+fn near_full_upsert_storm<T: McTable<u64, u64>>(mut t: T, writes_bound: Option<u64>) {
+    // Fill until the table pushes back (or a generous cap for tables
+    // that stash instead of failing).
+    let mut live: Vec<u64> = Vec::new();
+    for k in 0..(t.capacity() as u64 * 2) {
+        if !t.insert_new(k, k).stored() {
+            break;
+        }
+        live.push(k);
+    }
+    assert!(
+        t.load() > 0.5,
+        "fill stalled at load {:.2}; the storm needs a crowded table",
+        t.load()
+    );
+
+    for round in 1..=3u64 {
+        for &k in &live {
+            let before = t.mem_stats();
+            let r = t.insert(k, k + round * 10_000);
+            let delta = t.mem_stats() - before;
+            assert_eq!(
+                r.outcome,
+                InsertOutcome::Updated,
+                "round {round}: upsert of live key {k} must update in place"
+            );
+            if let Some(bound) = writes_bound {
+                assert!(
+                    delta.offchip_writes <= bound,
+                    "round {round}: upsert of key {k} cost {} writes (bound {bound})",
+                    delta.offchip_writes
+                );
+            }
+        }
+        assert_eq!(t.len(), live.len(), "round {round}: upserts changed len");
+        for &k in &live {
+            assert_eq!(
+                t.lookup(&k),
+                Some(k + round * 10_000),
+                "round {round}: key {k} lost or stale after upsert storm"
+            );
+        }
+    }
+}
+
+#[test]
+fn near_full_upserts_mccuckoo() {
+    near_full_upsert_storm(
+        McCuckoo::<u64, u64>::new(McConfig::paper_with_deletion(128, 21)),
+        Some(3),
+    );
+}
+
+#[test]
+fn near_full_upserts_blocked() {
+    near_full_upsert_storm(
+        BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+            base: McConfig::paper_with_deletion(64, 22),
+            slots: 3,
+            aggressive_lookup: true,
+        }),
+        Some(3),
+    );
+}
+
+#[test]
+fn near_full_upserts_concurrent() {
+    near_full_upsert_storm(
+        ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(128, 23)),
+        None,
+    );
+}
+
+#[test]
+fn near_full_upserts_sharded() {
+    near_full_upsert_storm(
+        ShardedMcCuckoo::<u64, u64>::new(4, McConfig::paper(32, 24)),
+        None,
+    );
+}
+
+#[test]
+fn near_full_upserts_dary() {
+    // An in-place upsert is exactly one off-chip write; the destructive
+    // adapter paid two (remove, then re-insert).
+    near_full_upsert_storm(
+        DaryCuckoo::<u64, u64>::new(CuckooConfig::paper(128, 25)),
+        Some(1),
+    );
+}
+
+#[test]
+fn near_full_upserts_bcht() {
+    near_full_upsert_storm(Bcht::<u64, u64>::new(BchtConfig::paper(48, 26)), Some(1));
+}
+
+/// A `Failed` insert must be a strict no-op: the offered key absent,
+/// every stored key intact with its current value, `len` unchanged.
+/// Before the unwind fix, the baselines' failed kick walks left the
+/// offered key stored and a victim evicted.
+fn failed_insert_noop_storm<T: McTable<u64, u64>>(mut t: T, attempts: u64) {
+    let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut failures = 0u64;
+    for k in 0..attempts {
+        let r = t.insert(k, k ^ 0x5A5A);
+        if r.stored() {
+            model.insert(k, k ^ 0x5A5A);
+        } else {
+            failures += 1;
+            assert!(!t.contains(&k), "rejected key {k} must not be stored");
+            assert_eq!(t.len(), model.len(), "failed insert of {k} changed len");
+            for (&mk, &mv) in &model {
+                assert_eq!(
+                    t.lookup(&mk),
+                    Some(mv),
+                    "failed insert of {k} damaged stored key {mk}"
+                );
+            }
+        }
+    }
+    assert!(
+        failures > 0,
+        "storm never overflowed the table; shrink it or raise attempts"
+    );
+}
+
+#[test]
+fn failed_inserts_are_noops_dary() {
+    failed_insert_noop_storm(
+        DaryCuckoo::<u64, u64>::new(CuckooConfig {
+            maxloop: 8,
+            ..CuckooConfig::paper(4, 31)
+        }),
+        80,
+    );
+}
+
+#[test]
+fn failed_inserts_are_noops_bcht() {
+    failed_insert_noop_storm(
+        Bcht::<u64, u64>::new(BchtConfig {
+            maxloop: 8,
+            ..BchtConfig::paper(2, 32)
+        }),
+        80,
+    );
+}
+
+#[test]
+fn failed_inserts_are_noops_concurrent() {
+    failed_insert_noop_storm(
+        ConcurrentMcCuckoo::<u64, u64>::new(McConfig {
+            maxloop: 8,
+            ..McConfig::paper(4, 33)
+        }),
+        80,
+    );
+}
+
+#[test]
+fn failed_inserts_are_noops_sharded() {
+    failed_insert_noop_storm(
+        ShardedMcCuckoo::<u64, u64>::new(
+            2,
+            McConfig {
+                maxloop: 8,
+                ..McConfig::paper(4, 34)
+            },
+        ),
+        120,
     );
 }
