@@ -10,7 +10,8 @@
 //! ref \[33\].
 
 use hash_kit::{BucketFamily, FamilyKind, KeyHash, SplitMix64};
-use mccuckoo_core::McTable;
+use mccuckoo_core::obs::Obs;
+use mccuckoo_core::{McTable, TableStats};
 use mem_model::{InsertOutcome, InsertReport, MemMeter};
 
 /// Configuration of a [`Bcht`].
@@ -75,6 +76,7 @@ pub struct Bcht<K, V> {
     len: usize,
     rng: SplitMix64,
     meter: MemMeter,
+    obs: Obs,
 }
 
 impl<K: KeyHash + Eq, V> Bcht<K, V> {
@@ -105,6 +107,7 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
             len: 0,
             rng: SplitMix64::new(config.seed ^ 0xB10C_4ED5_1077_ED01),
             meter: MemMeter::new(),
+            obs: Obs::default(),
         }
     }
 
@@ -143,6 +146,11 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
         &self.meter
     }
 
+    /// Observability snapshot (op counters, probe/kick histograms).
+    pub fn stats(&self) -> TableStats {
+        self.obs.snapshot()
+    }
+
     /// Global bucket id of candidate `i` (not slot-resolved).
     #[inline]
     fn bucket_id(&self, key: &K, i: usize) -> usize {
@@ -162,7 +170,12 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
 
     /// Insert a fresh key.
     pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, BchtFull<K, V>> {
-        self.insert_tracked(key, value, None)
+        let out = self.insert_tracked(key, value, None);
+        match &out {
+            Ok(report) => self.obs.record_insert(report),
+            Err(full) => self.obs.record_insert(&full.report),
+        }
+        out
     }
 
     /// The insertion body. When `trail` is supplied, every kick's victim
@@ -256,11 +269,13 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
             for s in self.slot_range(b) {
                 if let Some(e) = &self.entries[s] {
                     if e.key == *key {
+                        self.obs.record_lookup(true, i as u64 + 1);
                         return Some(&e.value);
                     }
                 }
             }
         }
+        self.obs.record_lookup(false, self.d as u64);
         None
     }
 
@@ -279,10 +294,12 @@ impl<K: KeyHash + Eq, V> Bcht<K, V> {
                     let e = self.entries[s].take().unwrap();
                     self.meter.offchip_write(1);
                     self.len -= 1;
+                    self.obs.record_remove(true);
                     return Some(e.value);
                 }
             }
         }
+        self.obs.record_remove(false);
         None
     }
 
@@ -337,12 +354,14 @@ impl<K: KeyHash + Eq, V: Clone> McTable<K, V> for Bcht<K, V> {
                 if self.entries[s].as_ref().is_some_and(|e| e.key == key) {
                     self.entries[s].as_mut().expect("probed occupied").value = value;
                     self.meter.offchip_write(1);
-                    return InsertReport {
+                    let report = InsertReport {
                         outcome: InsertOutcome::Updated,
                         kickouts: 0,
                         collision: false,
                         copies_written: 1,
                     };
+                    self.obs.record_insert(&report);
+                    return report;
                 }
             }
         }
@@ -351,9 +370,14 @@ impl<K: KeyHash + Eq, V: Clone> McTable<K, V> for Bcht<K, V> {
 
     fn insert_new(&mut self, key: K, value: V) -> InsertReport {
         let mut trail = Vec::new();
-        match Bcht::insert_tracked(self, key, value, Some(&mut trail)) {
-            Ok(r) => r,
+        let out = Bcht::insert_tracked(self, key, value, Some(&mut trail));
+        match out {
+            Ok(r) => {
+                self.obs.record_insert(&r);
+                r
+            }
             Err(full) => {
+                self.obs.record_insert(&full.report);
                 self.unwind_failed_walk(full.evicted, &trail);
                 full.report
             }
@@ -390,6 +414,10 @@ impl<K: KeyHash + Eq, V: Clone> McTable<K, V> for Bcht<K, V> {
 
     fn mem_stats(&self) -> mem_model::MemStats {
         self.meter().snapshot()
+    }
+
+    fn stats(&self) -> TableStats {
+        Bcht::stats(self)
     }
 }
 

@@ -18,10 +18,11 @@
 //! function of on-chip bits per item — against this baseline.
 
 use hash_kit::{KeyHash, SplitMix64};
+use mccuckoo_core::{McTable, TableStats};
 use mem_model::MemMeter;
 
 use crate::dary::{CuckooConfig, CuckooFull, DaryCuckoo};
-use mem_model::InsertReport;
+use mem_model::{InsertOutcome, InsertReport};
 
 /// A counting Bloom filter with 4-bit counters (the classic choice for
 /// filters that must support deletion).
@@ -100,6 +101,13 @@ impl CountingBloom {
     /// Membership query: false positives possible, false negatives not.
     pub fn maybe_contains<K: KeyHash + ?Sized>(&self, key: &K) -> bool {
         (0..self.seeds.len()).all(|p| self.get_cell(self.idx(key, p)) > 0)
+    }
+
+    /// Zero every counter, deregistering everything at once. Also the
+    /// only way to recover saturated counters (which `remove` leaves
+    /// untouched to stay conservative).
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
     }
 }
 
@@ -188,15 +196,22 @@ impl<K: KeyHash + Eq + Clone, V> BloomGuidedCuckoo<K, V> {
     /// sub-tables that might hold the key.
     pub fn get(&self, key: &K) -> Option<&V> {
         self.meter().onchip_read(self.filters.len() as u64);
+        let mut probes = 0u64;
+        let mut found = None;
         for (i, f) in self.filters.iter().enumerate() {
             if f.maybe_contains(key) {
+                probes += 1;
                 if let Some(v) = self.table.get_in_table(key, i) {
-                    return Some(v);
+                    found = Some(v);
+                    break;
                 }
                 // False positive: the read was wasted, keep probing.
             }
         }
-        None
+        // The probe histogram shows the filters' whole value: hits cost
+        // ~1 read, misses mostly 0.
+        self.table.obs().record_lookup(found.is_some(), probes);
+        found
     }
 
     /// Whether `key` is stored.
@@ -212,11 +227,107 @@ impl<K: KeyHash + Eq + Clone, V> BloomGuidedCuckoo<K, V> {
                 if let Some(v) = self.table.remove_in_table(key, i) {
                     self.meter().onchip_write(1);
                     self.filters[i].remove(key);
+                    self.table.obs().record_remove(true);
                     return Some(v);
                 }
             }
         }
+        self.table.obs().record_remove(false);
         None
+    }
+
+    /// Remove every stored item and zero every filter. Hash functions,
+    /// meter and stats counters are untouched.
+    pub fn clear(&mut self) {
+        self.table.clear();
+        for f in &mut self.filters {
+            f.clear();
+        }
+    }
+
+    /// Observability snapshot (op counters, probe/kick histograms; the
+    /// probe histogram counts *off-chip* reads only — filter queries are
+    /// on-chip and free by the paper's cost model).
+    pub fn stats(&self) -> TableStats {
+        self.table.stats()
+    }
+}
+
+/// [`McTable`] conformance with the same contract as the other
+/// baselines: `insert` is a filter-guided in-place upsert, and a failed
+/// fresh insert is a strict no-op — the inner table's kick trail is
+/// unwound and **no filter updates are applied**, so the filters stay
+/// exact. Assumes a stash-less inner config (the filters do not track
+/// stash residency); [`CuckooConfig::paper`] is stash-less.
+impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for BloomGuidedCuckoo<K, V> {
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        self.meter().onchip_read(self.filters.len() as u64);
+        let home = (0..self.filters.len()).find(|&i| {
+            self.filters[i].maybe_contains(&key) && self.table.get_in_table(&key, i).is_some()
+        });
+        if let Some(i) = home {
+            let updated = self.table.update_in_table(&key, i, value);
+            debug_assert!(updated, "home sub-table was just probed");
+            let report = InsertReport {
+                outcome: InsertOutcome::Updated,
+                kickouts: 0,
+                collision: false,
+                copies_written: 1,
+            };
+            self.table.obs().record_insert(&report);
+            return report;
+        }
+        McTable::insert_new(self, key, value)
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        // insert_logged records the outcome in the shared obs recorder.
+        match self.table.insert_logged(key, value) {
+            Ok((report, moves)) => {
+                for m in moves {
+                    self.apply_move(m);
+                }
+                report
+            }
+            Err((full, log)) => {
+                // Failure becomes a no-op: unwind the walk and discard
+                // the move log so the filters never learn about it.
+                self.table.unwind_failed_walk(full.evicted, &log);
+                full.report
+            }
+        }
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        BloomGuidedCuckoo::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        BloomGuidedCuckoo::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        BloomGuidedCuckoo::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        BloomGuidedCuckoo::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        BloomGuidedCuckoo::contains(self, key)
+    }
+
+    fn mem_stats(&self) -> mem_model::MemStats {
+        self.meter().snapshot()
+    }
+
+    fn stats(&self) -> TableStats {
+        BloomGuidedCuckoo::stats(self)
     }
 }
 
@@ -323,6 +434,62 @@ mod tests {
         // With 8 bits/key of filter, hits should be close to one read.
         let per = guided_reads as f64 / ks.len() as f64;
         assert!(per < 1.3, "guided reads per hit {per}");
+    }
+
+    #[test]
+    fn mctable_clear_upsert_and_stats() {
+        let mut t = guided(256, 10);
+        for k in 0u64..300 {
+            assert!(McTable::insert_new(&mut t, k, k).stored());
+        }
+        let r = McTable::insert(&mut t, 7, 70);
+        assert_eq!(r.outcome, InsertOutcome::Updated);
+        assert_eq!(t.get(&7), Some(&70));
+        assert_eq!(McTable::remove(&mut t, &7), Some(70));
+        McTable::clear(&mut t);
+        assert!(t.is_empty());
+        for k in 0u64..300 {
+            assert_eq!(t.get(&k), None, "cleared filter must not resurrect {k}");
+        }
+        assert!(McTable::insert_new(&mut t, 5, 55).stored());
+        assert_eq!(t.get(&5), Some(&55));
+        let s = McTable::stats(&t);
+        assert_eq!(s.ops.inserts, 301);
+        assert_eq!(s.ops.updates, 1);
+        assert_eq!(s.ops.removes, 1);
+        assert!(s.probe_hist.count > 300);
+    }
+
+    #[test]
+    fn mctable_failed_insert_keeps_filters_exact() {
+        // Overload a tiny table until trait-level inserts fail; every
+        // failure must be a strict no-op, including in the filters (an
+        // applied move log from an unwound walk would desync them).
+        let mut t: BloomGuidedCuckoo<u64, u64> = BloomGuidedCuckoo::new(
+            CuckooConfig {
+                maxloop: 8,
+                ..CuckooConfig::paper(3, 11)
+            },
+            16,
+            3,
+        );
+        let mut keys = UniqueKeys::new(12);
+        let mut stored = Vec::new();
+        let mut failures = 0;
+        for _ in 0..60 {
+            let k = keys.next_key();
+            let r = McTable::insert(&mut t, k, k);
+            if r.outcome == InsertOutcome::Failed {
+                failures += 1;
+                assert_eq!(t.get(&k), None, "rejected key must not be stored");
+            } else {
+                stored.push(k);
+            }
+            for &s in &stored {
+                assert_eq!(t.get(&s), Some(&s), "filters must stay exact");
+            }
+        }
+        assert!(failures > 0, "a 9-bucket table must overflow in 60 inserts");
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! the final evicted item is handed back to the caller (who would rehash).
 
 use hash_kit::{BucketFamily, FamilyKind, KeyHash, SplitMix64};
-use mccuckoo_core::McTable;
+use mccuckoo_core::obs::Obs;
+use mccuckoo_core::{McTable, TableStats};
 use mem_model::{InsertOutcome, InsertReport, MemMeter};
 
 use crate::kick::KickPolicy;
@@ -132,6 +133,7 @@ pub struct DaryCuckoo<K, V> {
     main_len: usize,
     rng: SplitMix64,
     meter: MemMeter,
+    obs: Obs,
 }
 
 impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
@@ -163,6 +165,7 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
             main_len: 0,
             rng: SplitMix64::new(config.seed ^ 0xBA5E_1133_57A5_4B1D),
             meter: MemMeter::new(),
+            obs: Obs::default(),
         }
     }
 
@@ -206,6 +209,17 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
         &self.meter
     }
 
+    /// Observability snapshot (op counters, probe/kick histograms).
+    pub fn stats(&self) -> TableStats {
+        self.obs.snapshot()
+    }
+
+    /// The recorder itself, for wrappers that layer extra probes on top
+    /// of this table (see [`crate::bloom_guided`]).
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Global bucket index of candidate `i` for `key`.
     #[inline]
     fn slot_index(&self, key: &K, i: usize) -> usize {
@@ -221,7 +235,16 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
     /// On success reports placement instrumentation; on failure (budget
     /// exhausted, stash full or absent) returns the evicted item.
     pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, CuckooFull<K, V>> {
-        self.insert_inner(key, value, &mut None)
+        let out = self.insert_inner(key, value, &mut None);
+        self.record_insert_outcome(&out);
+        out
+    }
+
+    fn record_insert_outcome(&self, out: &Result<InsertReport, CuckooFull<K, V>>) {
+        match out {
+            Ok(report) => self.obs.record_insert(report),
+            Err(full) => self.obs.record_insert(&full.report),
+        }
     }
 
     /// Insert while recording every sub-table membership change of the
@@ -235,7 +258,9 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
         value: V,
     ) -> Result<(InsertReport, Vec<FilterMove<K>>), (CuckooFull<K, V>, Vec<FilterMove<K>>)> {
         let mut log = Vec::new();
-        match self.insert_inner(key, value, &mut Some(&mut log)) {
+        let out = self.insert_inner(key, value, &mut Some(&mut log));
+        self.record_insert_outcome(&out);
+        match out {
             Ok(report) => Ok((report, log)),
             Err(full) => Err((full, log)),
         }
@@ -280,6 +305,20 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
         match &self.buckets[b] {
             Some(e) if e.key == *key => Some(&e.value),
             _ => None,
+        }
+    }
+
+    /// Rewrite `key`'s value in place if it resides in sub-table `i`.
+    pub(crate) fn update_in_table(&mut self, key: &K, i: usize, value: V) -> bool {
+        let b = self.slot_index(key, i);
+        self.meter.offchip_read(1);
+        match &mut self.buckets[b] {
+            Some(e) if e.key == *key => {
+                e.value = value;
+                self.meter.offchip_write(1);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -514,6 +553,15 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
     /// Look up `key`, probing candidates in function order, then the
     /// stash (CHS checks its stash on every failed lookup).
     pub fn get(&self, key: &K) -> Option<&V> {
+        let before = self.meter.snapshot();
+        let found = self.get_unrecorded(key);
+        let delta = self.meter.snapshot() - before;
+        self.obs
+            .record_lookup(found.is_some(), delta.offchip_reads + delta.stash_reads);
+        found
+    }
+
+    fn get_unrecorded(&self, key: &K) -> Option<&V> {
         for i in 0..self.d {
             let b = self.slot_index(key, i);
             self.meter.offchip_read(1);
@@ -537,6 +585,12 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
 
     /// Remove `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
+        let out = self.remove_unrecorded(key);
+        self.obs.record_remove(out.is_some());
+        out
+    }
+
+    fn remove_unrecorded(&mut self, key: &K) -> Option<V> {
         for i in 0..self.d {
             let b = self.slot_index(key, i);
             self.meter.offchip_read(1);
@@ -575,7 +629,9 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
             if has_room {
                 self.meter.stash_read(1);
                 let (k, v) = self.stash.swap_remove(i);
-                let Ok(r) = self.insert(k, v) else {
+                // Unrecorded: re-offering a stashed item is not a new
+                // user insert; the obs layer counted it when it spilled.
+                let Ok(r) = self.insert_inner(k, v, &mut None) else {
                     unreachable!("a free candidate bucket was just observed")
                 };
                 debug_assert!(matches!(r.outcome, InsertOutcome::Placed));
@@ -612,7 +668,7 @@ impl<K: KeyHash + Eq + Clone, V> DaryCuckoo<K, V> {
     /// the originally offered item "in hand", which is dropped — the
     /// failed insert becomes a strict no-op. A BFS failure executes no
     /// moves, so its empty log makes this a no-op too.
-    fn unwind_failed_walk(&mut self, evicted: (K, V), log: &[FilterMove<K>]) {
+    pub(crate) fn unwind_failed_walk(&mut self, evicted: (K, V), log: &[FilterMove<K>]) {
         debug_assert!(log.len() % 2 == 0, "failed walks log whole kick pairs");
         let mut hand = Entry {
             key: evicted.0,
@@ -659,12 +715,14 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for DaryCuckoo<K, V> {
             if self.buckets[b].as_ref().is_some_and(|e| e.key == key) {
                 self.buckets[b].as_mut().expect("probed occupied").value = value;
                 self.meter.offchip_write(1);
-                return InsertReport {
+                let report = InsertReport {
                     outcome: InsertOutcome::Updated,
                     kickouts: 0,
                     collision: false,
                     copies_written: 1,
                 };
+                self.obs.record_insert(&report);
+                return report;
             }
         }
         // Then the stash: a stash-resident key is updated where it sits
@@ -674,12 +732,14 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for DaryCuckoo<K, V> {
             if let Some(slot) = self.stash.iter_mut().find(|(k, _)| *k == key) {
                 slot.1 = value;
                 self.meter.stash_write(1);
-                return InsertReport {
+                let report = InsertReport {
                     outcome: InsertOutcome::Updated,
                     kickouts: 0,
                     collision: false,
                     copies_written: 0,
                 };
+                self.obs.record_insert(&report);
+                return report;
             }
         }
         McTable::insert_new(self, key, value)
@@ -733,6 +793,10 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for DaryCuckoo<K, V> {
 
     fn mem_stats(&self) -> mem_model::MemStats {
         self.meter().snapshot()
+    }
+
+    fn stats(&self) -> TableStats {
+        DaryCuckoo::stats(self)
     }
 }
 

@@ -1,0 +1,71 @@
+//! Bench-smoke regression gate.
+//!
+//! Reads the fresh `results/bench_smoke.json` (written by `bench_smoke`
+//! in the same CI job) and the committed
+//! `results/bench_smoke_baseline.json`, and exits non-zero when any
+//! scheme regressed beyond [`mccuckoo_bench::GATE_TOLERANCE`] — on
+//! deterministic access counts, on insert throughput relative to the
+//! run's reference scheme, or by shipping empty observability stats.
+//!
+//! `MCB_BASELINE` overrides the baseline path. After an intentional
+//! performance change, regenerate the baseline at the gated scale
+//! (`MCB_SMOKE=1 ./run_all_benches.sh`), copy `bench_smoke.json` over
+//! `bench_smoke_baseline.json` and commit it.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use mccuckoo_bench::report::csv_path;
+use mccuckoo_bench::smoke::{gate_regressions, SmokeReport};
+
+fn load(path: &PathBuf) -> SmokeReport {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot read {}: {e}", path.display());
+        exit(2);
+    });
+    jsonlite::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot parse {}: {e}", path.display());
+        exit(2);
+    })
+}
+
+fn main() {
+    let fresh_path = csv_path("bench_smoke").with_extension("json");
+    let base_path = PathBuf::from(
+        std::env::var("MCB_BASELINE")
+            .unwrap_or_else(|_| "results/bench_smoke_baseline.json".into()),
+    );
+    let fresh = load(&fresh_path);
+    let baseline = load(&base_path);
+    for s in &fresh.schemes {
+        let b = baseline.schemes.iter().find(|b| b.scheme == s.scheme);
+        println!(
+            "[gate] {:<10} mops {:.3} (baseline {}), r/ins {:.2} (baseline {}), inserts {} kicks {}",
+            s.scheme,
+            s.insert_mops,
+            b.map_or("-".into(), |b| format!("{:.3}", b.insert_mops)),
+            s.offchip_reads_per_insert,
+            b.map_or("-".into(), |b| format!("{:.2}", b.offchip_reads_per_insert)),
+            s.stats.ops.inserts,
+            s.stats.ops.kicks,
+        );
+    }
+    let fails = gate_regressions(&baseline, &fresh);
+    if fails.is_empty() {
+        println!(
+            "[gate] pass: {} scheme(s) within tolerance of {}",
+            fresh.schemes.len(),
+            base_path.display()
+        );
+        return;
+    }
+    for f in &fails {
+        eprintln!("[gate] FAIL: {f}");
+    }
+    eprintln!(
+        "[gate] {} regression(s); if intentional, regenerate {} (see bin docs)",
+        fails.len(),
+        base_path.display()
+    );
+    exit(1);
+}

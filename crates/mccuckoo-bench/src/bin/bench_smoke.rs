@@ -5,57 +5,18 @@
 //!
 //! Unlike the figure/table binaries (which reproduce specific paper
 //! artefacts), this run exists to catch performance-shape regressions
-//! cheaply on every push: per-scheme insert/lookup access counts and wall
-//! times at a moderate load, small enough to finish in seconds. Scale is
-//! controlled by the usual `MCB_*` environment knobs.
+//! cheaply on every push: per-scheme insert/lookup access counts, wall
+//! times and the table's own observability counters at a moderate load,
+//! small enough to finish in seconds. Scale is controlled by the usual
+//! `MCB_*` environment knobs; `bench_gate` compares the output against
+//! the committed baseline.
 
 use std::time::Instant;
 
-use jsonlite::impl_json_struct;
 use mccuckoo_bench::harness::{fill_sweep, measure_lookup_hits, measure_lookup_misses, Config};
 use mccuckoo_bench::report::csv_path;
+use mccuckoo_bench::smoke::{SchemeSmoke, SmokeReport};
 use mccuckoo_bench::{AnyTable, Scheme};
-
-/// One scheme's smoke measurements.
-#[derive(Debug, Clone)]
-struct SchemeSmoke {
-    scheme: String,
-    capacity: u64,
-    load: f64,
-    fill_ms: u64,
-    offchip_reads_per_insert: f64,
-    offchip_writes_per_insert: f64,
-    lookup_hit_reads: f64,
-    lookup_miss_reads: f64,
-    stash_len: u64,
-}
-
-/// The whole smoke run.
-#[derive(Debug, Clone)]
-struct SmokeReport {
-    cap_slots: u64,
-    target_load: f64,
-    lookups: u64,
-    schemes: Vec<SchemeSmoke>,
-}
-
-impl_json_struct!(SchemeSmoke {
-    scheme,
-    capacity,
-    load,
-    fill_ms,
-    offchip_reads_per_insert,
-    offchip_writes_per_insert,
-    lookup_hit_reads,
-    lookup_miss_reads,
-    stash_len
-});
-impl_json_struct!(SmokeReport {
-    cap_slots,
-    target_load,
-    lookups,
-    schemes
-});
 
 fn main() {
     let cfg = Config::from_env();
@@ -67,9 +28,10 @@ fn main() {
         let start = Instant::now();
         let before = t.snapshot();
         fill_sweep(&mut t, &[target_load], fill_seed, |_, _| {});
-        let fill_ms = start.elapsed().as_millis() as u64;
+        let fill_us = start.elapsed().as_micros().max(1) as u64;
         let fill_delta = t.snapshot() - before;
         let inserted = t.len() as f64;
+        let insert_mops = inserted / fill_us as f64;
 
         let hit_reads = measure_lookup_hits(&t, fill_seed, t.len() as u64, cfg.lookups);
         let (miss_reads, _) = measure_lookup_misses(&t, 0xD00D, cfg.lookups);
@@ -78,22 +40,28 @@ fn main() {
             scheme: scheme.label().to_string(),
             capacity: t.capacity() as u64,
             load: t.load_ratio(),
-            fill_ms,
+            fill_ms: fill_us / 1_000,
+            insert_mops,
             offchip_reads_per_insert: fill_delta.offchip_reads as f64 / inserted,
             offchip_writes_per_insert: fill_delta.offchip_writes as f64 / inserted,
             lookup_hit_reads: hit_reads,
             lookup_miss_reads: miss_reads,
             stash_len: t.stash_len() as u64,
+            stats: t.stats(),
         });
+        let s = schemes.last().expect("just pushed");
         println!(
-            "[smoke] {:<10} load {:.2} fill {} ms, {:.2} r/ins {:.2} w/ins, hit {:.2} miss {:.2} reads",
+            "[smoke] {:<10} load {:.2} fill {} ms ({:.2} Mops), {:.2} r/ins {:.2} w/ins, \
+             hit {:.2} miss {:.2} reads, {} kicks",
             scheme.label(),
             t.load_ratio(),
-            fill_ms,
-            fill_delta.offchip_reads as f64 / inserted,
-            fill_delta.offchip_writes as f64 / inserted,
+            s.fill_ms,
+            insert_mops,
+            s.offchip_reads_per_insert,
+            s.offchip_writes_per_insert,
             hit_reads,
             miss_reads,
+            s.stats.ops.kicks,
         );
     }
     let report = SmokeReport {

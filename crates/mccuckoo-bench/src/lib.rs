@@ -28,7 +28,9 @@
 pub mod harness;
 pub mod report;
 pub mod schemes;
+pub mod smoke;
 
 pub use harness::{BandStats, Config};
 pub use report::{csv_path, write_csv, Table};
 pub use schemes::{AnyTable, Scheme};
+pub use smoke::{gate_regressions, SchemeSmoke, SmokeReport, GATE_TOLERANCE};

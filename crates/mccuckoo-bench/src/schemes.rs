@@ -179,6 +179,11 @@ impl AnyTable {
         self.t.mem_stats()
     }
 
+    /// Observability snapshot ([`McTable::stats`]).
+    pub fn stats(&self) -> mccuckoo_core::TableStats {
+        self.t.stats()
+    }
+
     /// Total slot capacity.
     pub fn capacity(&self) -> usize {
         self.t.capacity()

@@ -38,9 +38,11 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use crossbeam::atomic::AtomicCell;
 use hash_kit::{BucketFamily, KeyHash, SplitMix64};
+use mem_model::{InsertOutcome, InsertReport};
 use parking_lot::Mutex;
 
 use crate::config::McConfig;
+use crate::obs::{Obs, TableStats};
 use crate::single::MAX_D;
 
 /// One table bucket: an atomically swappable `(key, value)` cell.
@@ -72,6 +74,11 @@ pub struct ConcurrentMcCuckoo<K, V> {
     versions: Box<[AtomicU64]>,
     distinct: AtomicUsize,
     writer: Mutex<WriterState>,
+    /// The configuration the table was built with (seed included),
+    /// retained for snapshots.
+    config: McConfig,
+    /// Lock-free observability counters (monotonic; survive `clear`).
+    obs: Obs,
 }
 
 struct WriterState {
@@ -110,7 +117,21 @@ where
             writer: Mutex::new(WriterState {
                 rng: SplitMix64::new(config.seed ^ 0xC04C_44E4_7AB1_E000),
             }),
+            config,
+            obs: Obs::default(),
         }
+    }
+
+    /// The configuration the table was built with (seed included).
+    pub fn config(&self) -> &McConfig {
+        &self.config
+    }
+
+    /// Snapshot of the observability counters (op counts and probe/kick
+    /// histograms). Monotonic over the table's lifetime; safe to call
+    /// concurrently with readers and the writer.
+    pub fn stats(&self) -> TableStats {
+        self.obs.snapshot()
     }
 
     /// Distinct keys currently stored.
@@ -172,14 +193,17 @@ where
                 std::hint::spin_loop();
                 continue;
             }
+            let mut probes = 0u64;
             for &c in cands.iter().take(self.d) {
                 // Counter becomes non-zero only after content is written,
                 // so skipping zero is the one safe counter shortcut.
                 if self.counters[c].load(Ordering::Acquire) == 0 {
                     continue;
                 }
+                probes += 1;
                 if let Some((k, v)) = self.cells[c].load() {
                     if k == *key {
+                        self.obs.record_lookup(true, probes);
                         return Some(v);
                     }
                 }
@@ -188,6 +212,7 @@ where
             let unchanged =
                 (0..self.d).all(|i| self.versions[cands[i]].load(Ordering::Acquire) == pre[i]);
             if unchanged {
+                self.obs.record_lookup(false, probes);
                 return None;
             }
             std::hint::spin_loop();
@@ -223,6 +248,7 @@ where
     /// so one overflow does not poison the rest of the batch. Readers
     /// remain lock-free throughout — they observe the batch item by item.
     pub fn insert_batch(&self, items: &[(K, V)]) -> Vec<Result<bool, (K, V)>> {
+        self.obs.record_batch(items.len());
         let mut writer = self.writer.lock();
         let out = items
             .iter()
@@ -238,10 +264,45 @@ where
     /// copy bookkeeping (`debug_assert`ed).
     pub fn insert_new(&self, key: K, value: V) -> Result<(), (K, V)> {
         let mut writer = self.writer.lock();
-        debug_assert!(self.get(&key).is_none(), "insert_new of a present key");
+        debug_assert!(!self.raw_contains(&key), "insert_new of a present key");
+        let out = self.insert_fresh_locked(key, value, &mut writer);
+        self.record_fresh(&out);
+        self.check_paranoid_locked();
+        out.map(|_| ())
+    }
+
+    /// [`Self::insert_new`] without observability recording — snapshot
+    /// restores go through this so re-placing persisted items does not
+    /// count as user inserts.
+    pub(crate) fn insert_new_unrecorded(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let mut writer = self.writer.lock();
+        debug_assert!(!self.raw_contains(&key), "insert_new of a present key");
         let out = self.insert_fresh_locked(key, value, &mut writer);
         self.check_paranoid_locked();
-        out
+        out.map(|_| ())
+    }
+
+    /// Unrecorded presence scan (debug assertions and restores only).
+    /// Caller must hold the writer lock.
+    fn raw_contains(&self, key: &K) -> bool {
+        let cands = self.candidates(key);
+        cands.iter().take(self.d).any(|&c| {
+            self.counters[c].load(Ordering::Acquire) != 0
+                && matches!(self.cells[c].load(), Some((k, _)) if k == *key)
+        })
+    }
+
+    /// Record the outcome of one fresh-key insertion attempt.
+    fn record_fresh(&self, out: &Result<InsertReport, (K, V)>) {
+        match out {
+            Ok(report) => self.obs.record_insert(report),
+            Err(_) => self.obs.record_insert(&InsertReport {
+                outcome: InsertOutcome::Failed,
+                kickouts: 0, // nothing was mutated (precomputed path)
+                collision: true,
+                copies_written: 0,
+            }),
+        }
     }
 
     fn insert_locked(&self, key: K, value: V, writer: &mut WriterState) -> Result<bool, (K, V)> {
@@ -259,28 +320,40 @@ where
             }
         }
         if exists {
+            let mut copies = 0u8;
             for i in 0..self.d {
                 if existing[i] {
                     self.write_bucket(cands[i], Some((key, value)), None);
+                    copies += 1;
                 }
             }
+            self.obs.record_insert(&InsertReport {
+                outcome: InsertOutcome::Updated,
+                kickouts: 0,
+                collision: false,
+                copies_written: copies,
+            });
             return Ok(true);
         }
-        self.insert_fresh_locked(key, value, writer).map(|()| false)
+        let out = self.insert_fresh_locked(key, value, writer);
+        self.record_fresh(&out);
+        out.map(|_| false)
     }
 
     /// The fresh-key insertion path (placement, then precomputed
     /// backward-executed relocation). Caller holds the writer lock and
-    /// has established that `key` is absent.
+    /// has established that `key` is absent. Returns the insertion
+    /// report; recording is the caller's business (so restores can stay
+    /// unrecorded).
     fn insert_fresh_locked(
         &self,
         key: K,
         value: V,
         writer: &mut WriterState,
-    ) -> Result<(), (K, V)> {
-        if self.try_place_locked(&key, &value) {
+    ) -> Result<InsertReport, (K, V)> {
+        if let Some(copies) = self.try_place_locked(&key, &value) {
             self.distinct.fetch_add(1, Ordering::AcqRel);
-            return Ok(());
+            return Ok(InsertReport::clean(copies));
         }
         // Real collision: precompute a random-walk path, then execute it
         // backwards (MemC3 ordering) so readers never lose an item.
@@ -292,7 +365,9 @@ where
         let last = *path.last().expect("path is non-empty");
         let (terminal_key, terminal_value) =
             self.cells[last].load().expect("path buckets are occupied");
-        let placed = self.try_place_locked(&terminal_key, &terminal_value);
+        let placed = self
+            .try_place_locked(&terminal_key, &terminal_value)
+            .is_some();
         debug_assert!(placed, "terminal item was chosen for its free bucket");
         for w in path.windows(2).rev() {
             let (src, dst) = (w[0], w[1]);
@@ -301,7 +376,12 @@ where
         }
         self.write_bucket(path[0], Some((key, value)), Some(1));
         self.distinct.fetch_add(1, Ordering::AcqRel);
-        Ok(())
+        Ok(InsertReport {
+            outcome: InsertOutcome::Placed,
+            kickouts: path.len() as u32,
+            collision: true,
+            copies_written: 1,
+        })
     }
 
     /// Remove `key` (counter-reset deletion). Returns its value.
@@ -317,6 +397,7 @@ where
     /// [`Self::remove`] would have returned for `keys[i]` (duplicates in
     /// the batch see the earlier removal — only the first wins).
     pub fn remove_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        self.obs.record_batch(keys.len());
         let _writer = self.writer.lock();
         let out = keys.iter().map(|k| self.remove_locked(k)).collect();
         self.check_paranoid_locked();
@@ -328,6 +409,7 @@ where
     /// sharded front end) have a positional batch API for all three op
     /// kinds.
     pub fn get_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        self.obs.record_batch(keys.len());
         keys.iter().map(|k| self.get(k)).collect()
     }
 
@@ -355,6 +437,7 @@ where
             }
             self.distinct.fetch_sub(1, Ordering::AcqRel);
         }
+        self.obs.record_remove(value.is_some());
         value
     }
 
@@ -369,6 +452,39 @@ where
         }
         self.distinct.store(0, Ordering::Release);
         self.check_paranoid_locked();
+    }
+
+    /// Every stored `(key, value)` pair, each key emitted exactly once
+    /// (at its smallest copy location). Acquires the writer lock, so the
+    /// scan observes a quiescent table. Used by snapshots.
+    pub fn items(&self) -> Vec<(K, V)> {
+        let _writer = self.writer.lock();
+        let mut out = Vec::with_capacity(self.len());
+        for i in 0..self.cells.len() {
+            if self.counters[i].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let Some((k, v)) = self.cells[i].load() else {
+                continue;
+            };
+            // Emit at the smallest candidate bucket holding a copy.
+            let cands = self.candidates(&k);
+            let mut first = usize::MAX;
+            for &b in cands.iter().take(self.d) {
+                if self.counters[b].load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                if let Some((bk, _)) = self.cells[b].load() {
+                    if bk == k {
+                        first = first.min(b);
+                    }
+                }
+            }
+            if first == i {
+                out.push((k, v));
+            }
+        }
+        out
     }
 
     /// Exhaustive structural validation (see [`crate::invariant`]).
@@ -463,11 +579,11 @@ where
         Ok(())
     }
 
-    /// Place copies by the insertion principles; returns false on a real
-    /// collision. Caller holds the writer lock. Ordering: contents
-    /// before counters, sibling decrements before the overwrite's own
-    /// counter.
-    fn try_place_locked(&self, key: &K, value: &V) -> bool {
+    /// Place copies by the insertion principles; returns the number of
+    /// copies written, or `None` on a real collision. Caller holds the
+    /// writer lock. Ordering: contents before counters, sibling
+    /// decrements before the overwrite's own counter.
+    fn try_place_locked(&self, key: &K, value: &V) -> Option<u8> {
         let cands = self.candidates(key);
         let mut cvals = [0u8; MAX_D];
         for i in 0..self.d {
@@ -502,12 +618,12 @@ where
             placed_len += 1;
         }
         if placed_len == 0 {
-            return false;
+            return None;
         }
         for &p in placed.iter().take(placed_len) {
             self.counters[p].store(placed_len as u8, Ordering::Release);
         }
-        true
+        Some(placed_len as u8)
     }
 
     /// Overwrite the redundant copy at `idx` (count `vcount`), fixing the

@@ -47,6 +47,7 @@ use mem_model::{InsertOutcome, InsertReport, MemMeter};
 
 use crate::config::{DeletionMode, McConfig, ResolutionPolicy};
 use crate::counters::CounterArray;
+use crate::obs::{Obs, TableStats};
 use crate::stash::Stash;
 
 /// Maximum supported `d` (the paper argues d = 3 suffices in practice).
@@ -180,6 +181,8 @@ pub struct Engine<K, V, L: BucketLayout> {
     pub(crate) redundant_writes: u64,
     pub(crate) rng: SplitMix64,
     pub(crate) meter: MemMeter,
+    /// Lock-free observability counters (monotonic; survive `clear`).
+    pub(crate) obs: Obs,
 }
 
 impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
@@ -219,6 +222,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             redundant_writes: 0,
             rng: SplitMix64::new(config.seed ^ L::RNG_TWEAK),
             meter: MemMeter::new(),
+            obs: Obs::default(),
         }
     }
 
@@ -281,6 +285,12 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// Access meter.
     pub fn meter(&self) -> &MemMeter {
         &self.meter
+    }
+
+    /// Snapshot of the observability counters (op counts and probe/kick
+    /// histograms). Monotonic over the table's lifetime.
+    pub fn stats(&self) -> TableStats {
+        self.obs.snapshot()
     }
 
     /// Deletion mode the table was configured with.
@@ -414,6 +424,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// rewritten), otherwise insert it fresh.
     pub fn insert(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
         if let Some(report) = self.try_update(&key, &value) {
+            self.obs.record_insert(&report);
             return Ok(report);
         }
         self.insert_new(key, value)
@@ -423,6 +434,22 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// This is the operation the paper's experiments measure; the
     /// existence probe of [`Engine::insert`] is skipped.
     pub fn insert_new(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        let out = self.insert_new_unrecorded(key, value);
+        match &out {
+            Ok(report) => self.obs.record_insert(report),
+            Err(full) => self.obs.record_insert(&full.report),
+        }
+        out
+    }
+
+    /// [`Engine::insert_new`] without observability recording. Internal
+    /// re-insert paths — stash refresh, rehash, snapshot restore — go
+    /// through this so one logical user operation is never counted twice.
+    pub(crate) fn insert_new_unrecorded(
+        &mut self,
+        key: K,
+        value: V,
+    ) -> Result<InsertReport, McFull<K, V>> {
         debug_assert!(
             self.raw_find(&key).is_none() && !self.raw_in_stash(&key),
             "insert_new requires a fresh key"
@@ -776,7 +803,8 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// Look up `key` using the layout's probe strategy and the stash
     /// screening rules (§III.E–F).
     pub fn get(&self, key: &K) -> Option<&V> {
-        match L::probe_first(self, key) {
+        let before = self.meter.snapshot();
+        let found = match L::probe_first(self, key) {
             Probe::Found(idx) => self.slots[idx].as_ref().map(|e| &e.value),
             Probe::Miss { check_stash } => {
                 if check_stash {
@@ -785,7 +813,11 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                     None
                 }
             }
-        }
+        };
+        let delta = self.meter.snapshot() - before;
+        self.obs
+            .record_lookup(found.is_some(), delta.offchip_reads + delta.stash_reads);
+        found
     }
 
     /// Whether `key` is stored (main table or stash).
@@ -875,6 +907,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                 }
             }
         };
+        self.obs.record_remove(out.is_some());
         self.check_paranoid();
         out
     }
@@ -893,8 +926,9 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         let items = self.stash.drain_all();
         let before = items.len();
         for (k, v) in items {
-            // insert_new: stash keys are never in the main table.
-            let _ = self.insert_new(k, v);
+            // Unrecorded insert_new: stash keys are never in the main
+            // table, and a refresh is maintenance, not a user insert.
+            let _ = self.insert_new_unrecorded(k, v);
         }
         before - self.stash.len()
     }

@@ -71,6 +71,7 @@ pub mod engine;
 pub mod invariant;
 pub mod map;
 pub mod multiset;
+pub mod obs;
 pub mod persist;
 pub mod rehash;
 pub mod shard;
@@ -87,8 +88,10 @@ pub use counters::CounterArray;
 pub use engine::McFull;
 pub use map::McMap;
 pub use multiset::MultisetIndex;
-pub use persist::{BlockedSnapshot, TableSnapshot};
+pub use obs::{Histogram, OpStats, ShardStats, TableStats};
+pub use persist::{BlockedSnapshot, SnapshotOverflow, TableSnapshot};
 pub use rehash::{RehashOverflow, RehashReport};
 pub use shard::ShardedMcCuckoo;
+pub use shard::ShardedSnapshot;
 pub use single::McCuckoo;
 pub use table::McTable;

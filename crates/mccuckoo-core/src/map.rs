@@ -9,10 +9,12 @@
 //! classical remedy, applied rarely enough to amortise.
 
 use hash_kit::KeyHash;
-use mem_model::InsertOutcome;
+use mem_model::{InsertOutcome, InsertReport, MemStats};
 
 use crate::config::{DeletionMode, McConfig};
+use crate::obs::TableStats;
 use crate::single::McCuckoo;
+use crate::table::McTable;
 
 /// Stash occupancy (relative to capacity) that triggers a growth rehash.
 const GROW_AT_STASH_FRACTION: f64 = 0.002;
@@ -48,15 +50,41 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
     }
 
     /// A map that can hold at least `items` before its first growth
-    /// (sized to ~85% load).
+    /// (sized to ~85% load). The hash seed is drawn from process
+    /// entropy in normal builds (a fixed well-known seed would let an
+    /// adversary precompute colliding key sets); unit tests and doc
+    /// builds pin it for reproducibility. Use
+    /// [`Self::with_capacity_and_seed`] to control it explicitly.
     pub fn with_capacity(items: usize) -> Self {
+        Self::with_capacity_and_seed(items, Self::default_seed())
+    }
+
+    /// A map sized like [`Self::with_capacity`] but with an explicit
+    /// hash seed. The rehash seed stream used on growth is derived from
+    /// `seed`, so two maps built with the same seed stay byte-for-byte
+    /// reproducible through any number of growths.
+    pub fn with_capacity_and_seed(items: usize, seed: u64) -> Self {
         let per_table = (items as f64 / 3.0 / 0.85).ceil() as usize;
-        let config = McConfig::paper(per_table.max(8), 0x4CAF_F1E1_D5EA_7B3D)
-            .with_deletion(DeletionMode::Reset);
+        let config = McConfig::paper(per_table.max(8), seed).with_deletion(DeletionMode::Reset);
         Self {
             table: McCuckoo::new(config),
-            grow_seed: 1,
+            // Decorrelated from the table seed so growth never rehashes
+            // into the hash functions it is escaping.
+            grow_seed: seed ^ 0x9E37_79B9_7F4A_7C15,
         }
+    }
+
+    #[cfg(any(test, doctest))]
+    fn default_seed() -> u64 {
+        0x4CAF_F1E1_D5EA_7B3D
+    }
+
+    #[cfg(not(any(test, doctest)))]
+    fn default_seed() -> u64 {
+        use std::hash::{BuildHasher, Hasher};
+        std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish()
     }
 
     /// Number of stored keys.
@@ -77,15 +105,21 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
     /// Insert or update; returns the previous presence (like
     /// `HashMap::insert` returning whether the key was new).
     pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.insert_report(key, value).outcome != InsertOutcome::Updated
+    }
+
+    /// [`Self::insert`] returning the table's full [`InsertReport`].
+    /// A `Stashed` outcome describes the pre-growth placement; the item
+    /// is in the main table by the time this returns.
+    fn insert_report(&mut self, key: K, value: V) -> InsertReport {
         let report = match self.table.insert(key, value) {
             Ok(r) => r,
             Err(_full) => unreachable!("stash-backed insert cannot hard-fail"),
         };
-        let updated = report.outcome == InsertOutcome::Updated;
         if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
             self.grow();
         }
-        !updated
+        report
     }
 
     fn stash_pressure(&self) -> bool {
@@ -132,6 +166,63 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
     /// Access the underlying table (metering, diagnostics).
     pub fn table(&self) -> &McCuckoo<K, V> {
         &self.table
+    }
+}
+
+impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for McMap<K, V> {
+    fn insert(&mut self, key: K, value: V) -> InsertReport {
+        self.insert_report(key, value)
+    }
+
+    fn insert_new(&mut self, key: K, value: V) -> InsertReport {
+        let report = match self.table.insert_new(key, value) {
+            Ok(r) => r,
+            Err(_full) => unreachable!("stash-backed insert cannot hard-fail"),
+        };
+        if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
+            self.grow();
+        }
+        report
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        McMap::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        McMap::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        McMap::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        McMap::capacity(self)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.contains_key(key)
+    }
+
+    fn stash_len(&self) -> usize {
+        self.table.stash_len()
+    }
+
+    fn refresh_stash(&mut self) -> usize {
+        self.table.refresh_stash()
+    }
+
+    fn mem_stats(&self) -> MemStats {
+        self.table.meter().snapshot()
+    }
+
+    fn stats(&self) -> TableStats {
+        self.table.stats()
     }
 }
 
@@ -210,6 +301,50 @@ mod tests {
         }
         assert_eq!(m.get(&5), Some(&10));
         m.table().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn explicit_seed_is_reproducible_through_growth() {
+        let build = |seed: u64| {
+            let mut m: McMap<u64, u64> = McMap::with_capacity_and_seed(32, seed);
+            for k in 0..3_000u64 / SCALE as u64 {
+                m.insert(k, k);
+            }
+            m
+        };
+        let (a, b) = (build(77), build(77));
+        assert_eq!(a.capacity(), b.capacity());
+        let collect = |m: &McMap<u64, u64>| {
+            let mut v: Vec<(u64, u64)> = m.iter().map(|(k, x)| (*k, *x)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(&a), collect(&b));
+        // A different seed draws a different grow-seed stream too.
+        let c = build(78);
+        assert_eq!(a.len(), c.len());
+        assert_ne!(
+            a.table().config_snapshot().seed,
+            c.table().config_snapshot().seed
+        );
+    }
+
+    #[test]
+    fn mctable_impl_reports_and_counts() {
+        use crate::table::McTable;
+        let mut m: McMap<u64, u64> = McMap::with_capacity_and_seed(256, 5);
+        for k in 0..200u64 {
+            assert!(McTable::insert_new(&mut m, k, k).stored());
+        }
+        let r = McTable::insert(&mut m, 7, 70);
+        assert_eq!(r.outcome, InsertOutcome::Updated);
+        assert_eq!(McTable::lookup(&m, &7), Some(70));
+        assert_eq!(McTable::remove(&mut m, &7), Some(70));
+        let s = McTable::stats(&m);
+        assert_eq!(s.ops.inserts, 200);
+        assert_eq!(s.ops.updates, 1);
+        assert_eq!(s.ops.removes, 1);
+        assert!(s.kick_hist.count >= 200);
     }
 
     #[test]

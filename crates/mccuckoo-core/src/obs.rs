@@ -1,0 +1,534 @@
+//! Lock-free per-table statistics (the observability layer).
+//!
+//! Every table in the workspace exposes
+//! [`McTable::stats`](crate::McTable::stats), which returns a plain-data
+//! [`TableStats`] snapshot assembled from an [`Obs`] recorder embedded in
+//! the table. The recorder is a set of monotonic relaxed atomics — safe
+//! to bump from the concurrent table's lock-free read path and cheap
+//! enough to leave on unconditionally:
+//!
+//! * **op counters** ([`OpStats`]): inserts / in-place updates / failed
+//!   inserts / stash spills / lookup hits + misses / removes (hit and
+//!   miss) / total kick-outs;
+//! * **log-bucketed histograms** ([`Histogram`]): probe count per
+//!   lookup, kick-walk length per fresh insert, and batch size for the
+//!   batched entry points. Bucket 0 holds exact zeroes; bucket *i* ≥ 1
+//!   holds values in `[2^(i-1), 2^i)`, with the last bucket open-ended.
+//!
+//! Counters are *monotonic for the lifetime of the table* — they are not
+//! reset by [`clear`](crate::McTable::clear) — so differential harnesses
+//! can take a baseline snapshot, run a workload, and reconcile the delta
+//! against an oracle tally regardless of intervening clears.
+//!
+//! [`ShardedMcCuckoo`](crate::ShardedMcCuckoo) reports both the merged
+//! aggregate and a per-shard breakdown ([`ShardStats`]), enabling
+//! occupancy-skew and hot-shard detection
+//! ([`TableStats::occupancy_skew`], [`TableStats::hottest_shard`]).
+//!
+//! All snapshot types serialise via `jsonlite`, so stats embed directly
+//! in benchmark JSON reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jsonlite::impl_json_struct;
+use mem_model::{InsertOutcome, InsertReport};
+
+/// Number of log2 buckets in each histogram. Bucket 0 is the exact-zero
+/// bucket; bucket 15 is open-ended, so values up to `2^14 - 1` land in
+/// their precise power-of-two band.
+pub const HIST_BUCKETS: usize = 16;
+
+/// Index of the log2 bucket that `value` falls into.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// A fixed-size log2-bucketed histogram with relaxed-atomic cells.
+#[derive(Debug, Default)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Plain-data snapshot of the current cell values.
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of an [`AtomicHistogram`]: per-bucket sample counts plus the
+/// total sample count and value sum (for exact means).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[0]` counts exact zeroes; `buckets[i]` (i ≥ 1) counts
+    /// samples in `[2^(i-1), 2^i)`; the last bucket is open-ended.
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+}
+
+impl_json_struct!(Histogram {
+    buckets,
+    count,
+    sum
+});
+
+impl Histogram {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Accumulate `other` into `self`, bucket by bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Monotonic operation counters of one table (or one shard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Fresh keys placed in the main table.
+    pub inserts: u64,
+    /// Upserts that updated an existing key in place.
+    pub updates: u64,
+    /// Inserts that failed outright (no stash, walk exhausted).
+    pub failed_inserts: u64,
+    /// Inserts that spilled to the stash.
+    pub stash_spills: u64,
+    /// Lookups that found the key.
+    pub lookup_hits: u64,
+    /// Lookups that missed.
+    pub lookup_misses: u64,
+    /// Removes that deleted a present key.
+    pub removes: u64,
+    /// Removes of absent keys.
+    pub remove_misses: u64,
+    /// Total items relocated by kick-out walks.
+    pub kicks: u64,
+}
+
+impl_json_struct!(OpStats {
+    inserts,
+    updates,
+    failed_inserts,
+    stash_spills,
+    lookup_hits,
+    lookup_misses,
+    removes,
+    remove_misses,
+    kicks
+});
+
+impl OpStats {
+    /// Total operations observed (insert attempts + lookups + removes).
+    pub fn total_ops(&self) -> u64 {
+        self.inserts
+            + self.updates
+            + self.failed_inserts
+            + self.lookup_hits
+            + self.lookup_misses
+            + self.removes
+            + self.remove_misses
+    }
+
+    /// Insert attempts of any outcome (fresh, update, spill, or failure).
+    pub fn insert_attempts(&self) -> u64 {
+        self.inserts + self.updates + self.failed_inserts
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.inserts += other.inserts;
+        self.updates += other.updates;
+        self.failed_inserts += other.failed_inserts;
+        self.stash_spills += other.stash_spills;
+        self.lookup_hits += other.lookup_hits;
+        self.lookup_misses += other.lookup_misses;
+        self.removes += other.removes;
+        self.remove_misses += other.remove_misses;
+        self.kicks += other.kicks;
+    }
+}
+
+/// Per-shard breakdown reported by the sharded serving layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (router order).
+    pub shard: usize,
+    /// Distinct keys currently stored in the shard.
+    pub len: usize,
+    /// Slot capacity of the shard.
+    pub capacity: usize,
+    /// The shard's own op counters.
+    pub ops: OpStats,
+}
+
+impl_json_struct!(ShardStats {
+    shard,
+    len,
+    capacity,
+    ops
+});
+
+impl ShardStats {
+    /// Fraction of the shard's slots in use.
+    pub fn load(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Plain-data statistics snapshot returned by
+/// [`McTable::stats`](crate::McTable::stats).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Monotonic op counters (aggregate across shards, if any).
+    pub ops: OpStats,
+    /// Buckets probed per lookup.
+    pub probe_hist: Histogram,
+    /// Kick-walk length per fresh-insert attempt (0 = clean placement).
+    pub kick_hist: Histogram,
+    /// Batch sizes seen by the batched entry points (empty for tables
+    /// without batch APIs).
+    pub batch_hist: Histogram,
+    /// Per-shard breakdown; empty for unsharded tables.
+    pub shards: Vec<ShardStats>,
+}
+
+impl_json_struct!(TableStats {
+    ops,
+    probe_hist,
+    kick_hist,
+    batch_hist,
+    shards
+});
+
+impl TableStats {
+    /// Accumulate `other`'s counters and histograms into `self` (shard
+    /// breakdowns are concatenated).
+    pub fn merge(&mut self, other: &TableStats) {
+        self.ops.merge(&other.ops);
+        self.probe_hist.merge(&other.probe_hist);
+        self.kick_hist.merge(&other.kick_hist);
+        self.batch_hist.merge(&other.batch_hist);
+        self.shards.extend(other.shards.iter().cloned());
+    }
+
+    /// Occupancy skew across shards: max shard load divided by mean
+    /// shard load (1.0 = perfectly even; 0.0 when unsharded or empty).
+    pub fn occupancy_skew(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 0.0;
+        }
+        let loads: Vec<f64> = self.shards.iter().map(ShardStats::load).collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        loads.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+
+    /// Index of the shard with the most observed operations, if sharded.
+    pub fn hottest_shard(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .max_by_key(|s| s.ops.total_ops())
+            .map(|s| s.shard)
+    }
+}
+
+/// The in-table recorder: one cell per counter, all relaxed atomics.
+///
+/// Embed one per table; bump from the outermost public operations only
+/// (internal re-insert paths — stash refresh, rehash, snapshot restore —
+/// must go through unrecorded inner variants so one logical op is never
+/// counted twice).
+#[derive(Debug, Default)]
+pub struct Obs {
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    failed_inserts: AtomicU64,
+    stash_spills: AtomicU64,
+    lookup_hits: AtomicU64,
+    lookup_misses: AtomicU64,
+    removes: AtomicU64,
+    remove_misses: AtomicU64,
+    kicks: AtomicU64,
+    probe_hist: AtomicHistogram,
+    kick_hist: AtomicHistogram,
+    batch_hist: AtomicHistogram,
+}
+
+impl Clone for Obs {
+    /// Cloning a table clones the counter *values* (the clone keeps its
+    /// own independent cells).
+    fn clone(&self) -> Self {
+        let fresh = Obs::default();
+        fresh.absorb(&self.snapshot());
+        fresh
+    }
+}
+
+impl Obs {
+    /// Record the outcome of one public insert/upsert call.
+    pub fn record_insert(&self, report: &InsertReport) {
+        match report.outcome {
+            InsertOutcome::Placed => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+            }
+            InsertOutcome::Updated => {
+                self.updates.fetch_add(1, Ordering::Relaxed);
+                // An in-place update is not a walk; keep kick_hist to
+                // fresh placement attempts only.
+                return;
+            }
+            InsertOutcome::Stashed => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                self.stash_spills.fetch_add(1, Ordering::Relaxed);
+            }
+            InsertOutcome::Failed => {
+                self.failed_inserts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.kicks
+            .fetch_add(report.kickouts as u64, Ordering::Relaxed);
+        self.kick_hist.record(report.kickouts as u64);
+    }
+
+    /// Record one public lookup and how many buckets it probed.
+    pub fn record_lookup(&self, hit: bool, probes: u64) {
+        if hit {
+            self.lookup_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.lookup_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.probe_hist.record(probes);
+    }
+
+    /// Record one public remove.
+    pub fn record_remove(&self, hit: bool) {
+        if hit {
+            self.removes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.remove_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record the size of one batched call.
+    pub fn record_batch(&self, len: usize) {
+        self.batch_hist.record(len as u64);
+    }
+
+    /// Plain-data snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> TableStats {
+        TableStats {
+            ops: OpStats {
+                inserts: self.inserts.load(Ordering::Relaxed),
+                updates: self.updates.load(Ordering::Relaxed),
+                failed_inserts: self.failed_inserts.load(Ordering::Relaxed),
+                stash_spills: self.stash_spills.load(Ordering::Relaxed),
+                lookup_hits: self.lookup_hits.load(Ordering::Relaxed),
+                lookup_misses: self.lookup_misses.load(Ordering::Relaxed),
+                removes: self.removes.load(Ordering::Relaxed),
+                remove_misses: self.remove_misses.load(Ordering::Relaxed),
+                kicks: self.kicks.load(Ordering::Relaxed),
+            },
+            probe_hist: self.probe_hist.snapshot(),
+            kick_hist: self.kick_hist.snapshot(),
+            batch_hist: self.batch_hist.snapshot(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// Add a snapshot's counts onto this recorder (used by `Clone` and by
+    /// aggregation paths that fold shard recorders together).
+    pub fn absorb(&self, stats: &TableStats) {
+        self.inserts.fetch_add(stats.ops.inserts, Ordering::Relaxed);
+        self.updates.fetch_add(stats.ops.updates, Ordering::Relaxed);
+        self.failed_inserts
+            .fetch_add(stats.ops.failed_inserts, Ordering::Relaxed);
+        self.stash_spills
+            .fetch_add(stats.ops.stash_spills, Ordering::Relaxed);
+        self.lookup_hits
+            .fetch_add(stats.ops.lookup_hits, Ordering::Relaxed);
+        self.lookup_misses
+            .fetch_add(stats.ops.lookup_misses, Ordering::Relaxed);
+        self.removes.fetch_add(stats.ops.removes, Ordering::Relaxed);
+        self.remove_misses
+            .fetch_add(stats.ops.remove_misses, Ordering::Relaxed);
+        self.kicks.fetch_add(stats.ops.kicks, Ordering::Relaxed);
+        for (hist, snap) in [
+            (&self.probe_hist, &stats.probe_hist),
+            (&self.kick_hist, &stats.kick_hist),
+            (&self.batch_hist, &stats.batch_hist),
+        ] {
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                if i < HIST_BUCKETS {
+                    hist.buckets[i].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            hist.count.fetch_add(snap.count, Ordering::Relaxed);
+            hist.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1 << 14), 15);
+        assert_eq!(bucket_of(u64::MAX), 15);
+    }
+
+    #[test]
+    fn histogram_records_and_means() {
+        let h = AtomicHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 6);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[3], 1);
+        assert!((snap.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_report_routing() {
+        let obs = Obs::default();
+        obs.record_insert(&InsertReport::clean(3));
+        obs.record_insert(&InsertReport {
+            outcome: InsertOutcome::Updated,
+            kickouts: 0,
+            collision: false,
+            copies_written: 1,
+        });
+        obs.record_insert(&InsertReport {
+            outcome: InsertOutcome::Stashed,
+            kickouts: 50,
+            collision: true,
+            copies_written: 0,
+        });
+        obs.record_insert(&InsertReport {
+            outcome: InsertOutcome::Failed,
+            kickouts: 50,
+            collision: true,
+            copies_written: 0,
+        });
+        let s = obs.snapshot();
+        assert_eq!(s.ops.inserts, 2); // clean + stashed
+        assert_eq!(s.ops.updates, 1);
+        assert_eq!(s.ops.failed_inserts, 1);
+        assert_eq!(s.ops.stash_spills, 1);
+        assert_eq!(s.ops.kicks, 100);
+        // Updated is excluded from the walk histogram.
+        assert_eq!(s.kick_hist.count, 3);
+    }
+
+    #[test]
+    fn merge_and_skew() {
+        let mut a = TableStats::default();
+        a.shards.push(ShardStats {
+            shard: 0,
+            len: 10,
+            capacity: 100,
+            ops: OpStats {
+                lookup_hits: 5,
+                ..OpStats::default()
+            },
+        });
+        let mut b = TableStats::default();
+        b.shards.push(ShardStats {
+            shard: 1,
+            len: 30,
+            capacity: 100,
+            ops: OpStats {
+                lookup_hits: 50,
+                ..OpStats::default()
+            },
+        });
+        a.merge(&b);
+        assert_eq!(a.shards.len(), 2);
+        // mean load = 0.2, max = 0.3 → skew 1.5
+        assert!((a.occupancy_skew() - 1.5).abs() < 1e-12);
+        assert_eq!(a.hottest_shard(), Some(1));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let obs = Obs::default();
+        obs.record_insert(&InsertReport::clean(1));
+        obs.record_lookup(true, 2);
+        obs.record_batch(128);
+        let mut snap = obs.snapshot();
+        snap.shards.push(ShardStats {
+            shard: 0,
+            len: 1,
+            capacity: 3,
+            ops: snap.ops,
+        });
+        let s = jsonlite::to_string(&snap);
+        let back: TableStats = jsonlite::from_str(&s).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn clone_snapshots_values() {
+        let obs = Obs::default();
+        obs.record_lookup(false, 1);
+        let dup = obs.clone();
+        obs.record_lookup(false, 1);
+        assert_eq!(dup.snapshot().ops.lookup_misses, 1);
+        assert_eq!(obs.snapshot().ops.lookup_misses, 2);
+    }
+}

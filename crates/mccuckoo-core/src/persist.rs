@@ -97,6 +97,32 @@ impl<K: FromJson, V: FromJson> FromJson for BlockedSnapshot<K, V> {
     }
 }
 
+/// A snapshot restore that could not re-place every item — only possible
+/// with [`crate::StashPolicy::None`] when the snapshot was taken of an
+/// overfull table (or restored into a smaller geometry). **Nothing is
+/// lost**: every snapshot item is handed back, partitioned into the ones
+/// that fit and the ones that did not.
+#[derive(Debug)]
+pub struct SnapshotOverflow<K, V> {
+    /// Items that were successfully re-placed before the overflow was
+    /// detected (drained back out of the partial table).
+    pub placed: Vec<(K, V)>,
+    /// Items that could not be placed, in no particular order. Because
+    /// restores re-run the insertion procedure, an unplaceable entry is
+    /// the last item *evicted* by a failed kick walk, which need not be
+    /// the pair that was offered (cf. [`crate::engine::McFull`]).
+    pub leftover: Vec<(K, V)>,
+}
+
+impl<K, V> SnapshotOverflow<K, V> {
+    /// All snapshot items, placed and unplaced alike.
+    pub fn into_items(self) -> Vec<(K, V)> {
+        let mut items = self.placed;
+        items.extend(self.leftover);
+        items
+    }
+}
+
 impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
     /// Capture a logical snapshot of the table.
     pub fn to_snapshot(&self) -> TableSnapshot<K, V> {
@@ -106,18 +132,46 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
         }
     }
 
-    /// Rebuild a table from a snapshot. Items that cannot be re-placed
-    /// land in the stash as usual; with [`crate::StashPolicy::None`]
-    /// they are silently dropped, so snapshotting stash-less overfull
-    /// tables is not supported (`debug_assert`ed).
-    pub fn from_snapshot(snapshot: TableSnapshot<K, V>) -> Self {
+    /// Rebuild a table from a snapshot, reporting any items that could
+    /// not be re-placed instead of dropping them. With a stash
+    /// configured, restores cannot overflow (failed walks spill to the
+    /// stash as usual); with [`crate::StashPolicy::None`] an overfull
+    /// snapshot returns [`SnapshotOverflow`] carrying every item.
+    pub fn try_from_snapshot(
+        snapshot: TableSnapshot<K, V>,
+    ) -> Result<Self, SnapshotOverflow<K, V>> {
         let mut t = McCuckoo::new(snapshot.config);
-        let expected = snapshot.items.len();
+        let mut leftover = Vec::new();
         for (k, v) in snapshot.items {
-            let _ = t.insert_new(k, v);
+            // Unrecorded: restoring is maintenance, not user inserts.
+            if let Err(full) = t.insert_new_unrecorded(k, v) {
+                leftover.push(full.evicted);
+            }
         }
-        debug_assert_eq!(t.len(), expected, "snapshot items must all fit");
-        t
+        if leftover.is_empty() {
+            Ok(t)
+        } else {
+            Err(SnapshotOverflow {
+                placed: t.drain_items(),
+                leftover,
+            })
+        }
+    }
+
+    /// Rebuild a table from a snapshot.
+    ///
+    /// # Panics
+    /// Panics — in every build profile — if an item cannot be re-placed
+    /// (stash-less overfull snapshot). Use
+    /// [`Engine::try_from_snapshot`] to recover the unplaced items
+    /// instead; data is never silently dropped.
+    pub fn from_snapshot(snapshot: TableSnapshot<K, V>) -> Self {
+        Self::try_from_snapshot(snapshot).unwrap_or_else(|overflow| {
+            panic!(
+                "snapshot restore overflowed: {} item(s) unplaceable",
+                overflow.leftover.len()
+            )
+        })
     }
 }
 
@@ -132,19 +186,47 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, BlockedLayout> {
         }
     }
 
-    /// Rebuild a table from a snapshot.
-    pub fn from_snapshot(snapshot: BlockedSnapshot<K, V>) -> Self {
+    /// Rebuild a table from a snapshot, reporting any items that could
+    /// not be re-placed instead of dropping them (see
+    /// [`Engine::try_from_snapshot`]).
+    pub fn try_from_snapshot(
+        snapshot: BlockedSnapshot<K, V>,
+    ) -> Result<Self, SnapshotOverflow<K, V>> {
         let mut t = BlockedMcCuckoo::new(BlockedConfig {
             base: snapshot.config,
             slots: snapshot.slots,
             aggressive_lookup: snapshot.aggressive_lookup,
         });
-        let expected = snapshot.items.len();
+        let mut leftover = Vec::new();
         for (k, v) in snapshot.items {
-            let _ = t.insert_new(k, v);
+            if let Err(full) = t.insert_new_unrecorded(k, v) {
+                leftover.push(full.evicted);
+            }
         }
-        debug_assert_eq!(t.len(), expected, "snapshot items must all fit");
-        t
+        if leftover.is_empty() {
+            Ok(t)
+        } else {
+            Err(SnapshotOverflow {
+                placed: t.drain_items(),
+                leftover,
+            })
+        }
+    }
+
+    /// Rebuild a table from a snapshot.
+    ///
+    /// # Panics
+    /// Panics — in every build profile — if an item cannot be re-placed
+    /// (stash-less overfull snapshot). Use
+    /// [`Engine::try_from_snapshot`] to recover the unplaced items
+    /// instead; data is never silently dropped.
+    pub fn from_snapshot(snapshot: BlockedSnapshot<K, V>) -> Self {
+        Self::try_from_snapshot(snapshot).unwrap_or_else(|overflow| {
+            panic!(
+                "snapshot restore overflowed: {} item(s) unplaceable",
+                overflow.leftover.len()
+            )
+        })
     }
 }
 
@@ -216,6 +298,94 @@ mod tests {
         let restored = BlockedMcCuckoo::from_snapshot(back);
         for &k in &ks {
             assert_eq!(restored.get(&k), Some(&(k.wrapping_mul(3))));
+        }
+        restored.check_invariants().unwrap();
+    }
+
+    /// The bug this module used to have: a stash-less overfull snapshot
+    /// silently dropped the items that failed re-insertion (behind a
+    /// `debug_assert`, i.e. invisibly in release builds). The fallible
+    /// path must hand every single item back. This test is part of the
+    /// release-mode CI run, so the guarantee is proven without
+    /// debug assertions.
+    #[test]
+    fn try_from_snapshot_reports_overflow_without_losing_items() {
+        use crate::config::StashPolicy;
+        // 8 buckets × 3 sub-tables = 24 slots, no stash: 200 items
+        // cannot possibly fit.
+        let config = McConfig {
+            stash: StashPolicy::None,
+            maxloop: 8,
+            ..McConfig::paper(8, 9)
+        };
+        let items: Vec<(u64, u64)> = (0..200u64).map(|k| (k, k.wrapping_mul(7))).collect();
+        let snap = TableSnapshot {
+            config,
+            items: items.clone(),
+        };
+        let overflow = McCuckoo::try_from_snapshot(snap).expect_err("24 slots cannot hold 200");
+        assert!(!overflow.leftover.is_empty(), "overflow must be reported");
+        // Nothing lost: placed ∪ leftover is a permutation of the
+        // snapshot (leftovers are walk evictees, so order and even the
+        // placed/leftover split are not the offered order).
+        let mut all = overflow.into_items();
+        all.sort_unstable();
+        let mut want = items;
+        want.sort_unstable();
+        assert_eq!(all, want, "every snapshot item must be handed back");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot restore overflowed")]
+    fn from_snapshot_panics_rather_than_dropping() {
+        use crate::config::StashPolicy;
+        let config = McConfig {
+            stash: StashPolicy::None,
+            maxloop: 8,
+            ..McConfig::paper(8, 11)
+        };
+        let snap = TableSnapshot {
+            config,
+            items: (0..200u64).map(|k| (k, k)).collect(),
+        };
+        let _ = McCuckoo::from_snapshot(snap);
+    }
+
+    #[test]
+    fn blocked_try_from_snapshot_overflow_preserves_items() {
+        use crate::config::StashPolicy;
+        let snap = BlockedSnapshot {
+            config: McConfig {
+                stash: StashPolicy::None,
+                maxloop: 8,
+                ..McConfig::paper(4, 13)
+            },
+            slots: 2,
+            aggressive_lookup: false,
+            items: (0..200u64).map(|k| (k, k ^ 0xA5)).collect(),
+        };
+        let items = snap.items.clone();
+        let overflow =
+            BlockedMcCuckoo::try_from_snapshot(snap).expect_err("24 slots cannot hold 200");
+        assert!(!overflow.leftover.is_empty());
+        let mut all = overflow.into_items();
+        all.sort_unstable();
+        let mut want = items;
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn try_from_snapshot_ok_roundtrip() {
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper_with_deletion(256, 15));
+        let mut keys = UniqueKeys::new(16);
+        let ks = keys.take_vec(400);
+        for &k in &ks {
+            t.insert_new(k, k + 1).unwrap();
+        }
+        let restored = McCuckoo::try_from_snapshot(t.to_snapshot()).expect("fits");
+        for &k in &ks {
+            assert_eq!(restored.get(&k), Some(&(k + 1)));
         }
         restored.check_invariants().unwrap();
     }

@@ -57,7 +57,9 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
         self.rebuild_storage(new_buckets_per_table, new_seed);
         let mut leftover = Vec::new();
         for (k, v) in items {
-            if let Err(full) = self.insert_new(k, v) {
+            // Unrecorded: a rehash re-offers items the user already
+            // inserted once; the obs counters track user ops only.
+            if let Err(full) = self.insert_new_unrecorded(k, v) {
                 leftover.push(full.evicted);
             }
         }

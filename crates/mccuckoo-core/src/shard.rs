@@ -41,9 +41,12 @@
 //! keep consecutive probes within one shard's working set.
 
 use hash_kit::{KeyHash, SplitMix64};
+use jsonlite::{FromJson, Json, JsonError, ToJson};
 
 use crate::concurrent::ConcurrentMcCuckoo;
 use crate::config::McConfig;
+use crate::obs::{Obs, ShardStats, TableStats};
+use crate::persist::SnapshotOverflow;
 
 /// Decorrelates the shard selector from every table-level hash seed.
 const SELECTOR_SALT: u64 = 0x5AA2_D1CE_C7ED_BA5E;
@@ -70,6 +73,12 @@ pub struct ShardedMcCuckoo<K, V> {
     /// `log2(shard count)`; 0 means a single shard.
     shard_bits: u32,
     select_seed: u64,
+    /// The master configuration (pre-derivation seed), retained so
+    /// snapshots can rebuild an identically-routed table.
+    config: McConfig,
+    /// Sharded-level observability: records caller-level batch sizes;
+    /// op counters live in the shards and are merged by [`Self::stats`].
+    obs: Obs,
 }
 
 impl<K, V> ShardedMcCuckoo<K, V>
@@ -102,7 +111,14 @@ where
             shards: built,
             shard_bits: shards.trailing_zeros(),
             select_seed: config.seed ^ SELECTOR_SALT,
+            config,
+            obs: Obs::default(),
         }
+    }
+
+    /// The master configuration this table was built from.
+    pub fn config(&self) -> &McConfig {
+        &self.config
     }
 
     /// Number of shards.
@@ -139,6 +155,30 @@ where
     /// Total bucket count across all shards.
     pub fn capacity(&self) -> usize {
         self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Observability snapshot: aggregate op counters and histograms
+    /// merged across every shard (plus the caller-level batch sizes
+    /// recorded at this layer), with a per-shard breakdown in
+    /// [`TableStats::shards`] for occupancy-skew and hot-shard
+    /// detection. Counters are monotonic; [`Self::clear`] does not
+    /// reset them.
+    pub fn stats(&self) -> TableStats {
+        let mut agg = self.obs.snapshot();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let s = shard.stats();
+            agg.ops.merge(&s.ops);
+            agg.probe_hist.merge(&s.probe_hist);
+            agg.kick_hist.merge(&s.kick_hist);
+            agg.batch_hist.merge(&s.batch_hist);
+            agg.shards.push(ShardStats {
+                shard: i,
+                len: shard.len(),
+                capacity: shard.capacity(),
+                ops: s.ops,
+            });
+        }
+        agg
     }
 
     // ------------------------------------------------------------------
@@ -218,6 +258,7 @@ where
     /// regardless of how the batch was regrouped internally. Failed items
     /// leave their shard untouched, exactly like single-op inserts.
     pub fn insert_batch(&self, items: &[(K, V)]) -> Vec<Result<bool, (K, V)>> {
+        self.obs.record_batch(items.len());
         let groups = self.group_by_shard(items, |(k, _)| self.shard_of(k));
         let mut out: Vec<Option<Result<bool, (K, V)>>> = vec![None; items.len()];
         for (shard, group) in self.shards.iter().zip(&groups) {
@@ -238,6 +279,7 @@ where
     /// probes stay within one shard's working set. Results are
     /// positional.
     pub fn lookup_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        self.obs.record_batch(keys.len());
         let groups = self.group_by_shard(keys, |k| self.shard_of(k));
         let mut out: Vec<Option<Option<V>>> = vec![None; keys.len()];
         for (shard, group) in self.shards.iter().zip(&groups) {
@@ -258,6 +300,7 @@ where
     /// Results are positional; a key duplicated within the batch is
     /// removed by its first occurrence only.
     pub fn remove_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        self.obs.record_batch(keys.len());
         let groups = self.group_by_shard(keys, |k| self.shard_of(k));
         let mut out: Vec<Option<Option<V>>> = vec![None; keys.len()];
         for (shard, group) in self.shards.iter().zip(&groups) {
@@ -272,6 +315,105 @@ where
         out.into_iter()
             .map(|r| r.expect("grouping covers every position"))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Capture a serialisable snapshot: the master configuration, the
+    /// shard count and every stored pair. Per-shard seeds are *not*
+    /// stored — they re-derive deterministically from the master seed,
+    /// so a restore routes every key to its original shard. The caller
+    /// must ensure no writers are active while the capture runs (each
+    /// shard is read under its own writer lock, but there is no
+    /// cross-shard atomicity).
+    pub fn to_snapshot(&self) -> ShardedSnapshot<K, V> {
+        ShardedSnapshot {
+            config: self.config.clone(),
+            shards: self.shards.len(),
+            items: self.shards.iter().flat_map(|s| s.items()).collect(),
+        }
+    }
+
+    /// Rebuild a table from a snapshot, reporting any items that no
+    /// longer fit instead of dropping them. With an unchanged
+    /// configuration every item re-places (the restored table is a
+    /// fresh, conflict-free build), so overflow only arises when the
+    /// snapshot is edited toward a smaller geometry.
+    pub fn try_from_snapshot(
+        snapshot: ShardedSnapshot<K, V>,
+    ) -> Result<Self, SnapshotOverflow<K, V>> {
+        let t = Self::new(snapshot.shards, snapshot.config);
+        let mut leftover = Vec::new();
+        for (k, v) in snapshot.items {
+            // Unrecorded: restoring persisted items must not count as
+            // user inserts in the obs layer.
+            let shard = &t.shards[t.shard_of(&k)];
+            if let Err(pair) = shard.insert_new_unrecorded(k, v) {
+                leftover.push(pair);
+            }
+        }
+        if leftover.is_empty() {
+            Ok(t)
+        } else {
+            Err(SnapshotOverflow {
+                placed: t.shards.iter().flat_map(|s| s.items()).collect(),
+                leftover,
+            })
+        }
+    }
+
+    /// [`Self::try_from_snapshot`], panicking on overflow. Restores that
+    /// may target a smaller geometry should call the fallible variant.
+    ///
+    /// # Panics
+    /// Panics if any snapshot item cannot be re-placed.
+    pub fn from_snapshot(snapshot: ShardedSnapshot<K, V>) -> Self {
+        Self::try_from_snapshot(snapshot).unwrap_or_else(|overflow| {
+            panic!(
+                "snapshot restore overflowed: {} item(s) unplaceable",
+                overflow.leftover.len()
+            )
+        })
+    }
+}
+
+/// A serialisable snapshot of a sharded table. Per-shard hash seeds are
+/// derived (not stored): rebuilding with the same master `config` and
+/// `shards` count reproduces both the shard selector and every shard's
+/// hash functions, so restored keys route identically.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot<K, V> {
+    /// Master configuration (pre-derivation seed).
+    pub config: McConfig,
+    /// Shard count (a non-zero power of two).
+    pub shards: usize,
+    /// Every stored pair, unordered.
+    pub items: Vec<(K, V)>,
+}
+
+impl<K: ToJson, V: ToJson> ToJson for ShardedSnapshot<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".to_owned(), self.config.to_json()),
+            ("shards".to_owned(), self.shards.to_json()),
+            ("items".to_owned(), self.items.to_json()),
+        ])
+    }
+}
+
+impl<K: FromJson, V: FromJson> FromJson for ShardedSnapshot<K, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            j.get(name)
+                .ok_or_else(|| JsonError(format!("missing field '{name}'")))
+        };
+        Ok(Self {
+            config: FromJson::from_json(field("config")?)?,
+            shards: FromJson::from_json(field("shards")?)?,
+            items: FromJson::from_json(field("items")?)?,
+        })
     }
 }
 
@@ -436,6 +578,58 @@ mod tests {
             assert_eq!(t.get(&k), Some(k * 3), "key {k} lost");
         }
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_items_and_routing() {
+        let t = table(4, 128, 11);
+        let mut keys = UniqueKeys::new(12);
+        let ks = keys.take_vec(800);
+        for &k in &ks {
+            t.insert_new(k, k ^ 0xBEEF).unwrap();
+        }
+        let snap = t.to_snapshot();
+        assert_eq!(snap.shards, 4);
+        assert_eq!(snap.items.len(), 800);
+        // Serialise through jsonlite and back.
+        let snap: ShardedSnapshot<u64, u64> =
+            FromJson::from_json(&jsonlite::parse(&jsonlite::to_string(&snap)).unwrap()).unwrap();
+        let r = ShardedMcCuckoo::from_snapshot(snap);
+        assert_eq!(r.len(), 800);
+        for &k in &ks {
+            // Same value, and — because per-shard seeds re-derive from
+            // the master seed — the same home shard as before.
+            assert_eq!(r.get(&k), Some(k ^ 0xBEEF));
+            assert_eq!(r.shard_of(&k), t.shard_of(&k));
+            assert!(r.shards()[r.shard_of(&k)].contains(&k));
+        }
+        r.check_invariants().unwrap();
+        // Restores are unrecorded: no inserts appear in the obs layer.
+        assert_eq!(r.stats().ops.inserts, 0);
+    }
+
+    #[test]
+    fn stats_aggregate_and_per_shard_breakdown() {
+        let t = table(4, 128, 13);
+        let mut keys = UniqueKeys::new(14);
+        let items: Vec<(u64, u64)> = keys.take_vec(300).into_iter().map(|k| (k, k)).collect();
+        for r in t.insert_batch(&items) {
+            r.unwrap();
+        }
+        let hits = t.lookup_batch(&items.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.is_some()));
+        assert_eq!(t.get(&u64::MAX), None);
+        let s = t.stats();
+        assert_eq!(s.ops.inserts, 300);
+        assert_eq!(s.ops.lookup_hits, 300);
+        assert_eq!(s.ops.lookup_misses, 1);
+        assert_eq!(s.shards.len(), 4);
+        assert_eq!(s.shards.iter().map(|sh| sh.ops.inserts).sum::<u64>(), 300);
+        assert_eq!(s.shards.iter().map(|sh| sh.len).sum::<usize>(), t.len());
+        // Caller-level batches (2) plus the per-shard sub-batches.
+        assert!(s.batch_hist.count >= 2);
+        assert!(s.occupancy_skew() >= 1.0);
+        assert!(s.hottest_shard().is_some());
     }
 
     #[test]

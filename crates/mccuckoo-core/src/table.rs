@@ -25,6 +25,7 @@
 use mem_model::{InsertOutcome, InsertReport, MemStats};
 
 use crate::engine::{BucketLayout, Engine};
+use crate::obs::TableStats;
 
 /// Uniform mutable-table interface over the multi-copy cuckoo variants
 /// and the single-copy baselines.
@@ -84,6 +85,14 @@ pub trait McTable<K, V> {
     fn mem_stats(&self) -> MemStats {
         MemStats::default()
     }
+
+    /// Snapshot of the table's observability counters (op counts,
+    /// probe/kick/batch histograms, per-shard breakdown where
+    /// applicable). Counters are monotonic for the table's lifetime —
+    /// [`McTable::clear`] does not reset them.
+    fn stats(&self) -> TableStats {
+        TableStats::default()
+    }
 }
 
 impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone, L: BucketLayout> McTable<K, V>
@@ -135,6 +144,10 @@ impl<K: hash_kit::KeyHash + Eq + Clone, V: Clone, L: BucketLayout> McTable<K, V>
 
     fn mem_stats(&self) -> MemStats {
         self.meter().snapshot()
+    }
+
+    fn stats(&self) -> TableStats {
+        Engine::stats(self)
     }
 }
 
@@ -192,6 +205,10 @@ impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::Concurr
     fn contains(&self, key: &K) -> bool {
         crate::ConcurrentMcCuckoo::contains(self, key)
     }
+
+    fn stats(&self) -> TableStats {
+        crate::ConcurrentMcCuckoo::stats(self)
+    }
 }
 
 impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::ShardedMcCuckoo<K, V> {
@@ -247,6 +264,10 @@ impl<K: hash_kit::KeyHash + Eq + Copy, V: Copy> McTable<K, V> for crate::Sharded
 
     fn contains(&self, key: &K) -> bool {
         crate::ShardedMcCuckoo::contains(self, key)
+    }
+
+    fn stats(&self) -> TableStats {
+        crate::ShardedMcCuckoo::stats(self)
     }
 }
 

@@ -10,6 +10,8 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+use mccuckoo_core::TableStats;
+
 use crate::ops::TableOp;
 use crate::target::DiffTarget;
 
@@ -44,14 +46,23 @@ pub fn run_ops(
 ) -> Result<(), String> {
     let mut oracle: HashMap<u64, u64> = HashMap::new();
     let mut since_check = 0usize;
+    // Obs counters are monotonic across clears, so a baseline snapshot
+    // plus an op tally reconciles exactly even mid-table-lifetime.
+    let obs_base = target.stats();
+    let mut tally = ObsTally::default();
     for (i, &op) in ops.iter().enumerate() {
         let fail = |what: String| Err(format!("step {i} ({op}): {what}"));
         match op {
             TableOp::Insert(k, v) => {
+                let was_live = oracle.contains_key(&k);
                 let stored = target.insert(k, v);
+                tally.insert_attempts += 1;
+                if !was_live {
+                    tally.fresh_attempts += 1;
+                }
                 if stored {
                     oracle.insert(k, v);
-                } else if oracle.contains_key(&k) {
+                } else if was_live {
                     return fail("upsert of a live key reported failure".into());
                 }
                 since_check += 1;
@@ -61,6 +72,8 @@ pub fn run_ops(
                 // this key fresh; skipping keeps every subsequence valid.
                 if let Entry::Vacant(slot) = oracle.entry(k) {
                     let stored = target.insert_new(k, v);
+                    tally.insert_attempts += 1;
+                    tally.fresh_attempts += 1;
                     if stored {
                         slot.insert(v);
                     }
@@ -69,6 +82,7 @@ pub fn run_ops(
             }
             TableOp::Get(k) => {
                 let got = target.get(k);
+                tally.record_lookup(got.is_some());
                 let want = oracle.get(&k).copied();
                 if got != want {
                     return fail(format!("get returned {got:?}, oracle says {want:?}"));
@@ -76,6 +90,7 @@ pub fn run_ops(
             }
             TableOp::Contains(k) => {
                 let got = target.contains(k);
+                tally.record_lookup(got);
                 let want = oracle.contains_key(&k);
                 if got != want {
                     return fail(format!("contains returned {got}, oracle says {want}"));
@@ -83,6 +98,11 @@ pub fn run_ops(
             }
             TableOp::Remove(k) => {
                 let got = target.remove(k);
+                if got.is_some() {
+                    tally.removes += 1;
+                } else {
+                    tally.remove_misses += 1;
+                }
                 let want = oracle.remove(&k);
                 if got != want {
                     return fail(format!("remove returned {got:?}, oracle says {want:?}"));
@@ -103,9 +123,94 @@ pub fn run_ops(
             since_check = 0;
             check_state(target, &oracle, config.sweep)
                 .map_err(|e| format!("after step {i} ({op}): {e}"))?;
+            if config.sweep {
+                // The sweep looked up every oracle key, and found it.
+                tally.lookup_hits += oracle.len() as u64;
+            }
         }
     }
-    check_state(target, &oracle, config.sweep).map_err(|e| format!("at end of sequence: {e}"))
+    check_state(target, &oracle, config.sweep).map_err(|e| format!("at end of sequence: {e}"))?;
+    if config.sweep {
+        tally.lookup_hits += oracle.len() as u64;
+    }
+    reconcile_obs(target, &obs_base, &tally)
+}
+
+/// Oracle-side tally of the recorded operations the runner issued.
+#[derive(Debug, Default)]
+struct ObsTally {
+    /// Calls that must land in `inserts + updates + failed_inserts`.
+    insert_attempts: u64,
+    /// The subset offering a key the oracle did not hold (these — and
+    /// only these — take a kick walk, so they must equal the kick
+    /// histogram's sample count).
+    fresh_attempts: u64,
+    lookup_hits: u64,
+    lookup_misses: u64,
+    removes: u64,
+    remove_misses: u64,
+}
+
+impl ObsTally {
+    fn record_lookup(&mut self, hit: bool) {
+        if hit {
+            self.lookup_hits += 1;
+        } else {
+            self.lookup_misses += 1;
+        }
+    }
+}
+
+/// Cross-check the table's own obs counters against the oracle tally:
+/// every public op the runner issued must be visible in the stats delta,
+/// and nothing else (internal re-insert paths must stay unrecorded).
+fn reconcile_obs(
+    target: &dyn DiffTarget,
+    base: &TableStats,
+    tally: &ObsTally,
+) -> Result<(), String> {
+    let end = target.stats();
+    let checks: [(&str, u64, u64); 7] = [
+        (
+            "insert attempts",
+            end.ops.insert_attempts() - base.ops.insert_attempts(),
+            tally.insert_attempts,
+        ),
+        (
+            "lookup hits",
+            end.ops.lookup_hits - base.ops.lookup_hits,
+            tally.lookup_hits,
+        ),
+        (
+            "lookup misses",
+            end.ops.lookup_misses - base.ops.lookup_misses,
+            tally.lookup_misses,
+        ),
+        ("removes", end.ops.removes - base.ops.removes, tally.removes),
+        (
+            "remove misses",
+            end.ops.remove_misses - base.ops.remove_misses,
+            tally.remove_misses,
+        ),
+        (
+            "probe histogram samples",
+            end.probe_hist.count - base.probe_hist.count,
+            tally.lookup_hits + tally.lookup_misses,
+        ),
+        (
+            "kick histogram samples",
+            end.kick_hist.count - base.kick_hist.count,
+            tally.fresh_attempts,
+        ),
+    ];
+    for (what, got, want) in checks {
+        if got != want {
+            return Err(format!(
+                "obs reconciliation: {what} delta is {got}, oracle tallied {want}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Invariant validation + count check + (optional) full membership sweep.

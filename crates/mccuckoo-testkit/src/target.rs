@@ -16,7 +16,7 @@
 use mccuckoo_core::invariant::Validate;
 use mccuckoo_core::{
     BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
-    ShardedMcCuckoo,
+    ShardedMcCuckoo, TableStats,
 };
 
 /// Which table implementation a fuzz case drives.
@@ -143,6 +143,11 @@ pub trait DiffTarget {
     fn validate(&self) -> Result<(), String>;
     /// Distinct stored keys.
     fn len(&self) -> usize;
+    /// Observability snapshot ([`McTable::stats`]); the runner
+    /// reconciles its monotonic counters against the oracle's op tally.
+    fn stats(&self) -> TableStats {
+        TableStats::default()
+    }
 }
 
 /// The one adapter: any `McTable + Validate` is a [`DiffTarget`].
@@ -187,5 +192,8 @@ impl<T: McTable<u64, u64> + Validate> DiffTarget for Shim<T> {
     }
     fn len(&self) -> usize {
         self.t.len()
+    }
+    fn stats(&self) -> TableStats {
+        self.t.stats()
     }
 }

@@ -44,6 +44,31 @@ fn main() {
     let start = Instant::now();
 
     let (written, updated) = std::thread::scope(|scope| {
+        // Monitor: the lock-free stats layer makes a live ops dashboard
+        // one `stats()` call — no locks taken, writers never stall.
+        {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    let s = table.stats();
+                    println!(
+                        "[stats {:>5.2}s] {} inserts {} updates {} kicks | \
+                         lookups {} hit / {} miss | skew {:.2} hottest shard {:?}",
+                        start.elapsed().as_secs_f64(),
+                        s.ops.inserts,
+                        s.ops.updates,
+                        s.ops.kicks,
+                        s.ops.lookup_hits,
+                        s.ops.lookup_misses,
+                        s.occupancy_skew(),
+                        s.hottest_shard(),
+                    );
+                }
+            });
+        }
+
         // Readers: batched point lookups over the whole key space.
         // Results are unchecked mid-churn; the post-run sweep below is
         // the correctness check.
@@ -136,4 +161,24 @@ fn main() {
     assert!(table.is_empty());
     table.check_invariants().expect("invariants after drain");
     println!("drained {removed} keys by batched removal; table empty and valid");
+
+    // Final per-shard breakdown: the counters are monotonic, so they
+    // still tell the whole run's story after the drain.
+    let s = table.stats();
+    for shard in &s.shards {
+        println!(
+            "  shard {}: {} inserts {} removes {} lookups ({} hit)",
+            shard.shard,
+            shard.ops.inserts,
+            shard.ops.removes,
+            shard.ops.lookup_hits + shard.ops.lookup_misses,
+            shard.ops.lookup_hits,
+        );
+    }
+    println!(
+        "totals: {} ops recorded, mean probe {:.2} reads, mean batch {:.0} keys",
+        s.ops.total_ops(),
+        s.probe_hist.mean(),
+        s.batch_hist.mean(),
+    );
 }
