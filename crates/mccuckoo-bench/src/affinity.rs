@@ -1,0 +1,65 @@
+//! Best-effort thread→CPU pinning for benchmark runs.
+//!
+//! Scaling sweeps are noisy when the scheduler migrates writer threads
+//! mid-measurement; pinning each writer to a fixed core removes that
+//! noise on multi-core hosts. Pinning is strictly best-effort: on
+//! non-Linux targets, in containers that reject the syscall, or on a
+//! single-core box it degrades to a no-op and the benchmark still runs —
+//! callers must not depend on it succeeding.
+
+#[cfg(target_os = "linux")]
+mod imp {
+    /// Mirrors glibc's `cpu_set_t`: 1024 bits of CPU mask.
+    #[repr(C)]
+    struct CpuSet {
+        bits: [u64; 16],
+    }
+
+    extern "C" {
+        /// `pid == 0` targets the calling thread.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+
+    /// Pin the calling thread to `cpu`. Returns whether the kernel
+    /// accepted the mask.
+    pub fn pin_to_cpu(cpu: usize) -> bool {
+        if cpu >= 1024 {
+            return false;
+        }
+        let mut set = CpuSet { bits: [0; 16] };
+        set.bits[cpu / 64] = 1u64 << (cpu % 64);
+        // SAFETY: the mask outlives the call and has the size we claim.
+        unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    /// No pinning support on this target; always reports failure.
+    pub fn pin_to_cpu(_cpu: usize) -> bool {
+        false
+    }
+}
+
+pub use imp::pin_to_cpu;
+
+/// Pin the calling thread to worker slot `slot`, spreading slots
+/// round-robin over the available cores. Best-effort.
+pub fn pin_worker(slot: usize) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    pin_to_cpu(slot % cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_best_effort_and_never_panics() {
+        // Whatever the host allows, the call must return (a CI sandbox
+        // may refuse the syscall; a laptop will accept it).
+        let _ = pin_worker(0);
+        let _ = pin_worker(7);
+        assert!(!pin_to_cpu(usize::MAX), "absurd CPU index must fail");
+    }
+}

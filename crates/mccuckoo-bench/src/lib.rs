@@ -25,6 +25,7 @@
 //!   paper uses 10);
 //! * `MCB_LOOKUPS` — lookups sampled per measurement (default 100000).
 
+pub mod affinity;
 pub mod harness;
 pub mod report;
 pub mod schemes;

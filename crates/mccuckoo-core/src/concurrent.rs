@@ -1,54 +1,96 @@
-//! One-writer-many-readers concurrency (§III.H of the paper).
+//! Striped-writer, lock-free-reader concurrency (§III.H of the paper).
 //!
 //! The paper observes that McCuckoo composes naturally with MemC3-style
-//! concurrency: the counters let the writer *precompute* a short cuckoo
+//! concurrency: the counters let a writer *precompute* a short cuckoo
 //! path before touching the table, and the moves can then be executed
 //! from the path's far end backwards so that **no item is ever absent**
 //! — each item is written to its destination before its source is
 //! overwritten. Multi-copy strengthens this further: overwriting a
 //! redundant copy never makes its owner unavailable at all.
 //!
-//! Readers are lock-free. They probe **conservatively**: the only
-//! counter-derived shortcut they use is skipping counter-zero buckets
-//! (sound, because a counter only becomes non-zero *after* its content
-//! is written). The single-slot partition pruning is deliberately not
-//! used by concurrent readers — a reader racing a counter update could
-//! otherwise prune away the bucket that still holds the key. This
-//! engineering refinement is not spelled out in the paper; see
-//! `DESIGN.md` §4.
+//! # Readers
 //!
-//! A probe that *misses* must additionally prove it did not race a
-//! relocation: an item moving from a not-yet-checked candidate into an
-//! already-checked one would otherwise be invisible to one unlucky pass
-//! (the classic cuckoo reader race, MemC3 §3.2). Each bucket therefore
-//! carries a version counter, bumped to odd before and even after every
-//! content mutation; a miss is only reported once a full pass observes
-//! identical, even versions before and after probing. Hits need no
-//! validation — the matching `(key, value)` pair is loaded atomically.
+//! Readers are genuinely lock-free. Each bucket is a plain cell guarded
+//! by a seqlock version counter, bumped to odd before and back to even
+//! after every content mutation. A probe reads the cell with a volatile
+//! load into uninitialised storage, and only interprets the bytes after
+//! re-reading the version and finding it unchanged and even — a torn
+//! read is discarded before it is ever typed, so readers never observe
+//! a half-written pair. A probe that *misses* must additionally prove it
+//! did not race a relocation: an item moving from a not-yet-checked
+//! candidate into an already-checked one would otherwise be invisible to
+//! one unlucky pass (the classic cuckoo reader race, MemC3 §3.2), so a
+//! miss is only reported once a full pass observes identical, even
+//! versions before and after probing.
 //!
-//! Implementation notes: buckets are `crossbeam` `AtomicCell`s (seqlock
-//! semantics without unsafe code), counters are `AtomicU8`, versions are
-//! `AtomicU64`, and writers serialize on a `parking_lot::Mutex`. Keys
-//! and values must be `Copy` (pointer-sized payloads — use
+//! Readers probe **conservatively**: the only counter-derived shortcut
+//! they use is skipping counter-zero buckets (sound, because a counter
+//! only becomes non-zero *after* its content is written). The
+//! single-slot partition pruning is deliberately not used by concurrent
+//! readers — a reader racing a counter update could otherwise prune away
+//! the bucket that still holds the key. See `DESIGN.md` §4.
+//!
+//! # Writers: striped bucket locks
+//!
+//! Writers do **not** serialize on one table-wide mutex. The buckets are
+//! partitioned into a power-of-two array of cacheline-padded lock
+//! stripes (`stripe(b) = b & (nstripes − 1)`), and a writer acquires
+//! only the stripes its probe/kick footprint touches, always in
+//! ascending stripe order — a global total order, so overlapping writers
+//! cannot deadlock. Since the footprint of a cuckoo insert is only fully
+//! known *after* planning it, acquisition is a plan → lock → grow →
+//! re-plan loop: each attempt locks the stripes the previous attempt
+//! discovered, re-plans under those locks, and executes only once the
+//! plan's whole footprint is covered. Walks whose footprint exceeds a
+//! small stripe budget — and the rare shapes the striped executor does
+//! not handle (settling a kick chain's terminal item by overwriting a
+//! redundant copy) — fall back to a **global stripe sweep**: locking
+//! every stripe, which trivially covers any footprint and restores the
+//! old single-writer semantics for that one operation. Batched entry
+//! points take the sweep once per batch, amortising acquisition across
+//! the whole batch.
+//!
+//! Stripe guards are RAII: a writer that panics mid-operation (see
+//! `testhooks`) releases its stripes on unwind, and the mutexes are
+//! `parking_lot`-style unpoisonable, so the table stays writable.
+//!
+//! Keys and values must be `Copy` (pointer-sized payloads — use
 //! [`crate::MultisetIndex`]-style indirection for fat values). The meter
 //! is not threaded through this type; concurrency is evaluated by
 //! throughput, not access counts.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
-use crossbeam::atomic::AtomicCell;
 use hash_kit::{BucketFamily, KeyHash, SplitMix64};
 use mem_model::{InsertOutcome, InsertReport};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::config::McConfig;
-use crate::obs::{Obs, TableStats};
+use crate::obs::{InsertTally, Obs, TableStats};
+use crate::pad::CachePadded;
 use crate::single::MAX_D;
 
-/// One table bucket: an atomically swappable `(key, value)` cell.
-type Cell<K, V> = AtomicCell<Option<(K, V)>>;
+/// Upper bound on the stripe count: one `u64` bitmask addresses every
+/// stripe, so lock *sets* stay registers, not heap allocations.
+const MAX_STRIPES: usize = 64;
 
-/// Lock-free-read, single-writer multi-copy cuckoo table.
+/// Plan → lock → grow attempts before an insert escalates to the sweep.
+const LOCK_ATTEMPTS: usize = 4;
+
+/// A kick walk needing more than this many stripes escalates to the
+/// sweep — locking most of the table piecemeal is slower than sweeping.
+const STRIPE_BUDGET: u32 = 8;
+
+/// Per-op RNG stream increment (the SplitMix64 golden-gamma constant),
+/// so concurrent inserts draw from decorrelated streams without sharing
+/// mutable writer state.
+const RNG_STREAM_STEP: u64 = 0x9E37_79B9_7F4A_7C15;
+
+type CellArray<K, V> = Box<[UnsafeCell<Option<(K, V)>>]>;
+
+/// Lock-free-read, striped-multi-writer multi-copy cuckoo table.
 ///
 /// ```
 /// use mccuckoo_core::{ConcurrentMcCuckoo, McConfig};
@@ -68,12 +110,17 @@ pub struct ConcurrentMcCuckoo<K, V> {
     d: usize,
     n: usize,
     maxloop: u32,
-    cells: Box<[Cell<K, V>]>,
+    cells: CellArray<K, V>,
     counters: Box<[AtomicU8]>,
     /// Per-bucket seqlock versions: odd while a mutation is in flight.
     versions: Box<[AtomicU64]>,
-    distinct: AtomicUsize,
-    writer: Mutex<WriterState>,
+    /// Striped writer locks; `stripe(b) = b & (stripes.len() − 1)`.
+    stripes: Box<[CachePadded<Mutex<()>>]>,
+    /// Bitmask with one bit per existing stripe (the sweep's lock set).
+    all_stripes: u64,
+    distinct: CachePadded<AtomicUsize>,
+    /// Monotonic per-op RNG stream selector (see [`RNG_STREAM_STEP`]).
+    rng_stream: CachePadded<AtomicU64>,
     /// The configuration the table was built with (seed included),
     /// retained for snapshots.
     config: McConfig,
@@ -81,8 +128,21 @@ pub struct ConcurrentMcCuckoo<K, V> {
     obs: Obs,
 }
 
-struct WriterState {
-    rng: SplitMix64,
+// SAFETY: the `UnsafeCell` buckets are written only by `write_bucket`,
+// whose callers hold the covering stripe lock (or the full sweep), and
+// are read either under those locks or through the seqlock protocol —
+// a volatile read into `MaybeUninit` that is interpreted only after the
+// bucket's version proves the bytes were not torn. K and V are `Copy`
+// in every constructible instance, so no drop races exist.
+unsafe impl<K: Send, V: Send> Sync for ConcurrentMcCuckoo<K, V> {}
+
+/// RAII holder of a set of stripe locks, released (in any order) on
+/// drop — including panic unwinds, so an aborted writer never wedges
+/// the table.
+struct StripeGuard<'a> {
+    /// Which stripes this guard holds, as a bitmask.
+    mask: u64,
+    _held: [Option<MutexGuard<'a, ()>>; MAX_STRIPES],
 }
 
 impl<K, V> ConcurrentMcCuckoo<K, V>
@@ -102,9 +162,16 @@ where
             config.seed,
         );
         let total = config.d * config.buckets_per_table;
-        let cells: Box<[Cell<K, V>]> = (0..total).map(|_| AtomicCell::new(None)).collect();
+        let cells: CellArray<K, V> = (0..total).map(|_| UnsafeCell::new(None)).collect();
         let counters: Box<[AtomicU8]> = (0..total).map(|_| AtomicU8::new(0)).collect();
         let versions: Box<[AtomicU64]> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        // ~8 buckets per stripe keeps false lock sharing low while the
+        // whole stripe set still fits one u64 mask.
+        let nstripes = (total / 8).next_power_of_two().clamp(1, MAX_STRIPES);
+        let stripes: Box<[CachePadded<Mutex<()>>]> = (0..nstripes)
+            .map(|_| CachePadded::new(Mutex::new(())))
+            .collect();
+        let all_stripes = u64::MAX >> (64 - nstripes as u32);
         Self {
             family,
             d: config.d,
@@ -113,10 +180,10 @@ where
             cells,
             counters,
             versions,
-            distinct: AtomicUsize::new(0),
-            writer: Mutex::new(WriterState {
-                rng: SplitMix64::new(config.seed ^ 0xC04C_44E4_7AB1_E000),
-            }),
+            stripes,
+            all_stripes,
+            distinct: CachePadded::new(AtomicUsize::new(0)),
+            rng_stream: CachePadded::new(AtomicU64::new(config.seed ^ 0xC04C_44E4_7AB1_E000)),
             config,
             obs: Obs::default(),
         }
@@ -129,7 +196,7 @@ where
 
     /// Snapshot of the observability counters (op counts and probe/kick
     /// histograms). Monotonic over the table's lifetime; safe to call
-    /// concurrently with readers and the writer.
+    /// concurrently with readers and writers.
     pub fn stats(&self) -> TableStats {
         self.obs.snapshot()
     }
@@ -160,16 +227,122 @@ where
         out
     }
 
+    // ------------------------------------------------------------------
+    // Stripes
+    // ------------------------------------------------------------------
+
+    /// Number of writer lock stripes (a power of two ≤ 64).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe set `key`'s candidate buckets map to, as a bitmask.
+    /// Exposed so adversarial tests can mine key sets that contend on
+    /// few stripes.
+    pub fn stripe_mask_of(&self, key: &K) -> u64 {
+        self.mask_of(&self.candidates(key))
+    }
+
+    /// True when no stripe is currently held (test support: a panicked
+    /// writer must leave every stripe released).
+    pub fn stripes_quiescent(&self) -> bool {
+        self.stripes.iter().all(|s| s.try_lock().is_some())
+    }
+
+    #[inline]
+    fn stripe_bit(&self, bucket: usize) -> u64 {
+        1u64 << (bucket & (self.stripes.len() - 1))
+    }
+
+    fn mask_of(&self, cands: &[usize; MAX_D]) -> u64 {
+        let mut m = 0u64;
+        for &c in cands.iter().take(self.d) {
+            m |= self.stripe_bit(c);
+        }
+        m
+    }
+
+    /// Acquire every stripe in `mask`, in ascending stripe order. All
+    /// writers (including the full sweep, whose mask is all ones) use
+    /// this path, so lock acquisition follows one global total order and
+    /// overlapping writers cannot deadlock.
+    fn lock_stripes(&self, mask: u64) -> StripeGuard<'_> {
+        let mut held: [Option<MutexGuard<'_, ()>>; MAX_STRIPES] = std::array::from_fn(|_| None);
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            held[i] = Some(self.stripes[i].lock());
+            m &= m - 1;
+        }
+        StripeGuard { mask, _held: held }
+    }
+
+    /// A fresh decorrelated RNG for one insert's kick walk.
+    fn op_rng(&self) -> SplitMix64 {
+        let stream = self
+            .rng_stream
+            .fetch_add(RNG_STREAM_STEP, Ordering::Relaxed);
+        SplitMix64::new(self.config.seed ^ stream)
+    }
+
+    // ------------------------------------------------------------------
+    // Bucket access primitives
+    // ------------------------------------------------------------------
+
     /// Writer-side bucket mutation, bracketed by version bumps (odd
     /// while in flight). `counter` optionally updates the copy counter
-    /// inside the same bracket.
+    /// inside the same bracket. Caller must hold the bucket's stripe.
     fn write_bucket(&self, idx: usize, content: Option<(K, V)>, counter: Option<u8>) {
-        self.versions[idx].fetch_add(1, Ordering::AcqRel);
-        self.cells[idx].store(content);
+        // The stripe lock serializes writers on this bucket, so the
+        // version can be bumped with plain loads/stores (two lock-prefix
+        // RMWs per write would double the cost of the multi-copy write
+        // fan-out). The release fence keeps the odd store ahead of the
+        // content bytes for any racing seqlock reader.
+        let v = self.versions[idx].load(Ordering::Relaxed);
+        debug_assert_eq!(v % 2, 0, "bucket {idx}: concurrent writers");
+        self.versions[idx].store(v + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        // SAFETY: the stripe lock covering `idx` is held, so this is the
+        // only writer; concurrent readers validate against the odd
+        // version and discard whatever bytes they raced.
+        unsafe { std::ptr::write_volatile(self.cells[idx].get(), content) };
         if let Some(c) = counter {
             self.counters[idx].store(c, Ordering::Release);
         }
-        self.versions[idx].fetch_add(1, Ordering::Release);
+        self.versions[idx].store(v + 2, Ordering::Release);
+    }
+
+    /// Plain read of a bucket the caller has exclusive access to (its
+    /// stripe held, the full sweep held, or the table quiescent).
+    #[inline]
+    fn cell_read_locked(&self, idx: usize) -> Option<(K, V)> {
+        // SAFETY: exclusivity is the caller's contract, so no writer can
+        // race this read.
+        unsafe { *self.cells[idx].get() }
+    }
+
+    /// Seqlock-validated read of a bucket the caller has *not* locked.
+    /// Spins until it observes a stable even version around the load, so
+    /// the returned value was fully written.
+    fn cell_read_atomic(&self, idx: usize) -> Option<(K, V)> {
+        loop {
+            let v1 = self.versions[idx].load(Ordering::Acquire);
+            if v1 % 2 == 0 {
+                // SAFETY: the bytes land in `MaybeUninit`, so a torn
+                // read is never typed; they are interpreted only after
+                // the version check proves no writer intervened.
+                let raw = unsafe {
+                    std::ptr::read_volatile(
+                        self.cells[idx].get().cast::<MaybeUninit<Option<(K, V)>>>(),
+                    )
+                };
+                fence(Ordering::Acquire);
+                if self.versions[idx].load(Ordering::Relaxed) == v1 {
+                    return unsafe { raw.assume_init() };
+                }
+            }
+            std::hint::spin_loop();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -194,26 +367,42 @@ where
                 continue;
             }
             let mut probes = 0u64;
-            for &c in cands.iter().take(self.d) {
+            let mut torn = false;
+            for i in 0..self.d {
+                let c = cands[i];
                 // Counter becomes non-zero only after content is written,
                 // so skipping zero is the one safe counter shortcut.
                 if self.counters[c].load(Ordering::Acquire) == 0 {
                     continue;
                 }
                 probes += 1;
-                if let Some((k, v)) = self.cells[c].load() {
+                // SAFETY: torn bytes stay untyped in `MaybeUninit` until
+                // the version recheck below proves the read was stable.
+                let raw = unsafe {
+                    std::ptr::read_volatile(
+                        self.cells[c].get().cast::<MaybeUninit<Option<(K, V)>>>(),
+                    )
+                };
+                fence(Ordering::Acquire);
+                if self.versions[c].load(Ordering::Relaxed) != pre[i] {
+                    torn = true;
+                    break;
+                }
+                if let Some((k, v)) = unsafe { raw.assume_init() } {
                     if k == *key {
                         self.obs.record_lookup(true, probes);
                         return Some(v);
                     }
                 }
             }
-            // Validate the miss: no bucket changed underneath the pass.
-            let unchanged =
-                (0..self.d).all(|i| self.versions[cands[i]].load(Ordering::Acquire) == pre[i]);
-            if unchanged {
-                self.obs.record_lookup(false, probes);
-                return None;
+            if !torn {
+                // Validate the miss: no bucket changed underneath the pass.
+                let unchanged =
+                    (0..self.d).all(|i| self.versions[cands[i]].load(Ordering::Acquire) == pre[i]);
+                if unchanged {
+                    self.obs.record_lookup(false, probes);
+                    return None;
+                }
             }
             std::hint::spin_loop();
         }
@@ -225,7 +414,7 @@ where
     }
 
     // ------------------------------------------------------------------
-    // Writer
+    // Writers: public entry points
     // ------------------------------------------------------------------
 
     /// Insert or update. Returns `Ok(true)` when an existing key was
@@ -233,14 +422,17 @@ where
     /// Returns `Err((key, value))` when the relocation budget is
     /// exhausted — in which case, unlike the sequential random-walk,
     /// **nothing was mutated** (the path is precomputed).
+    ///
+    /// Safe to call from many threads at once: writers with disjoint
+    /// stripe footprints run concurrently.
     pub fn insert(&self, key: K, value: V) -> Result<bool, (K, V)> {
-        let mut writer = self.writer.lock();
-        let out = self.insert_locked(key, value, &mut writer);
-        self.check_paranoid_locked();
-        out
+        let out = self.upsert_striped(key, value, true);
+        self.record_upsert(&out);
+        self.check_paranoid();
+        out.map(|rep| matches!(rep.outcome, InsertOutcome::Updated))
     }
 
-    /// Upsert a whole batch under **one** writer-lock acquisition.
+    /// Upsert a whole batch under **one** global stripe sweep.
     ///
     /// Results are positional: `out[i]` is what [`Self::insert`] would
     /// have returned for `items[i]`. Failed items are skipped (the table
@@ -249,12 +441,30 @@ where
     /// remain lock-free throughout — they observe the batch item by item.
     pub fn insert_batch(&self, items: &[(K, V)]) -> Vec<Result<bool, (K, V)>> {
         self.obs.record_batch(items.len());
-        let mut writer = self.writer.lock();
-        let out = items
-            .iter()
-            .map(|&(k, v)| self.insert_locked(k, v, &mut writer))
-            .collect();
-        self.check_paranoid_locked();
+        let mut out = Vec::with_capacity(items.len());
+        // Per-item observability is tallied locally and flushed once —
+        // the batched path pays one pass of atomic traffic per batch,
+        // not ~5 RMWs per item.
+        let mut tally = InsertTally::default();
+        {
+            let _guard = self.lock_stripes(self.all_stripes);
+            let mut path_buf = Vec::new();
+            for &(k, v) in items {
+                let r = self.upsert_excl(k, v, true, &mut path_buf);
+                match &r {
+                    Ok(rep) => tally.record(rep),
+                    Err(_) => tally.record(&InsertReport {
+                        outcome: InsertOutcome::Failed,
+                        kickouts: 0, // nothing was mutated (precomputed path)
+                        collision: true,
+                        copies_written: 0,
+                    }),
+                }
+                out.push(r.map(|rep| matches!(rep.outcome, InsertOutcome::Updated)));
+            }
+        }
+        self.obs.absorb_inserts(&tally);
+        self.check_paranoid();
         out
     }
 
@@ -263,11 +473,9 @@ where
     /// was mutated. Inserting a key that is already present corrupts the
     /// copy bookkeeping (`debug_assert`ed).
     pub fn insert_new(&self, key: K, value: V) -> Result<(), (K, V)> {
-        let mut writer = self.writer.lock();
-        debug_assert!(!self.raw_contains(&key), "insert_new of a present key");
-        let out = self.insert_fresh_locked(key, value, &mut writer);
-        self.record_fresh(&out);
-        self.check_paranoid_locked();
+        let out = self.upsert_striped(key, value, false);
+        self.record_upsert(&out);
+        self.check_paranoid();
         out.map(|_| ())
     }
 
@@ -275,132 +483,39 @@ where
     /// restores go through this so re-placing persisted items does not
     /// count as user inserts.
     pub(crate) fn insert_new_unrecorded(&self, key: K, value: V) -> Result<(), (K, V)> {
-        let mut writer = self.writer.lock();
-        debug_assert!(!self.raw_contains(&key), "insert_new of a present key");
-        let out = self.insert_fresh_locked(key, value, &mut writer);
-        self.check_paranoid_locked();
+        let out = self.upsert_striped(key, value, false);
+        self.check_paranoid();
         out.map(|_| ())
-    }
-
-    /// Unrecorded presence scan (debug assertions and restores only).
-    /// Caller must hold the writer lock.
-    fn raw_contains(&self, key: &K) -> bool {
-        let cands = self.candidates(key);
-        cands.iter().take(self.d).any(|&c| {
-            self.counters[c].load(Ordering::Acquire) != 0
-                && matches!(self.cells[c].load(), Some((k, _)) if k == *key)
-        })
-    }
-
-    /// Record the outcome of one fresh-key insertion attempt.
-    fn record_fresh(&self, out: &Result<InsertReport, (K, V)>) {
-        match out {
-            Ok(report) => self.obs.record_insert(report),
-            Err(_) => self.obs.record_insert(&InsertReport {
-                outcome: InsertOutcome::Failed,
-                kickouts: 0, // nothing was mutated (precomputed path)
-                collision: true,
-                copies_written: 0,
-            }),
-        }
-    }
-
-    fn insert_locked(&self, key: K, value: V, writer: &mut WriterState) -> Result<bool, (K, V)> {
-        // Update in place if present (writer is exclusive, so a plain
-        // scan is race-free against other writers).
-        let cands = self.candidates(&key);
-        let mut existing = [false; MAX_D];
-        let mut exists = false;
-        for i in 0..self.d {
-            if let Some((k, _)) = self.cells[cands[i]].load() {
-                if k == key && self.counters[cands[i]].load(Ordering::Acquire) > 0 {
-                    existing[i] = true;
-                    exists = true;
-                }
-            }
-        }
-        if exists {
-            let mut copies = 0u8;
-            for i in 0..self.d {
-                if existing[i] {
-                    self.write_bucket(cands[i], Some((key, value)), None);
-                    copies += 1;
-                }
-            }
-            self.obs.record_insert(&InsertReport {
-                outcome: InsertOutcome::Updated,
-                kickouts: 0,
-                collision: false,
-                copies_written: copies,
-            });
-            return Ok(true);
-        }
-        let out = self.insert_fresh_locked(key, value, writer);
-        self.record_fresh(&out);
-        out.map(|_| false)
-    }
-
-    /// The fresh-key insertion path (placement, then precomputed
-    /// backward-executed relocation). Caller holds the writer lock and
-    /// has established that `key` is absent. Returns the insertion
-    /// report; recording is the caller's business (so restores can stay
-    /// unrecorded).
-    fn insert_fresh_locked(
-        &self,
-        key: K,
-        value: V,
-        writer: &mut WriterState,
-    ) -> Result<InsertReport, (K, V)> {
-        if let Some(copies) = self.try_place_locked(&key, &value) {
-            self.distinct.fetch_add(1, Ordering::AcqRel);
-            return Ok(InsertReport::clean(copies));
-        }
-        // Real collision: precompute a random-walk path, then execute it
-        // backwards (MemC3 ordering) so readers never lose an item.
-        let Some(path) = self.precompute_path(&key, &mut writer.rng) else {
-            return Err((key, value));
-        };
-        // Settle the path's terminal occupant first (it has a free or
-        // redundant bucket), then shift the chain backwards.
-        let last = *path.last().expect("path is non-empty");
-        let (terminal_key, terminal_value) =
-            self.cells[last].load().expect("path buckets are occupied");
-        let placed = self
-            .try_place_locked(&terminal_key, &terminal_value)
-            .is_some();
-        debug_assert!(placed, "terminal item was chosen for its free bucket");
-        for w in path.windows(2).rev() {
-            let (src, dst) = (w[0], w[1]);
-            let item = self.cells[src].load().expect("path buckets are occupied");
-            self.write_bucket(dst, Some(item), Some(1));
-        }
-        self.write_bucket(path[0], Some((key, value)), Some(1));
-        self.distinct.fetch_add(1, Ordering::AcqRel);
-        Ok(InsertReport {
-            outcome: InsertOutcome::Placed,
-            kickouts: path.len() as u32,
-            collision: true,
-            copies_written: 1,
-        })
     }
 
     /// Remove `key` (counter-reset deletion). Returns its value.
     pub fn remove(&self, key: &K) -> Option<V> {
-        let _writer = self.writer.lock();
-        let out = self.remove_locked(key);
-        self.check_paranoid_locked();
+        let cands = self.candidates(key);
+        let out = {
+            let _guard = self.lock_stripes(self.mask_of(&cands));
+            self.remove_excl(key, &cands)
+        };
+        self.obs.record_remove(out.is_some());
+        self.check_paranoid();
         out
     }
 
-    /// Remove a whole batch of keys under **one** writer-lock
-    /// acquisition. Results are positional: `out[i]` is what
-    /// [`Self::remove`] would have returned for `keys[i]` (duplicates in
-    /// the batch see the earlier removal — only the first wins).
+    /// Remove a whole batch of keys under **one** global stripe sweep.
+    /// Results are positional: `out[i]` is what [`Self::remove`] would
+    /// have returned for `keys[i]` (duplicates in the batch see the
+    /// earlier removal — only the first wins).
     pub fn remove_batch(&self, keys: &[K]) -> Vec<Option<V>> {
         self.obs.record_batch(keys.len());
-        let _writer = self.writer.lock();
-        let out = keys.iter().map(|k| self.remove_locked(k)).collect();
-        self.check_paranoid_locked();
+        let mut out = Vec::with_capacity(keys.len());
+        {
+            let _guard = self.lock_stripes(self.all_stripes);
+            for k in keys {
+                let r = self.remove_excl(k, &self.candidates(k));
+                self.obs.record_remove(r.is_some());
+                out.push(r);
+            }
+        }
+        self.check_paranoid();
         out
     }
 
@@ -413,58 +528,32 @@ where
         keys.iter().map(|k| self.get(k)).collect()
     }
 
-    /// The deletion body. Caller holds the writer lock.
-    fn remove_locked(&self, key: &K) -> Option<V> {
-        let cands = self.candidates(key);
-        let mut value = None;
-        let mut locations = [usize::MAX; MAX_D];
-        let mut count = 0usize;
-        for &c in cands.iter().take(self.d) {
-            if self.counters[c].load(Ordering::Acquire) == 0 {
-                continue;
-            }
-            if let Some((k, v)) = self.cells[c].load() {
-                if k == *key {
-                    value = Some(v);
-                    locations[count] = c;
-                    count += 1;
-                }
-            }
-        }
-        if count > 0 {
-            for &l in &locations[..count] {
-                self.write_bucket(l, None, Some(0));
-            }
-            self.distinct.fetch_sub(1, Ordering::AcqRel);
-        }
-        self.obs.record_remove(value.is_some());
-        value
-    }
-
-    /// Remove every item and zero every counter. Writer-exclusive;
-    /// concurrent readers see each bucket cleared atomically (per-bucket
-    /// seqlock brackets), so a racing lookup returns either the old value
-    /// or a miss — never torn state.
+    /// Remove every item and zero every counter. Takes the full stripe
+    /// sweep; concurrent readers see each bucket cleared atomically
+    /// (per-bucket seqlock brackets), so a racing lookup returns either
+    /// the old value or a miss — never torn state.
     pub fn clear(&self) {
-        let _writer = self.writer.lock();
-        for idx in 0..self.cells.len() {
-            self.write_bucket(idx, None, Some(0));
+        {
+            let _guard = self.lock_stripes(self.all_stripes);
+            for idx in 0..self.cells.len() {
+                self.write_bucket(idx, None, Some(0));
+            }
+            self.distinct.store(0, Ordering::Release);
         }
-        self.distinct.store(0, Ordering::Release);
-        self.check_paranoid_locked();
+        self.check_paranoid();
     }
 
     /// Every stored `(key, value)` pair, each key emitted exactly once
-    /// (at its smallest copy location). Acquires the writer lock, so the
-    /// scan observes a quiescent table. Used by snapshots.
+    /// (at its smallest copy location). Takes the full stripe sweep, so
+    /// the scan observes a quiescent table. Used by snapshots.
     pub fn items(&self) -> Vec<(K, V)> {
-        let _writer = self.writer.lock();
+        let _guard = self.lock_stripes(self.all_stripes);
         let mut out = Vec::with_capacity(self.len());
         for i in 0..self.cells.len() {
             if self.counters[i].load(Ordering::Acquire) == 0 {
                 continue;
             }
-            let Some((k, v)) = self.cells[i].load() else {
+            let Some((k, v)) = self.cell_read_locked(i) else {
                 continue;
             };
             // Emit at the smallest candidate bucket holding a copy.
@@ -474,7 +563,7 @@ where
                 if self.counters[b].load(Ordering::Acquire) == 0 {
                     continue;
                 }
-                if let Some((bk, _)) = self.cells[b].load() {
+                if let Some((bk, _)) = self.cell_read_locked(b) {
                     if bk == k {
                         first = first.min(b);
                     }
@@ -489,26 +578,528 @@ where
 
     /// Exhaustive structural validation (see [`crate::invariant`]).
     ///
-    /// Acquires the writer lock, so it observes a quiescent table with
-    /// respect to mutations; concurrent readers are unaffected.
+    /// Takes the full stripe sweep, so it observes a quiescent table
+    /// with respect to mutations; concurrent readers are unaffected.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let _writer = self.writer.lock();
-        self.validate_locked()
+        let _guard = self.lock_stripes(self.all_stripes);
+        self.validate_excl()
+    }
+
+    /// Record the outcome of one public upsert attempt.
+    fn record_upsert(&self, out: &Result<InsertReport, (K, V)>) {
+        match out {
+            Ok(report) => self.obs.record_insert(report),
+            Err(_) => self.obs.record_insert(&InsertReport {
+                outcome: InsertOutcome::Failed,
+                kickouts: 0, // nothing was mutated (precomputed path)
+                collision: true,
+                copies_written: 0,
+            }),
+        }
     }
 
     #[cfg(feature = "paranoid")]
-    fn check_paranoid_locked(&self) {
-        self.validate_locked()
+    fn check_paranoid(&self) {
+        // Runs after the mutating guard has dropped: the validator takes
+        // the full sweep itself, so re-entrant lock acquisition (and
+        // deadlock) is impossible. Other writers may slip in between the
+        // op and its check — every op leaves a consistent table, so the
+        // validator still holds.
+        self.check_invariants()
             .expect("paranoid: invariant violated after mutation");
     }
 
     #[cfg(not(feature = "paranoid"))]
     #[inline(always)]
-    fn check_paranoid_locked(&self) {}
+    fn check_paranoid(&self) {}
 
-    /// The validator body. Caller must hold the writer lock (or otherwise
+    // ------------------------------------------------------------------
+    // Writers: the striped upsert driver
+    // ------------------------------------------------------------------
+
+    /// The striped insert/upsert engine: a plan → lock → grow → re-plan
+    /// loop. Each attempt locks the footprint the previous attempt
+    /// discovered, re-plans under those locks, and only mutates once the
+    /// whole plan is covered by held stripes; anything that exceeds the
+    /// stripe budget (or the attempt limit) escalates to the global
+    /// sweep, which runs the full single-writer logic.
+    fn upsert_striped(&self, key: K, value: V, scan_update: bool) -> Result<InsertReport, (K, V)> {
+        let cands = self.candidates(&key);
+        let base = self.mask_of(&cands);
+        let mut want = base;
+        let mut path: Vec<usize> = Vec::new();
+        for _ in 0..LOCK_ATTEMPTS {
+            let guard = self.lock_stripes(want);
+            if scan_update {
+                if let Some(copies) = self.try_update_excl(&key, &value, &cands) {
+                    return Ok(InsertReport {
+                        outcome: InsertOutcome::Updated,
+                        kickouts: 0,
+                        collision: false,
+                        copies_written: copies,
+                    });
+                }
+            } else {
+                debug_assert!(!self.raw_contains_excl(&key), "insert_new of a present key");
+            }
+            if let Some(extra) = self.plan_place(&cands) {
+                let need = base | extra;
+                if need & !guard.mask == 0 {
+                    // The plan ran entirely under held locks, so the
+                    // executor sees the identical world and must succeed.
+                    let copies = self
+                        .try_place_excl(&key, &value)
+                        .expect("planned placement is executable under its locks");
+                    self.distinct.fetch_add(1, Ordering::AcqRel);
+                    return Ok(InsertReport::clean(copies));
+                }
+                want |= need;
+                continue;
+            }
+            // Real collision: bounded kick walk. The striped executor
+            // only settles walks whose terminal item has an *empty*
+            // candidate; overwrite-terminal walks go to the sweep.
+            let mut rng = self.op_rng();
+            if !self.precompute_path(&key, &mut rng, true, &mut path) {
+                break;
+            }
+            let mut need = base;
+            for &b in &path {
+                need |= self.stripe_bit(b);
+            }
+            let last = *path.last().expect("path is non-empty");
+            let Some((tk0, _)) = self.cell_read_atomic(last) else {
+                break; // raced a removal of the terminal; escalate
+            };
+            need |= self.mask_of(&self.candidates(&tk0));
+            if need.count_ones() > STRIPE_BUDGET {
+                break;
+            }
+            if need & !guard.mask != 0 {
+                want |= need;
+                continue;
+            }
+            // Whole footprint held: re-validate the chain under the
+            // locks (the walk itself ran under them, so this only fails
+            // if the racy terminal read above lied) and execute.
+            let Some((tk, tv)) = self.validate_path(&key, &path) else {
+                continue;
+            };
+            let tcands = self.candidates(&tk);
+            let tmask = self.mask_of(&tcands);
+            if tmask & !guard.mask != 0 {
+                want |= tmask;
+                continue;
+            }
+            if !(0..self.d).any(|i| self.counters[tcands[i]].load(Ordering::Acquire) == 0) {
+                break; // terminal can no longer settle into an empty
+            }
+            #[cfg(feature = "testhooks")]
+            crate::testhooks::fire_panic_in_kick();
+            // Settle the terminal into its empty candidates, then shift
+            // the chain backwards (MemC3 ordering: destination before
+            // source, so no item is ever absent).
+            let settled = self.place_empties_excl(&tk, &tv);
+            debug_assert!(settled > 0, "validated terminal had an empty candidate");
+            for w in path.windows(2).rev() {
+                let (src, dst) = (w[0], w[1]);
+                let item = self.cell_read_locked(src).expect("validated path bucket");
+                self.write_bucket(dst, Some(item), Some(1));
+            }
+            self.write_bucket(path[0], Some((key, value)), Some(1));
+            self.distinct.fetch_add(1, Ordering::AcqRel);
+            return Ok(InsertReport {
+                outcome: InsertOutcome::Placed,
+                kickouts: path.len() as u32,
+                collision: true,
+                copies_written: 1,
+            });
+        }
+        // Escalation: the global stripe sweep covers any footprint and
+        // runs the full (overwrite-terminal included) insert logic.
+        let _guard = self.lock_stripes(self.all_stripes);
+        self.upsert_excl(key, value, scan_update, &mut path)
+    }
+
+    /// Dry-run of [`Self::try_place_excl`]: decides placeability and
+    /// returns the *extra* stripes (beyond the key's own candidates)
+    /// that executing the plan would touch — the candidate stripes of
+    /// every overwrite victim, whose sibling counters the executor
+    /// decrements. `None` means a real collision (a kick walk is
+    /// needed). Read-only.
+    ///
+    /// The plan is faithful to the executor when both run under locks
+    /// covering `base | extra`: the executor's sibling decrements feed
+    /// back into its greedy choices only through the candidate-local
+    /// `cvals`, which the simulation updates identically (including the
+    /// prior-target skip — a bucket already claimed for the new key
+    /// fails the executor's content check).
+    fn plan_place(&self, cands: &[usize; MAX_D]) -> Option<u64> {
+        let mut cvals = [0u8; MAX_D];
+        for i in 0..self.d {
+            cvals[i] = self.counters[cands[i]].load(Ordering::Acquire);
+        }
+        let mut taken = [false; MAX_D];
+        let mut placed_len = 0usize;
+        let mut extra = 0u64;
+        for i in 0..self.d {
+            if cvals[i] == 0 {
+                taken[i] = true;
+                placed_len += 1;
+            }
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..self.d {
+                // MSRV 1.75: spelled without `Option::is_none_or`.
+                if !taken[i] && cvals[i] >= 2 && best.map(|b| cvals[i] > cvals[b]).unwrap_or(true) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            let vcount = cvals[i];
+            if placed_len as u8 + 2 > vcount {
+                break;
+            }
+            // Candidate buckets are always locked (base ⊆ held), so the
+            // victim read is stable.
+            let (vkey, _) = self
+                .cell_read_locked(cands[i])
+                .expect("counter ≥ 1 ⇒ occupied");
+            let vcands = self.candidates(&vkey);
+            for &s in vcands.iter().take(self.d) {
+                extra |= self.stripe_bit(s);
+                if s == cands[i] {
+                    continue;
+                }
+                // Mirror the executor's sibling decrement where it feeds
+                // back: only victim copies sitting in *our* candidate set
+                // influence later greedy rounds.
+                for j in 0..self.d {
+                    if cands[j] != s || taken[j] || cvals[j] != vcount {
+                        continue;
+                    }
+                    if matches!(self.cell_read_locked(s), Some((k, _)) if k == vkey) {
+                        cvals[j] = vcount - 1;
+                    }
+                }
+            }
+            taken[i] = true;
+            placed_len += 1;
+        }
+        if placed_len == 0 {
+            return None;
+        }
+        Some(extra)
+    }
+
+    /// Re-check a precomputed kick chain under held locks: every hop
+    /// must still be a counter-1 candidate of the previous item.
+    /// Returns the terminal occupant, or `None` if the chain went stale.
+    fn validate_path(&self, key: &K, path: &[usize]) -> Option<(K, V)> {
+        let mut cur = *key;
+        let mut terminal = None;
+        for &b in path {
+            let cands = self.candidates(&cur);
+            if !cands.iter().take(self.d).any(|&c| c == b) {
+                return None;
+            }
+            if self.counters[b].load(Ordering::Acquire) != 1 {
+                return None;
+            }
+            let occ = self.cell_read_locked(b)?;
+            cur = occ.0;
+            terminal = Some(occ);
+        }
+        terminal
+    }
+
+    // ------------------------------------------------------------------
+    // Writers: exclusive-access bodies (caller holds covering stripes)
+    // ------------------------------------------------------------------
+
+    /// Full upsert under exclusive access to every bucket it may touch
+    /// (in practice: the global sweep). This is the original
+    /// single-writer path, overwrite-terminal kick walks included.
+    fn upsert_excl(
+        &self,
+        key: K,
+        value: V,
+        scan_update: bool,
+        path: &mut Vec<usize>,
+    ) -> Result<InsertReport, (K, V)> {
+        let cands = self.candidates(&key);
+        if scan_update {
+            if let Some(copies) = self.try_update_excl(&key, &value, &cands) {
+                return Ok(InsertReport {
+                    outcome: InsertOutcome::Updated,
+                    kickouts: 0,
+                    collision: false,
+                    copies_written: copies,
+                });
+            }
+        }
+        if let Some(copies) = self.try_place_excl(&key, &value) {
+            self.distinct.fetch_add(1, Ordering::AcqRel);
+            return Ok(InsertReport::clean(copies));
+        }
+        // Real collision: precompute a random-walk path, then execute it
+        // backwards (MemC3 ordering) so readers never lose an item.
+        let mut rng = self.op_rng();
+        if !self.precompute_path(&key, &mut rng, false, path) {
+            return Err((key, value));
+        }
+        // Settle the path's terminal occupant first (it has a free or
+        // redundant bucket), then shift the chain backwards.
+        let last = *path.last().expect("path is non-empty");
+        let (terminal_key, terminal_value) = self
+            .cell_read_locked(last)
+            .expect("path buckets are occupied");
+        #[cfg(feature = "testhooks")]
+        crate::testhooks::fire_panic_in_kick();
+        let placed = self
+            .try_place_excl(&terminal_key, &terminal_value)
+            .is_some();
+        debug_assert!(placed, "terminal item was chosen for its free bucket");
+        for w in path.windows(2).rev() {
+            let (src, dst) = (w[0], w[1]);
+            let item = self
+                .cell_read_locked(src)
+                .expect("path buckets are occupied");
+            self.write_bucket(dst, Some(item), Some(1));
+        }
+        self.write_bucket(path[0], Some((key, value)), Some(1));
+        self.distinct.fetch_add(1, Ordering::AcqRel);
+        Ok(InsertReport {
+            outcome: InsertOutcome::Placed,
+            kickouts: path.len() as u32,
+            collision: true,
+            copies_written: 1,
+        })
+    }
+
+    /// In-place update scan: rewrite every live copy of `key`. Returns
+    /// the copies updated, or `None` if the key is absent. Caller holds
+    /// the candidate stripes.
+    fn try_update_excl(&self, key: &K, value: &V, cands: &[usize; MAX_D]) -> Option<u8> {
+        let mut existing = [false; MAX_D];
+        let mut exists = false;
+        for i in 0..self.d {
+            if let Some((k, _)) = self.cell_read_locked(cands[i]) {
+                if k == *key && self.counters[cands[i]].load(Ordering::Acquire) > 0 {
+                    existing[i] = true;
+                    exists = true;
+                }
+            }
+        }
+        if !exists {
+            return None;
+        }
+        let mut copies = 0u8;
+        for i in 0..self.d {
+            if existing[i] {
+                self.write_bucket(cands[i], Some((*key, *value)), None);
+                copies += 1;
+            }
+        }
+        Some(copies)
+    }
+
+    /// Unrecorded presence scan (debug assertions and restores only).
+    /// Caller holds the candidate stripes.
+    fn raw_contains_excl(&self, key: &K) -> bool {
+        let cands = self.candidates(key);
+        cands.iter().take(self.d).any(|&c| {
+            self.counters[c].load(Ordering::Acquire) != 0
+                && matches!(self.cell_read_locked(c), Some((k, _)) if k == *key)
+        })
+    }
+
+    /// The deletion body. Caller holds the candidate stripes.
+    fn remove_excl(&self, key: &K, cands: &[usize; MAX_D]) -> Option<V> {
+        let mut value = None;
+        let mut locations = [usize::MAX; MAX_D];
+        let mut count = 0usize;
+        for &c in cands.iter().take(self.d) {
+            if self.counters[c].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            if let Some((k, v)) = self.cell_read_locked(c) {
+                if k == *key {
+                    value = Some(v);
+                    locations[count] = c;
+                    count += 1;
+                }
+            }
+        }
+        if count > 0 {
+            for &l in &locations[..count] {
+                self.write_bucket(l, None, Some(0));
+            }
+            self.distinct.fetch_sub(1, Ordering::AcqRel);
+        }
+        value
+    }
+
+    /// Place copies by the insertion principles; returns the number of
+    /// copies written, or `None` on a real collision. Caller holds every
+    /// stripe the placement can touch (the candidate stripes plus, for
+    /// overwrites, the victims' candidate stripes — see
+    /// [`Self::plan_place`]). Ordering: contents before counters,
+    /// sibling decrements before the overwrite's own counter.
+    fn try_place_excl(&self, key: &K, value: &V) -> Option<u8> {
+        let cands = self.candidates(key);
+        let mut cvals = [0u8; MAX_D];
+        for i in 0..self.d {
+            cvals[i] = self.counters[cands[i]].load(Ordering::Acquire);
+        }
+        let mut taken = [false; MAX_D];
+        let mut placed = [usize::MAX; MAX_D];
+        let mut placed_len = 0usize;
+        for i in 0..self.d {
+            if cvals[i] == 0 {
+                self.write_bucket(cands[i], Some((*key, *value)), None);
+                taken[i] = true;
+                placed[placed_len] = cands[i];
+                placed_len += 1;
+            }
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..self.d {
+                // MSRV 1.75: spelled without `Option::is_none_or`.
+                if !taken[i] && cvals[i] >= 2 && best.map(|b| cvals[i] > cvals[b]).unwrap_or(true) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            if placed_len as u8 + 2 > cvals[i] {
+                break;
+            }
+            self.overwrite_excl(cands[i], cvals[i], key, value, &cands, &mut cvals);
+            taken[i] = true;
+            placed[placed_len] = cands[i];
+            placed_len += 1;
+        }
+        if placed_len == 0 {
+            return None;
+        }
+        for &p in placed.iter().take(placed_len) {
+            self.counters[p].store(placed_len as u8, Ordering::Release);
+        }
+        Some(placed_len as u8)
+    }
+
+    /// Write `key` into every currently-empty candidate bucket, setting
+    /// the copy counters. Returns copies written (0 when no empties).
+    /// Caller holds the candidate stripes.
+    fn place_empties_excl(&self, key: &K, value: &V) -> u8 {
+        let cands = self.candidates(key);
+        let mut placed = [usize::MAX; MAX_D];
+        let mut placed_len = 0usize;
+        for &c in cands.iter().take(self.d) {
+            if self.counters[c].load(Ordering::Acquire) == 0 {
+                self.write_bucket(c, Some((*key, *value)), None);
+                placed[placed_len] = c;
+                placed_len += 1;
+            }
+        }
+        for &p in placed.iter().take(placed_len) {
+            self.counters[p].store(placed_len as u8, Ordering::Release);
+        }
+        placed_len as u8
+    }
+
+    /// Overwrite the redundant copy at `idx` (count `vcount`), fixing the
+    /// victim's siblings. Caller holds the victim's candidate stripes.
+    fn overwrite_excl(
+        &self,
+        idx: usize,
+        vcount: u8,
+        key: &K,
+        value: &V,
+        cands: &[usize; MAX_D],
+        cvals: &mut [u8; MAX_D],
+    ) {
+        let (vkey, _) = self.cell_read_locked(idx).expect("counter ≥ 1 ⇒ occupied");
+        let vcands = self.candidates(&vkey);
+        // New content first: the victim stays reachable via its siblings
+        // during the whole update.
+        self.write_bucket(idx, Some((*key, *value)), None);
+        for &s in vcands.iter().take(self.d) {
+            if s == idx {
+                continue;
+            }
+            if self.counters[s].load(Ordering::Acquire) != vcount {
+                continue;
+            }
+            // Verify content: another item may share the counter value.
+            if let Some((k, _)) = self.cell_read_locked(s) {
+                if k == vkey {
+                    self.counters[s].store(vcount - 1, Ordering::Release);
+                    for i in 0..self.d {
+                        if cands[i] == s {
+                            cvals[i] = vcount - 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Precompute a random-walk relocation path into `path`: a chain of
+    /// occupied buckets whose last occupant can settle elsewhere.
+    /// Read-only (the buffer is caller-provided so batched inserts reuse
+    /// one allocation). The path is kept *simple* (no bucket repeats) so
+    /// the backward execution never clobbers an unmoved item; a walk
+    /// with no unvisited candidate is abandoned as a failure. With
+    /// `empty_terminal_only`, a terminal only counts as settleable into
+    /// an *empty* candidate — the shape the striped executor handles.
+    fn precompute_path(
+        &self,
+        key: &K,
+        rng: &mut SplitMix64,
+        empty_terminal_only: bool,
+        path: &mut Vec<usize>,
+    ) -> bool {
+        path.clear();
+        let mut cur_key = *key;
+        for _ in 0..self.maxloop {
+            let cands = self.candidates(&cur_key);
+            let mut choices = [usize::MAX; MAX_D];
+            let mut m = 0usize;
+            for &b in cands.iter().take(self.d) {
+                if !path.contains(&b) {
+                    choices[m] = b;
+                    m += 1;
+                }
+            }
+            if m == 0 {
+                return false; // walk trapped in its own footprint
+            }
+            let next = choices[rng.next_below(m as u64) as usize];
+            path.push(next);
+            let Some((occupant, _)) = self.cell_read_atomic(next) else {
+                return false; // raced a removal mid-walk; caller retries
+            };
+            // Can the occupant settle? (any empty — or, when the caller
+            // can execute overwrites, any ≥2 — candidate)
+            let ocands = self.candidates(&occupant);
+            let placeable = (0..self.d).any(|i| {
+                let c = self.counters[ocands[i]].load(Ordering::Acquire);
+                c == 0 || (!empty_terminal_only && c >= 2 && ocands[i] != next)
+            });
+            if placeable {
+                return true;
+            }
+            cur_key = occupant;
+        }
+        false
+    }
+
+    /// The validator body. Caller must hold every stripe (or otherwise
     /// guarantee no writer is active).
-    fn validate_locked(&self) -> Result<(), String> {
+    fn validate_excl(&self) -> Result<(), String> {
         let total = self.cells.len();
         // 1. All seqlock versions even (no mutation in flight).
         for (i, v) in self.versions.iter().enumerate() {
@@ -522,7 +1113,7 @@ where
         let mut occupied: Vec<(usize, K)> = Vec::new();
         for i in 0..total {
             let c = self.counters[i].load(Ordering::Acquire);
-            match self.cells[i].load() {
+            match self.cell_read_locked(i) {
                 None if c != 0 => {
                     return Err(format!("bucket {i}: counter {c} but vacant"));
                 }
@@ -553,7 +1144,7 @@ where
                 if self.counters[b].load(Ordering::Acquire) == 0 {
                     continue;
                 }
-                if let Some((bk, _)) = self.cells[b].load() {
+                if let Some((bk, _)) = self.cell_read_locked(b) {
                     if bk == *k {
                         copies += 1;
                         first = first.min(b);
@@ -577,124 +1168,6 @@ where
             ));
         }
         Ok(())
-    }
-
-    /// Place copies by the insertion principles; returns the number of
-    /// copies written, or `None` on a real collision. Caller holds the
-    /// writer lock. Ordering: contents before counters, sibling
-    /// decrements before the overwrite's own counter.
-    fn try_place_locked(&self, key: &K, value: &V) -> Option<u8> {
-        let cands = self.candidates(key);
-        let mut cvals = [0u8; MAX_D];
-        for i in 0..self.d {
-            cvals[i] = self.counters[cands[i]].load(Ordering::Acquire);
-        }
-        let mut taken = [false; MAX_D];
-        let mut placed = [usize::MAX; MAX_D];
-        let mut placed_len = 0usize;
-        for i in 0..self.d {
-            if cvals[i] == 0 {
-                self.write_bucket(cands[i], Some((*key, *value)), None);
-                taken[i] = true;
-                placed[placed_len] = cands[i];
-                placed_len += 1;
-            }
-        }
-        loop {
-            let mut best: Option<usize> = None;
-            for i in 0..self.d {
-                // MSRV 1.75: spelled without `Option::is_none_or`.
-                if !taken[i] && cvals[i] >= 2 && best.map(|b| cvals[i] > cvals[b]).unwrap_or(true) {
-                    best = Some(i);
-                }
-            }
-            let Some(i) = best else { break };
-            if placed_len as u8 + 2 > cvals[i] {
-                break;
-            }
-            self.overwrite_locked(cands[i], cvals[i], key, value, &cands, &mut cvals);
-            taken[i] = true;
-            placed[placed_len] = cands[i];
-            placed_len += 1;
-        }
-        if placed_len == 0 {
-            return None;
-        }
-        for &p in placed.iter().take(placed_len) {
-            self.counters[p].store(placed_len as u8, Ordering::Release);
-        }
-        Some(placed_len as u8)
-    }
-
-    /// Overwrite the redundant copy at `idx` (count `vcount`), fixing the
-    /// victim's siblings.
-    fn overwrite_locked(
-        &self,
-        idx: usize,
-        vcount: u8,
-        key: &K,
-        value: &V,
-        cands: &[usize; MAX_D],
-        cvals: &mut [u8; MAX_D],
-    ) {
-        let (vkey, _) = self.cells[idx].load().expect("counter ≥ 1 ⇒ occupied");
-        let vcands = self.candidates(&vkey);
-        // New content first: the victim stays reachable via its siblings
-        // during the whole update.
-        self.write_bucket(idx, Some((*key, *value)), None);
-        for &s in vcands.iter().take(self.d) {
-            if s == idx {
-                continue;
-            }
-            if self.counters[s].load(Ordering::Acquire) != vcount {
-                continue;
-            }
-            // Verify content: another item may share the counter value.
-            if let Some((k, _)) = self.cells[s].load() {
-                if k == vkey {
-                    self.counters[s].store(vcount - 1, Ordering::Release);
-                    for i in 0..self.d {
-                        if cands[i] == s {
-                            cvals[i] = vcount - 1;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Precompute a random-walk relocation path: a chain of occupied
-    /// buckets whose last occupant can settle elsewhere. Read-only. The
-    /// path is kept *simple* (no bucket repeats) so the backward
-    /// execution never clobbers an unmoved item; a walk with no unvisited
-    /// candidate is abandoned as a failure.
-    fn precompute_path(&self, key: &K, rng: &mut SplitMix64) -> Option<Vec<usize>> {
-        let mut path: Vec<usize> = Vec::new();
-        let mut cur_key = *key;
-        for _ in 0..self.maxloop {
-            let cands = self.candidates(&cur_key);
-            let choices: Vec<usize> = (0..self.d)
-                .map(|i| cands[i])
-                .filter(|b| !path.contains(b))
-                .collect();
-            if choices.is_empty() {
-                return None; // walk trapped in its own footprint
-            }
-            let next = choices[rng.next_below(choices.len() as u64) as usize];
-            path.push(next);
-            let (occupant, _) = self.cells[next].load()?; // counter-1 bucket: occupied
-                                                          // Can the occupant settle? (any empty or ≥2 candidate)
-            let ocands = self.candidates(&occupant);
-            let placeable = (0..self.d).any(|i| {
-                let c = self.counters[ocands[i]].load(Ordering::Acquire);
-                c == 0 || (c >= 2 && ocands[i] != next)
-            });
-            if placeable {
-                return Some(path);
-            }
-            cur_key = occupant;
-        }
-        None
     }
 }
 
@@ -814,6 +1287,52 @@ mod tests {
         assert_eq!(t.get(&failed), None, "failed insert must not be visible");
         for k in &stored {
             assert_eq!(t.get(k), Some(*k), "failure must not disturb others");
+        }
+    }
+
+    #[test]
+    fn stripe_geometry_and_masks() {
+        let t = table(256, 13);
+        let n = t.stripe_count();
+        assert!(n.is_power_of_two() && n <= MAX_STRIPES);
+        assert!(t.stripes_quiescent());
+        for k in 0..64u64 {
+            let m = t.stripe_mask_of(&k);
+            assert_ne!(m, 0, "candidate set maps to at least one stripe");
+            assert_eq!(m & !t.all_stripes, 0, "mask stays within live stripes");
+        }
+        // Tiny tables degenerate to one stripe and still work.
+        let tiny = table(1, 14);
+        assert_eq!(tiny.stripe_count(), 1);
+        tiny.insert(9, 90).unwrap();
+        assert_eq!(tiny.get(&9), Some(90));
+    }
+
+    #[test]
+    fn parallel_writers_on_one_table_land_all_keys() {
+        // The tentpole property: multiple writers mutate ONE table
+        // concurrently (no sharding) and nothing is lost or duplicated.
+        const WRITERS: u64 = 4;
+        let per = 1_500 / SCALE;
+        let t = std::sync::Arc::new(table(4_096 / SCALE, 31));
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let mut keys = UniqueKeys::new(100 + w);
+                    for k in keys.take_vec(per) {
+                        t.insert(k, k ^ w).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), WRITERS as usize * per);
+        t.check_invariants().unwrap();
+        for w in 0..WRITERS {
+            let mut keys = UniqueKeys::new(100 + w);
+            for k in keys.take_vec(per) {
+                assert_eq!(t.get(&k), Some(k ^ w));
+            }
         }
     }
 

@@ -72,6 +72,7 @@ pub mod invariant;
 pub mod map;
 pub mod multiset;
 pub mod obs;
+pub mod pad;
 pub mod persist;
 pub mod rehash;
 pub mod shard;
@@ -89,6 +90,7 @@ pub use engine::McFull;
 pub use map::McMap;
 pub use multiset::MultisetIndex;
 pub use obs::{Histogram, OpStats, ShardStats, TableStats};
+pub use pad::CachePadded;
 pub use persist::{BlockedSnapshot, SnapshotOverflow, TableSnapshot};
 pub use rehash::{RehashOverflow, RehashReport};
 pub use shard::ShardedMcCuckoo;

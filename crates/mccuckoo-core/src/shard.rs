@@ -1,11 +1,13 @@
 //! Sharded multi-writer serving layer over [`ConcurrentMcCuckoo`].
 //!
-//! [`ConcurrentMcCuckoo`] (§III.H) is one-writer-many-readers: every
-//! mutation serializes on a single mutex, so write throughput cannot
-//! scale past one core. [`ShardedMcCuckoo`] partitions the key space
-//! across `S` **independent** concurrent tables (shards) so up to `S`
-//! writers mutate disjoint shards in parallel while reads stay lock-free
-//! everywhere.
+//! [`ConcurrentMcCuckoo`] (§III.H) already runs multiple writers via
+//! striped bucket locks, but writers within one table still contend on
+//! overlapping stripes (and batched ops take the full stripe sweep).
+//! [`ShardedMcCuckoo`] partitions the key space across `S`
+//! **independent** concurrent tables (shards), so writers on different
+//! shards share *nothing* — not even a lock stripe or a stats cacheline
+//! (each shard is padded to its own cacheline pair) — while reads stay
+//! lock-free everywhere.
 //!
 //! **Shard selection.** A key's shard is the top `log2(S)` bits of a
 //! seeded 64-bit digest ([`hash_kit::KeyHash::hash_seeded`]) computed
@@ -23,7 +25,7 @@
 //!
 //! **Per-shard state.** Each shard owns its complete McCuckoo state:
 //! cells, the on-chip copy-counter array, seqlock versions and its own
-//! writer mutex, built from a per-shard seed derived from the master
+//! writer lock stripes, built from a per-shard seed derived from the master
 //! seed by a [`SplitMix64`] stream. Counters never refer across shards —
 //! a copy count is a property of one key within one shard's candidate
 //! buckets — so **no operation ever needs cross-shard coordination**:
@@ -35,10 +37,12 @@
 //! **Batching.** The batched entry points ([`ShardedMcCuckoo::insert_batch`],
 //! [`ShardedMcCuckoo::remove_batch`], [`ShardedMcCuckoo::lookup_batch`])
 //! group a caller's operations by destination shard and dispatch one
-//! per-shard batch each, so a shard's writer lock is taken **once per
-//! batch** instead of once per op. Results are returned in the caller's
-//! original order. Lookups take no lock at all; their grouping exists to
-//! keep consecutive probes within one shard's working set.
+//! per-shard batch each, so a shard's stripe sweep is taken **once per
+//! batch** instead of once per op. The grouping is a counting sort into
+//! one reused scratch buffer — no per-shard `Vec` churn on the hot
+//! batched path. Results are returned in the caller's original order.
+//! Lookups take no lock at all; their grouping exists to keep
+//! consecutive probes within one shard's working set.
 
 use hash_kit::{KeyHash, SplitMix64};
 use jsonlite::{FromJson, Json, JsonError, ToJson};
@@ -46,6 +50,7 @@ use jsonlite::{FromJson, Json, JsonError, ToJson};
 use crate::concurrent::ConcurrentMcCuckoo;
 use crate::config::McConfig;
 use crate::obs::{Obs, ShardStats, TableStats};
+use crate::pad::CachePadded;
 use crate::persist::SnapshotOverflow;
 
 /// Decorrelates the shard selector from every table-level hash seed.
@@ -69,7 +74,10 @@ const SHARD_SEED_SALT: u64 = 0x51A8_DED5_EED5_7A2B;
 /// assert_eq!(t.remove(&1), Some(10));
 /// ```
 pub struct ShardedMcCuckoo<K, V> {
-    shards: Box<[ConcurrentMcCuckoo<K, V>]>,
+    /// Each shard padded to its own cacheline pair, so neighbouring
+    /// shards' hot atomics (distinct counts, stats, stripe locks) never
+    /// false-share under multi-writer load.
+    shards: Box<[CachePadded<ConcurrentMcCuckoo<K, V>>]>,
     /// `log2(shard count)`; 0 means a single shard.
     shard_bits: u32,
     select_seed: u64,
@@ -100,11 +108,11 @@ where
             "shard count must be a non-zero power of two, got {shards}"
         );
         let mut seeds = SplitMix64::new(config.seed ^ SHARD_SEED_SALT);
-        let built: Box<[ConcurrentMcCuckoo<K, V>]> = (0..shards)
+        let built: Box<[CachePadded<ConcurrentMcCuckoo<K, V>>]> = (0..shards)
             .map(|_| {
                 let mut shard_config = config.clone();
                 shard_config.seed = seeds.next_u64();
-                ConcurrentMcCuckoo::new(shard_config)
+                CachePadded::new(ConcurrentMcCuckoo::new(shard_config))
             })
             .collect();
         Self {
@@ -127,8 +135,9 @@ where
     }
 
     /// The shards themselves, for per-shard inspection (occupancy skew,
-    /// direct shard handles for dedicated writer threads).
-    pub fn shards(&self) -> &[ConcurrentMcCuckoo<K, V>] {
+    /// direct shard handles for dedicated writer threads). The cacheline
+    /// padding derefs transparently to each [`ConcurrentMcCuckoo`].
+    pub fn shards(&self) -> &[CachePadded<ConcurrentMcCuckoo<K, V>>] {
         &self.shards
     }
 
@@ -241,38 +250,61 @@ where
     // Batched API
     // ------------------------------------------------------------------
 
-    /// Group `items`' positions by destination shard. Returns one
-    /// position list per shard; concatenated they are a permutation of
-    /// `0..items.len()`.
-    fn group_by_shard<T>(&self, items: &[T], shard_of: impl Fn(&T) -> usize) -> Vec<Vec<usize>> {
-        let mut groups: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (i, item) in items.iter().enumerate() {
-            groups[shard_of(item)].push(i);
+    /// Counting-sort `items`' positions by destination shard. Returns
+    /// `(order, offsets)`: `order[offsets[s]..offsets[s + 1]]` holds the
+    /// caller positions routed to shard `s`, and `order` as a whole is a
+    /// permutation of `0..items.len()`. Two flat allocations, no
+    /// per-shard `Vec` growth.
+    fn group_by_shard<T>(
+        &self,
+        items: &[T],
+        shard_of: impl Fn(&T) -> usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let nshards = self.shards.len();
+        let mut offsets: Vec<u32> = vec![0; nshards + 1];
+        let mut order: Vec<u32> = vec![0; items.len()];
+        for item in items {
+            offsets[shard_of(item) + 1] += 1;
         }
-        groups
+        for s in 0..nshards {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut cursor = offsets.clone();
+        for (i, item) in items.iter().enumerate() {
+            let s = shard_of(item);
+            order[cursor[s] as usize] = i as u32;
+            cursor[s] += 1;
+        }
+        (order, offsets)
     }
 
-    /// Upsert a batch, taking each involved shard's writer lock **once**.
+    /// Upsert a batch, taking each involved shard's stripe sweep **once**.
     ///
     /// Results are positional: `out[i]` corresponds to `items[i]`
     /// regardless of how the batch was regrouped internally. Failed items
     /// leave their shard untouched, exactly like single-op inserts.
     pub fn insert_batch(&self, items: &[(K, V)]) -> Vec<Result<bool, (K, V)>> {
         self.obs.record_batch(items.len());
-        let groups = self.group_by_shard(items, |(k, _)| self.shard_of(k));
-        let mut out: Vec<Option<Result<bool, (K, V)>>> = vec![None; items.len()];
-        for (shard, group) in self.shards.iter().zip(&groups) {
-            if group.is_empty() {
+        if self.shards.len() == 1 {
+            return self.shards[0].insert_batch(items);
+        }
+        let (order, offsets) = self.group_by_shard(items, |(k, _)| self.shard_of(k));
+        let scratch: Vec<(K, V)> = order.iter().map(|&i| items[i as usize]).collect();
+        // Every slot is overwritten: `order` is a permutation.
+        let mut out: Vec<Result<bool, (K, V)>> = vec![Ok(false); items.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+            if lo == hi {
                 continue;
             }
-            let batch: Vec<(K, V)> = group.iter().map(|&i| items[i]).collect();
-            for (&i, result) in group.iter().zip(shard.insert_batch(&batch)) {
-                out[i] = Some(result);
+            for (&i, result) in order[lo..hi]
+                .iter()
+                .zip(shard.insert_batch(&scratch[lo..hi]))
+            {
+                out[i as usize] = result;
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("grouping covers every position"))
-            .collect()
+        out
     }
 
     /// Look up a batch. Lock-free; grouped by shard so consecutive
@@ -280,41 +312,48 @@ where
     /// positional.
     pub fn lookup_batch(&self, keys: &[K]) -> Vec<Option<V>> {
         self.obs.record_batch(keys.len());
-        let groups = self.group_by_shard(keys, |k| self.shard_of(k));
-        let mut out: Vec<Option<Option<V>>> = vec![None; keys.len()];
-        for (shard, group) in self.shards.iter().zip(&groups) {
-            if group.is_empty() {
+        if self.shards.len() == 1 {
+            return self.shards[0].get_batch(keys);
+        }
+        let (order, offsets) = self.group_by_shard(keys, |k| self.shard_of(k));
+        let scratch: Vec<K> = order.iter().map(|&i| keys[i as usize]).collect();
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+            if lo == hi {
                 continue;
             }
-            let batch: Vec<K> = group.iter().map(|&i| keys[i]).collect();
-            for (&i, result) in group.iter().zip(shard.get_batch(&batch)) {
-                out[i] = Some(result);
+            for (&i, result) in order[lo..hi].iter().zip(shard.get_batch(&scratch[lo..hi])) {
+                out[i as usize] = result;
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("grouping covers every position"))
-            .collect()
+        out
     }
 
-    /// Remove a batch, taking each involved shard's writer lock **once**.
+    /// Remove a batch, taking each involved shard's stripe sweep **once**.
     /// Results are positional; a key duplicated within the batch is
     /// removed by its first occurrence only.
     pub fn remove_batch(&self, keys: &[K]) -> Vec<Option<V>> {
         self.obs.record_batch(keys.len());
-        let groups = self.group_by_shard(keys, |k| self.shard_of(k));
-        let mut out: Vec<Option<Option<V>>> = vec![None; keys.len()];
-        for (shard, group) in self.shards.iter().zip(&groups) {
-            if group.is_empty() {
+        if self.shards.len() == 1 {
+            return self.shards[0].remove_batch(keys);
+        }
+        let (order, offsets) = self.group_by_shard(keys, |k| self.shard_of(k));
+        let scratch: Vec<K> = order.iter().map(|&i| keys[i as usize]).collect();
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+            if lo == hi {
                 continue;
             }
-            let batch: Vec<K> = group.iter().map(|&i| keys[i]).collect();
-            for (&i, result) in group.iter().zip(shard.remove_batch(&batch)) {
-                out[i] = Some(result);
+            for (&i, result) in order[lo..hi]
+                .iter()
+                .zip(shard.remove_batch(&scratch[lo..hi]))
+            {
+                out[i as usize] = result;
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("grouping covers every position"))
-            .collect()
+        out
     }
 
     // ------------------------------------------------------------------

@@ -15,6 +15,11 @@ thread_local! {
     /// How many upcoming deletions should skip the counter reset of
     /// their first copy location. `u32::MAX` means "every deletion".
     static SKIP_COUNTER_RESETS: Cell<u32> = const { Cell::new(0) };
+
+    /// How many upcoming kick-walk executions should panic after the
+    /// path is planned and its stripes are held, but before any bucket
+    /// is mutated. `u32::MAX` means "every kick walk".
+    static PANIC_IN_KICK: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Arm the fault: the next `n` calls to `McCuckoo::remove` that find the
@@ -26,9 +31,20 @@ pub fn arm_skip_counter_reset(n: u32) {
     SKIP_COUNTER_RESETS.with(|c| c.set(n));
 }
 
+/// Arm the fault: the next `n` kick-walk executions on this thread
+/// (in `ConcurrentMcCuckoo`'s striped and sweep insert paths) panic
+/// while the walk's stripe locks are held, before any bucket mutation.
+/// Used to prove a dying writer releases its stripes (RAII guards) and
+/// leaves the table structurally intact. Pass `u32::MAX` to keep the
+/// fault active for the rest of the thread (until [`disarm`]).
+pub fn arm_panic_in_kick(n: u32) {
+    PANIC_IN_KICK.with(|c| c.set(n));
+}
+
 /// Disarm all hooks on this thread.
 pub fn disarm() {
     SKIP_COUNTER_RESETS.with(|c| c.set(0));
+    PANIC_IN_KICK.with(|c| c.set(0));
 }
 
 /// Consumed by the deletion path: returns `true` if this deletion should
@@ -44,4 +60,22 @@ pub(crate) fn take_skip_counter_reset() -> bool {
         }
         true
     })
+}
+
+/// Consumed by the concurrent kick-walk paths: panics mid-operation if
+/// the hook is armed (the injected writer death).
+pub(crate) fn fire_panic_in_kick() {
+    let armed = PANIC_IN_KICK.with(|c| {
+        let n = c.get();
+        if n == 0 {
+            return false;
+        }
+        if n != u32::MAX {
+            c.set(n - 1);
+        }
+        true
+    });
+    if armed {
+        panic!("testhooks: injected panic mid-kick-walk");
+    }
 }

@@ -72,16 +72,25 @@ pub enum MixProfile {
     /// update-in-place path (a destructive remove-then-insert upsert
     /// shows up immediately as churn, lost keys or stale values).
     UpsertHammer,
+    /// Insert/remove churn over a tiny key domain, meant for the
+    /// striped-lock concurrent table: concurrent harnesses map the
+    /// abstract keys onto mined keys whose candidate buckets all fall in
+    /// a handful of lock stripes, so every writer thread fights for the
+    /// same stripes on every op. No `Clear`/`RefreshStash` — those need
+    /// whole-table coordination and would make multi-writer oracle
+    /// reconciliation undecidable.
+    ContendedStripes,
 }
 
 impl MixProfile {
     /// All profiles, for sweep drivers.
-    pub const ALL: [MixProfile; 5] = [
+    pub const ALL: [MixProfile; 6] = [
         MixProfile::Balanced,
         MixProfile::DuplicateHeavy,
         MixProfile::DeleteHeavy,
         MixProfile::NearFull,
         MixProfile::UpsertHammer,
+        MixProfile::ContendedStripes,
     ];
 
     /// Op-kind weights: insert, insert_new, get, contains, remove,
@@ -93,6 +102,7 @@ impl MixProfile {
             MixProfile::DeleteHeavy => [25, 5, 15, 5, 40, 2, 8],
             MixProfile::NearFull => [60, 10, 10, 3, 12, 0, 5],
             MixProfile::UpsertHammer => [80, 2, 12, 3, 2, 0, 1],
+            MixProfile::ContendedStripes => [55, 5, 15, 5, 20, 0, 0],
         }
     }
 
@@ -106,6 +116,9 @@ impl MixProfile {
             MixProfile::NearFull => (capacity as u64 * 95 / 100).max(8),
             // Tiny domain: nearly every insert hits a live key.
             MixProfile::UpsertHammer => 12,
+            // Tiny domain: once mapped onto mined same-stripe keys, the
+            // whole op stream lands on a handful of lock stripes.
+            MixProfile::ContendedStripes => 10,
         }
     }
 }

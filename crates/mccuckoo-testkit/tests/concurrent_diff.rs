@@ -17,6 +17,7 @@
 //! thread interleaving varies, which is the point — assertions hold for
 //! every interleaving.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -266,5 +267,186 @@ fn sharded_multi_writer_differential() {
                 "seed {seed}: key {k} diverged from the merged oracle"
             );
         }
+    }
+}
+
+#[test]
+fn contended_stripes_multi_writer_differential_reconciles_obs() {
+    // Three writer threads hammer ONE ConcurrentMcCuckoo, with every op
+    // stream drawn from the testkit's ContendedStripes profile and its
+    // abstract keys mapped onto *mined* keys whose candidate buckets all
+    // fall inside the same four lock stripes — so the striped writers
+    // fight for the same locks on essentially every op. Each writer owns
+    // a disjoint key slice (decidable per-op oracle); afterwards the obs
+    // deltas are reconciled against the merged tally: under real
+    // interleaving the per-op counters must still add up exactly.
+    use mccuckoo_testkit::{gen_ops, MixProfile, TableOp};
+
+    const WRITERS: usize = 3;
+    #[cfg(not(feature = "paranoid"))]
+    const N_OPS: usize = 4_000;
+    #[cfg(feature = "paranoid")]
+    const N_OPS: usize = 600;
+    // Keys are mined so all candidate buckets land in these stripes.
+    const ALLOWED: u64 = 0b1111;
+
+    #[derive(Default, Clone, Copy)]
+    struct Tally {
+        attempts: u64,
+        lookups: u64,
+        hits: u64,
+        removes: u64,
+        remove_misses: u64,
+    }
+
+    for seed in [11u64, 47] {
+        let t = ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(512, seed));
+        let domain = MixProfile::ContendedStripes.key_domain(t.capacity());
+        let want = domain as usize * WRITERS;
+        let mut mined: Vec<u64> = Vec::with_capacity(want);
+        let mut cand = 0u64;
+        while mined.len() < want {
+            if t.stripe_mask_of(&cand) & !ALLOWED == 0 {
+                mined.push(cand);
+            }
+            cand += 1;
+            assert!(cand < 50_000_000, "seed {seed}: key mining ran dry");
+        }
+        let union = mined.iter().fold(0u64, |m, k| m | t.stripe_mask_of(k));
+        assert_eq!(union & !ALLOWED, 0, "mined keys leak outside the stripes");
+        assert!(
+            t.stripe_count() >= 4 * ALLOWED.count_ones() as usize,
+            "table too small for the mix to be contended"
+        );
+
+        let (merged, tally) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WRITERS)
+                .map(|tid| {
+                    let t = &t;
+                    let mined = &mined;
+                    scope.spawn(move || {
+                        let ops = gen_ops(
+                            seed.wrapping_add((tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                            MixProfile::ContendedStripes,
+                            N_OPS,
+                            domain,
+                        );
+                        let mut oracle: HashMap<u64, u64> = HashMap::new();
+                        let mut tl = Tally::default();
+                        for op in ops {
+                            match op {
+                                TableOp::Insert(gk, v) => {
+                                    let k = mined[gk as usize * WRITERS + tid];
+                                    tl.attempts += 1;
+                                    if t.insert(k, v).is_ok() {
+                                        oracle.insert(k, v);
+                                    }
+                                }
+                                TableOp::InsertNew(gk, v) => {
+                                    let k = mined[gk as usize * WRITERS + tid];
+                                    if let Entry::Vacant(slot) = oracle.entry(k) {
+                                        tl.attempts += 1;
+                                        if t.insert_new(k, v).is_ok() {
+                                            slot.insert(v);
+                                        }
+                                    }
+                                }
+                                TableOp::Get(gk) => {
+                                    let k = mined[gk as usize * WRITERS + tid];
+                                    tl.lookups += 1;
+                                    let got = t.get(&k);
+                                    assert_eq!(
+                                        got,
+                                        oracle.get(&k).copied(),
+                                        "seed {seed} writer {tid}: get {k} diverged"
+                                    );
+                                    tl.hits += got.is_some() as u64;
+                                }
+                                TableOp::Contains(gk) => {
+                                    let k = mined[gk as usize * WRITERS + tid];
+                                    tl.lookups += 1;
+                                    let c = t.contains(&k);
+                                    assert_eq!(
+                                        c,
+                                        oracle.contains_key(&k),
+                                        "seed {seed} writer {tid}: contains {k} diverged"
+                                    );
+                                    tl.hits += c as u64;
+                                }
+                                TableOp::Remove(gk) => {
+                                    let k = mined[gk as usize * WRITERS + tid];
+                                    let r = t.remove(&k);
+                                    assert_eq!(
+                                        r,
+                                        oracle.remove(&k),
+                                        "seed {seed} writer {tid}: remove {k} diverged"
+                                    );
+                                    if r.is_some() {
+                                        tl.removes += 1;
+                                    } else {
+                                        tl.remove_misses += 1;
+                                    }
+                                }
+                                TableOp::Clear | TableOp::RefreshStash => {
+                                    unreachable!("ContendedStripes never emits these")
+                                }
+                            }
+                        }
+                        (oracle, tl)
+                    })
+                })
+                .collect();
+            let mut merged: HashMap<u64, u64> = HashMap::new();
+            let mut sum = Tally::default();
+            for h in handles {
+                let (oracle, tl) = h.join().unwrap();
+                merged.extend(oracle);
+                sum.attempts += tl.attempts;
+                sum.lookups += tl.lookups;
+                sum.hits += tl.hits;
+                sum.removes += tl.removes;
+                sum.remove_misses += tl.remove_misses;
+            }
+            (merged, sum)
+        });
+
+        // Final contents match the merged per-writer oracles.
+        t.check_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(t.len(), merged.len(), "seed {seed}: distinct count");
+        for (&k, &v) in &merged {
+            assert_eq!(t.get(&k), Some(v), "seed {seed}: key {k}");
+        }
+
+        // Obs reconciliation: with every op issued by exactly one tallied
+        // writer, the table's counters must add up under interleaving.
+        let snap = t.stats();
+        let fin = snap.ops.inserts + snap.ops.updates + snap.ops.failed_inserts;
+        assert_eq!(fin, tally.attempts, "seed {seed}: insert attempts");
+        assert_eq!(
+            snap.ops.lookup_hits + snap.ops.lookup_misses,
+            tally.lookups + merged.len() as u64, // the final sweep above
+            "seed {seed}: lookups"
+        );
+        assert_eq!(
+            snap.ops.lookup_hits,
+            tally.hits + merged.len() as u64,
+            "seed {seed}: hits"
+        );
+        assert_eq!(snap.ops.removes, tally.removes, "seed {seed}: removes");
+        assert_eq!(
+            snap.ops.remove_misses, tally.remove_misses,
+            "seed {seed}: remove misses"
+        );
+        assert_eq!(
+            snap.probe_hist.count,
+            tally.lookups + merged.len() as u64,
+            "seed {seed}: probe histogram count"
+        );
+        assert_eq!(
+            snap.kick_hist.count,
+            snap.ops.inserts + snap.ops.failed_inserts,
+            "seed {seed}: kick histogram counts fresh attempts only"
+        );
     }
 }

@@ -78,3 +78,59 @@ fn bounded_fault_hits_exactly_n_deletions() {
         .expect_err("corruption must be visible");
     assert!(!err.is_empty());
 }
+
+#[test]
+fn writer_panic_mid_kick_releases_stripes_and_preserves_the_table() {
+    // A writer dies *while holding kick-walk stripe locks* (injected
+    // panic fires after the path is planned and locked, before any
+    // bucket mutation). The RAII stripe guards must release every lock
+    // on unwind, and — the locks being unpoisonable — the table must
+    // stay fully readable, writable and structurally valid for every
+    // other thread.
+    use std::sync::Arc;
+
+    use mccuckoo_core::{ConcurrentMcCuckoo, McConfig};
+
+    let t = Arc::new(ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(64, 3)));
+    let dead = {
+        let t = Arc::clone(&t);
+        std::thread::spawn(move || {
+            // Thread-local: only this writer is sabotaged.
+            testhooks::arm_panic_in_kick(u32::MAX);
+            for k in 0..100_000u64 {
+                let _ = t.insert(k, k);
+            }
+        })
+    };
+    let err = dead
+        .join()
+        .expect_err("filling a 192-bucket table must reach a kick walk");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("injected panic mid-kick-walk"),
+        "writer died of the wrong cause: {msg:?}"
+    );
+
+    // Unwinding dropped the stripe guards: nothing is left locked.
+    assert!(
+        t.stripes_quiescent(),
+        "a dead writer left stripe locks held"
+    );
+    // The panic fired before any bucket mutation, so the table is intact.
+    t.check_invariants().unwrap();
+
+    // And it is still fully operational from an unarmed thread.
+    let survivor = (0..100_000u64)
+        .find(|k| t.get(k).is_some())
+        .expect("keys inserted before the panic must survive");
+    assert_eq!(t.insert(survivor, 424_242), Ok(true));
+    assert_eq!(t.get(&survivor), Some(424_242));
+    assert_eq!(t.remove(&survivor), Some(424_242));
+    assert_eq!(t.get(&survivor), None);
+    t.check_invariants().unwrap();
+}
