@@ -23,12 +23,22 @@
 //! striped-lock design is built for, while a 1-core sandbox (where
 //! thread-level scaling is physically impossible and only batching
 //! amortization survives) must still never fall below parity.
+//!
+//! With `--lookup-only` only the batched-read gate runs: it reads the
+//! fresh `results/bench_smoke.json` and fails when a multi-copy
+//! scheme's batched lookup throughput (`lookup_batch_mops`) is below
+//! `MCB_LOOKUP_MIN` × its own single-key rate (`lookup_mops`). Like the
+//! scaling gate the check is a same-run ratio, so machine speed cancels
+//! out; the default minimum is 1.2× — the prefetch-interleaved state
+//! machine must beat the per-key loop by a real margin, on any host
+//! with a functioning cache hierarchy (batching amortises dispatch even
+//! where the prefetch shim is a no-op).
 
 use std::path::PathBuf;
 use std::process::exit;
 
 use mccuckoo_bench::report::csv_path;
-use mccuckoo_bench::smoke::{gate_regressions, SmokeReport};
+use mccuckoo_bench::smoke::{gate_lookup_batch, gate_regressions, SmokeReport};
 
 /// Best (shards == 8, writers >= 4) Mops divided by the
 /// (1, 1, 1) baseline Mops, from the CSV text written by
@@ -102,6 +112,44 @@ fn gate_scaling() {
     }
 }
 
+/// `MCB_LOOKUP_MIN`, defaulting to the 1.2× margin of the acceptance
+/// criteria. Ratio-based (batched vs single-key of the same run), so no
+/// per-core scaling is needed: both passes run on one thread.
+fn lookup_min() -> f64 {
+    if let Ok(v) = std::env::var("MCB_LOOKUP_MIN") {
+        if let Ok(min) = v.parse::<f64>() {
+            return min;
+        }
+        eprintln!("[gate] ignoring unparseable MCB_LOOKUP_MIN={v:?}");
+    }
+    1.2
+}
+
+fn gate_lookup() {
+    let fresh = load(&csv_path("bench_smoke").with_extension("json"));
+    let min = lookup_min();
+    for s in &fresh.schemes {
+        let ratio = if s.lookup_mops > 0.0 {
+            s.lookup_batch_mops / s.lookup_mops
+        } else {
+            0.0
+        };
+        println!(
+            "[gate] {:<10} lookup {:.2} Mops single, {:.2} Mops batched ({ratio:.2}x)",
+            s.scheme, s.lookup_mops, s.lookup_batch_mops
+        );
+    }
+    let fails = gate_lookup_batch(&fresh, min);
+    if fails.is_empty() {
+        println!("[gate] pass: batched lookups clear the {min:.2}x margin");
+        return;
+    }
+    for f in &fails {
+        eprintln!("[gate] FAIL: {f}");
+    }
+    exit(1);
+}
+
 fn load(path: &PathBuf) -> SmokeReport {
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("[gate] cannot read {}: {e}", path.display());
@@ -116,6 +164,10 @@ fn load(path: &PathBuf) -> SmokeReport {
 fn main() {
     if std::env::args().any(|a| a == "--scaling-only") {
         gate_scaling();
+        return;
+    }
+    if std::env::args().any(|a| a == "--lookup-only") {
+        gate_lookup();
         return;
     }
     let fresh_path = csv_path("bench_smoke").with_extension("json");
@@ -194,5 +246,14 @@ mod tests {
         assert_eq!((0.625f64 * 4.0).max(1.0), 2.5);
         let min = scaling_min();
         assert!((1.0..=2.5).contains(&min), "default min {min} out of range");
+    }
+
+    #[test]
+    fn lookup_minimum_defaults_to_the_acceptance_margin() {
+        // Env-independent check of the committed default (the CI job
+        // does not set MCB_LOOKUP_MIN).
+        if std::env::var("MCB_LOOKUP_MIN").is_err() {
+            assert_eq!(lookup_min(), 1.2);
+        }
     }
 }

@@ -13,7 +13,9 @@
 
 use std::time::Instant;
 
-use mccuckoo_bench::harness::{fill_sweep, measure_lookup_hits, measure_lookup_misses, Config};
+use mccuckoo_bench::harness::{
+    fill_sweep, measure_lookup_hits, measure_lookup_misses, measure_lookup_throughput, Config,
+};
 use mccuckoo_bench::report::csv_path;
 use mccuckoo_bench::smoke::{SchemeSmoke, SmokeReport};
 use mccuckoo_bench::{AnyTable, Scheme};
@@ -35,6 +37,8 @@ fn main() {
 
         let hit_reads = measure_lookup_hits(&t, fill_seed, t.len() as u64, cfg.lookups);
         let (miss_reads, _) = measure_lookup_misses(&t, 0xD00D, cfg.lookups);
+        let (lookup_mops, lookup_batch_mops) =
+            measure_lookup_throughput(&t, fill_seed, t.len() as u64, cfg.lookups, cfg.runs);
 
         schemes.push(SchemeSmoke {
             scheme: scheme.label().to_string(),
@@ -46,13 +50,15 @@ fn main() {
             offchip_writes_per_insert: fill_delta.offchip_writes as f64 / inserted,
             lookup_hit_reads: hit_reads,
             lookup_miss_reads: miss_reads,
+            lookup_mops,
+            lookup_batch_mops,
             stash_len: t.stash_len() as u64,
             stats: t.stats(),
         });
         let s = schemes.last().expect("just pushed");
         println!(
             "[smoke] {:<10} load {:.2} fill {} ms ({:.2} Mops), {:.2} r/ins {:.2} w/ins, \
-             hit {:.2} miss {:.2} reads, {} kicks",
+             hit {:.2} miss {:.2} reads, lookup {:.2}/{:.2} Mops (single/batch), {} kicks",
             scheme.label(),
             t.load_ratio(),
             s.fill_ms,
@@ -61,6 +67,8 @@ fn main() {
             s.offchip_writes_per_insert,
             hit_reads,
             miss_reads,
+            lookup_mops,
+            lookup_batch_mops,
             s.stats.ops.kicks,
         );
     }

@@ -161,6 +161,52 @@ pub fn measure_lookup_misses(table: &AnyTable, seed: u64, samples: usize) -> (f6
     (delta.offchip_reads as f64 / samples as f64, delta)
 }
 
+/// Batch size for the batched lookup-throughput pass: large enough to
+/// amortise dispatch and fill the prefetch pipeline, small enough that a
+/// batch's candidate lines fit in L1/L2 together.
+pub const LOOKUP_BATCH: usize = 256;
+
+/// Wall-clock lookup throughput over `samples` present keys, in Mops:
+/// `(single_key, batched)`. Both passes resolve the identical key
+/// vector — the single-key pass loops [`AnyTable::get`], the batched
+/// pass feeds [`LOOKUP_BATCH`]-sized chunks to [`AnyTable::get_batch`]
+/// (the prefetch-interleaved state machine on the multi-copy schemes).
+/// Each pass is repeated `runs` times and the fastest run wins, so a
+/// stray scheduler hiccup does not masquerade as a throughput ratio.
+pub fn measure_lookup_throughput(
+    table: &AnyTable,
+    seed: u64,
+    inserted: u64,
+    samples: usize,
+    runs: u64,
+) -> (f64, f64) {
+    let mut gen = DocWordsLike::nytimes_like(seed);
+    let step = (inserted as usize / samples.max(1)).max(1);
+    let all: Vec<u64> = (0..inserted).map(|_| gen.next_key()).collect();
+    let keys: Vec<u64> = all.iter().step_by(step).copied().collect();
+    let mut single_best = f64::INFINITY;
+    let mut batch_best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let t0 = std::time::Instant::now();
+        let mut hits = 0usize;
+        for k in &keys {
+            hits += usize::from(std::hint::black_box(table.get(k)).is_some());
+        }
+        single_best = single_best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(hits, keys.len(), "present keys must all hit");
+        let t0 = std::time::Instant::now();
+        let mut hits = 0usize;
+        for chunk in keys.chunks(LOOKUP_BATCH) {
+            let got = std::hint::black_box(table.get_batch(chunk));
+            hits += got.iter().filter(|g| g.is_some()).count();
+        }
+        batch_best = batch_best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(hits, keys.len(), "batched pass must see the same hits");
+    }
+    let n = keys.len() as f64;
+    (n / single_best / 1e6, n / batch_best / 1e6)
+}
+
 /// Reads and writes per deletion over `samples` present keys (destructive
 /// — run on a sacrificial fill).
 pub fn measure_deletions(

@@ -169,6 +169,14 @@ impl AnyTable {
         self.t.lookup(k)
     }
 
+    /// Look up a batch of keys through the scheme's batched read path
+    /// ([`McTable::lookup_batch`]): the multi-copy tables run the
+    /// prefetch-interleaved state machine, the baselines fall back to
+    /// the default per-key loop.
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.t.lookup_batch(keys)
+    }
+
     /// Remove a key (multi-copy tables must be built with `deletion`).
     pub fn remove(&mut self, k: &u64) -> Option<u64> {
         self.t.remove(k)

@@ -40,6 +40,11 @@ pub struct SchemeSmoke {
     pub lookup_hit_reads: f64,
     /// Off-chip reads per absent-key lookup.
     pub lookup_miss_reads: f64,
+    /// Million single-key present lookups per second.
+    pub lookup_mops: f64,
+    /// Million present lookups per second through the batched
+    /// (prefetch-interleaved) read path, same key set as `lookup_mops`.
+    pub lookup_batch_mops: f64,
     /// Stash occupancy after the fill.
     pub stash_len: u64,
     /// The table's own observability counters after the run.
@@ -69,6 +74,8 @@ impl_json_struct!(SchemeSmoke {
     offchip_writes_per_insert,
     lookup_hit_reads,
     lookup_miss_reads,
+    lookup_mops,
+    lookup_batch_mops,
     stash_len,
     stats
 });
@@ -172,6 +179,42 @@ pub fn gate_regressions(baseline: &SmokeReport, fresh: &SmokeReport) -> Vec<Stri
     fails
 }
 
+/// Gate the batched read path: for the single-writer multi-copy schemes,
+/// batched lookups must reach `min_ratio ×` the single-key rate of the
+/// *same run* (both passes resolve the same keys on the same machine, so
+/// the ratio is machine-independent — the same normalisation trick as the
+/// relative-throughput gate). Baselines (which fall back to the default
+/// per-key loop) and the sharded table (whose batch path pays an extra
+/// routing hash plus scatter/gather per key, so its ratio tracks shard
+/// count and core count, not the probe engine) are exempt: their ratios
+/// are reported informationally by `bench_gate`, not gated.
+pub fn gate_lookup_batch(fresh: &SmokeReport, min_ratio: f64) -> Vec<String> {
+    let mut fails = Vec::new();
+    for s in &fresh.schemes {
+        let gated = matches!(s.scheme.as_str(), "McCuckoo" | "B-McCuckoo");
+        if !gated {
+            continue;
+        }
+        if s.lookup_mops <= 0.0 || s.lookup_batch_mops <= 0.0 {
+            fails.push(format!(
+                "{}: lookup throughput columns missing (single={}, batched={}) — \
+                 regenerate results/bench_smoke.json with the current bench_smoke",
+                s.scheme, s.lookup_mops, s.lookup_batch_mops
+            ));
+            continue;
+        }
+        let ratio = s.lookup_batch_mops / s.lookup_mops;
+        if ratio < min_ratio {
+            fails.push(format!(
+                "{}: batched lookups only {:.2}x single-key ({:.2} vs {:.2} Mops; \
+                 gate requires ≥{min_ratio:.2}x)",
+                s.scheme, ratio, s.lookup_batch_mops, s.lookup_mops
+            ));
+        }
+    }
+    fails
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +234,8 @@ mod tests {
             offchip_writes_per_insert: 1.0,
             lookup_hit_reads: hit_reads,
             lookup_miss_reads: 3.0,
+            lookup_mops: 10.0,
+            lookup_batch_mops: 14.0,
             stash_len: 0,
             stats,
         }
@@ -281,6 +326,41 @@ mod tests {
         let fails = gate_regressions(&base, &fresh);
         assert_eq!(fails.len(), 1, "{fails:?}");
         assert!(fails[0].contains("scale mismatch"), "{}", fails[0]);
+    }
+
+    #[test]
+    fn lookup_gate_passes_at_the_stock_ratio() {
+        let fresh = report(vec![
+            scheme("Cuckoo", 10.0, 1.5),
+            scheme("McCuckoo", 8.0, 1.2),
+        ]);
+        // Helper reports 14.0 batched vs 10.0 single: a 1.4x ratio.
+        assert!(gate_lookup_batch(&fresh, 1.2).is_empty());
+    }
+
+    #[test]
+    fn lookup_gate_fails_when_batching_does_not_pay() {
+        let mut fresh = report(vec![scheme("McCuckoo", 8.0, 1.2)]);
+        fresh.schemes[0].lookup_batch_mops = 10.5; // 1.05x < 1.2x
+        let fails = gate_lookup_batch(&fresh, 1.2);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("batched lookups only"), "{}", fails[0]);
+    }
+
+    #[test]
+    fn lookup_gate_ignores_baselines_and_flags_missing_columns() {
+        let mut fresh = report(vec![
+            scheme("Cuckoo", 10.0, 1.5),
+            scheme("McCuckoo", 8.0, 1.2),
+        ]);
+        // Baseline scheme with a sub-ratio batched rate: not gated.
+        fresh.schemes[0].lookup_batch_mops = 1.0;
+        assert!(gate_lookup_batch(&fresh, 1.2).is_empty());
+        // Missing columns (old report format) are a hard failure.
+        fresh.schemes[1].lookup_mops = 0.0;
+        let fails = gate_lookup_batch(&fresh, 1.2);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("columns missing"), "{}", fails[0]);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! `lookup_batch` ≡ per-key `lookup`, proven over every implementor.
+//!
+//! The trait contract (see [`McTable::lookup_batch`]) promises the
+//! batched read path is *semantically invisible*: same results in
+//! order, same hit/miss tallies, same probe histogram and the same
+//! metered access counts as issuing the keys one at a time. The batch
+//! machinery (tag SWAR compares, probe plans, software prefetch,
+//! batch-local tallying) may only change *when* work happens, never
+//! *what* is counted.
+//!
+//! Covered implementors — all eight tables that implement [`McTable`]:
+//!
+//! | table                | batch path                     |
+//! |----------------------|--------------------------------|
+//! | `McCuckoo`           | engine override (plan/replay)  |
+//! | `BlockedMcCuckoo`    | engine override (plan/replay)  |
+//! | `ConcurrentMcCuckoo` | seqlock `get_batch` override   |
+//! | `ShardedMcCuckoo`    | shard-grouped override         |
+//! | `McMap`              | default per-key method         |
+//! | `DaryCuckoo`         | default per-key method         |
+//! | `Bcht`               | default per-key method         |
+//! | `BloomGuidedCuckoo`  | default per-key method         |
+//!
+//! Each case runs the same query set twice against one table — once
+//! through the per-key loop, once batched — and diffs the observable
+//! counters around each pass. A final test pins the *default method*
+//! itself on a foreign implementor that never touches the core crates'
+//! overrides.
+
+use cuckoo_baselines::{Bcht, BchtConfig, BloomGuidedCuckoo, CuckooConfig, DaryCuckoo};
+use hash_kit::SplitMix64;
+use mccuckoo_core::{
+    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, McConfig, McCuckoo, McMap, McTable,
+    ShardedMcCuckoo, TableStats,
+};
+use mem_model::MemStats;
+
+/// Observable counters that must not distinguish the two read paths.
+#[derive(Debug, PartialEq)]
+struct ReadFootprint {
+    hits: u64,
+    misses: u64,
+    probe_count: u64,
+    probe_sum: u64,
+    probe_buckets: Vec<u64>,
+    offchip_reads: u64,
+    onchip_reads: u64,
+    stash_reads: u64,
+    // Reads must not mutate anything either.
+    offchip_writes: u64,
+    onchip_writes: u64,
+    stash_writes: u64,
+}
+
+fn footprint_delta(
+    s0: &TableStats,
+    m0: &MemStats,
+    s1: &TableStats,
+    m1: &MemStats,
+) -> ReadFootprint {
+    let buckets = s1
+        .probe_hist
+        .buckets
+        .iter()
+        .zip(s0.probe_hist.buckets.iter().chain(std::iter::repeat(&0)))
+        .map(|(a, b)| a - b)
+        .collect();
+    ReadFootprint {
+        hits: s1.ops.lookup_hits - s0.ops.lookup_hits,
+        misses: s1.ops.lookup_misses - s0.ops.lookup_misses,
+        probe_count: s1.probe_hist.count - s0.probe_hist.count,
+        probe_sum: s1.probe_hist.sum - s0.probe_hist.sum,
+        probe_buckets: buckets,
+        offchip_reads: m1.offchip_reads - m0.offchip_reads,
+        onchip_reads: m1.onchip_reads - m0.onchip_reads,
+        stash_reads: m1.stash_reads - m0.stash_reads,
+        offchip_writes: m1.offchip_writes - m0.offchip_writes,
+        onchip_writes: m1.onchip_writes - m0.onchip_writes,
+        stash_writes: m1.stash_writes - m0.stash_writes,
+    }
+}
+
+/// Run `queries` through both read paths of one live table and assert
+/// every observable is identical. `expect_batch_hist` marks the tables
+/// whose overridden batch path must also record the batch length
+/// (the default method has no observability hook to call).
+fn assert_batch_equiv(
+    label: &str,
+    t: &dyn McTable<u64, u64>,
+    queries: &[u64],
+    expect_batch_hist: bool,
+) {
+    // Per-key pass.
+    let (s0, m0) = (t.stats(), t.mem_stats());
+    let per_key: Vec<Option<u64>> = queries.iter().map(|k| t.lookup(k)).collect();
+    let (s1, m1) = (t.stats(), t.mem_stats());
+    let single = footprint_delta(&s0, &m0, &s1, &m1);
+
+    // Batched pass, same keys, same table state.
+    let batched = t.lookup_batch(queries);
+    let (s2, m2) = (t.stats(), t.mem_stats());
+    let batch = footprint_delta(&s1, &m1, &s2, &m2);
+
+    assert_eq!(batched, per_key, "{label}: batched results diverge");
+    assert_eq!(batch, single, "{label}: read footprints diverge");
+    let batch_hist_delta = s2.batch_hist.count - s1.batch_hist.count;
+    if expect_batch_hist {
+        assert!(
+            batch_hist_delta >= 1,
+            "{label}: overridden batch path must record batch_hist"
+        );
+        assert!(
+            s2.batch_hist.sum - s1.batch_hist.sum >= queries.len() as u64,
+            "{label}: batch_hist sum must cover the submitted keys"
+        );
+    }
+}
+
+/// Seeded fill + query-set builder: inserts `n` keys, returns a query
+/// mix of present keys, absent keys and duplicates in shuffled order.
+fn fill_and_queries(t: &mut dyn McTable<u64, u64>, seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut present = Vec::with_capacity(n);
+    while present.len() < n {
+        // Even keys are insertable, odd keys stay absent forever.
+        let k = (rng.next_u64() | 1) ^ 1;
+        if t.insert_new(k, k ^ 0xABCD).stored() {
+            present.push(k);
+        }
+    }
+    let mut queries = Vec::with_capacity(2 * n);
+    for i in 0..2 * n {
+        let q = match i % 4 {
+            0 | 1 => present[rng.next_below(present.len() as u64) as usize],
+            2 => rng.next_u64() | 1, // absent: odd keys are never inserted
+            _ => present[i % present.len()], // deterministic duplicate
+        };
+        queries.push(q);
+    }
+    queries
+}
+
+const FILL: usize = 700;
+
+#[test]
+fn engine_single_layout_batch_is_equivalent() {
+    for (seed, deletion) in [(11u64, false), (12, true)] {
+        let cfg = if deletion {
+            McConfig::paper_with_deletion(1024, seed)
+        } else {
+            McConfig::paper(1024, seed)
+        };
+        let mut t = McCuckoo::<u64, u64>::new(cfg);
+        let q = fill_and_queries(&mut t, seed ^ 0xF00, FILL);
+        assert_batch_equiv("McCuckoo", &t, &q, true);
+    }
+}
+
+#[test]
+fn engine_blocked_layout_batch_is_equivalent() {
+    // Both lookup modes: aggressive (counter-sum rule-1) and standard.
+    for (seed, deletion, aggressive) in [(21u64, false, true), (22, true, false)] {
+        let base = if deletion {
+            McConfig::paper_with_deletion(512, seed)
+        } else {
+            McConfig::paper(512, seed)
+        };
+        let mut t = BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+            base,
+            slots: 3,
+            aggressive_lookup: aggressive,
+        });
+        let q = fill_and_queries(&mut t, seed ^ 0xF00, FILL);
+        assert_batch_equiv("BlockedMcCuckoo", &t, &q, true);
+    }
+}
+
+#[test]
+fn concurrent_table_batch_is_equivalent() {
+    let mut t = ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(1024, 31));
+    let q = fill_and_queries(&mut t, 0x31F0, FILL);
+    assert_batch_equiv("ConcurrentMcCuckoo", &t, &q, true);
+}
+
+#[test]
+fn sharded_table_batch_is_equivalent() {
+    let mut t = ShardedMcCuckoo::<u64, u64>::new(4, McConfig::paper(256, 41));
+    let q = fill_and_queries(&mut t, 0x41F0, FILL);
+    assert_batch_equiv("ShardedMcCuckoo", &t, &q, true);
+}
+
+#[test]
+fn default_method_implementors_batch_is_equivalent() {
+    let mut map = McMap::<u64, u64>::new();
+    let q = fill_and_queries(&mut map, 0x51F0, FILL);
+    assert_batch_equiv("McMap", &map, &q, false);
+
+    let mut dary = DaryCuckoo::<u64, u64>::new(CuckooConfig::paper(1024, 61));
+    let q = fill_and_queries(&mut dary, 0x61F0, FILL);
+    assert_batch_equiv("DaryCuckoo", &dary, &q, false);
+
+    let mut bcht = Bcht::<u64, u64>::new(BchtConfig::paper(256, 71));
+    let q = fill_and_queries(&mut bcht, 0x71F0, FILL);
+    assert_batch_equiv("Bcht", &bcht, &q, false);
+
+    let mut bloom = BloomGuidedCuckoo::<u64, u64>::new(CuckooConfig::paper(1024, 81), 8, 3);
+    let q = fill_and_queries(&mut bloom, 0x81F0, FILL);
+    assert_batch_equiv("BloomGuidedCuckoo", &bloom, &q, false);
+}
+
+/// Seeded property sweep: random loads, random query mixes, every
+/// overriding implementor. Checks the equivalence isn't an artifact of
+/// one lucky fill — rule-1 misses, stash hits and empty-table batches
+/// all appear across the seeds.
+#[test]
+fn batch_equivalence_holds_across_seeded_workloads() {
+    for seed in 0..8u64 {
+        let n = 100 + (seed as usize) * 150; // 100..=1150 items
+        let mut single = McCuckoo::<u64, u64>::new(McConfig::paper_with_deletion(1024, seed));
+        let q = fill_and_queries(&mut single, seed.wrapping_mul(0x9E37), n.min(800));
+        // Delete a slice of the fill so tombstoned counters are probed.
+        for k in q.iter().take(n / 8).copied().collect::<Vec<_>>() {
+            let _ = single.remove(&k);
+        }
+        assert_batch_equiv("McCuckoo(prop)", &single, &q, true);
+
+        let mut sharded = ShardedMcCuckoo::<u64, u64>::new(2, McConfig::paper(512, seed + 9));
+        let q = fill_and_queries(&mut sharded, seed.wrapping_mul(0x85EB), n.min(600));
+        assert_batch_equiv("Sharded(prop)", &sharded, &q, true);
+    }
+}
+
+#[test]
+fn empty_and_tiny_batches_are_equivalent() {
+    let mut t = McCuckoo::<u64, u64>::new(McConfig::paper(128, 5));
+    assert!(t.lookup_batch(&[]).is_empty());
+    let _ = t.insert_new(7, 70);
+    assert_batch_equiv("McCuckoo(tiny)", &t, &[7], true);
+    assert_batch_equiv("McCuckoo(tiny-miss)", &t, &[9], true);
+}
+
+/// A foreign implementor that only supplies the required methods: pins
+/// the *default* `lookup_batch` body itself (not any core override) to
+/// the per-key contract.
+#[test]
+fn default_method_on_a_foreign_implementor() {
+    struct VecTable(Vec<(u64, u64)>);
+    impl McTable<u64, u64> for VecTable {
+        fn insert(&mut self, key: u64, value: u64) -> mem_model::InsertReport {
+            self.0.push((key, value));
+            mem_model::InsertReport::clean(1)
+        }
+        fn insert_new(&mut self, key: u64, value: u64) -> mem_model::InsertReport {
+            self.insert(key, value)
+        }
+        fn lookup(&self, key: &u64) -> Option<u64> {
+            self.0.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+        }
+        fn remove(&mut self, key: &u64) -> Option<u64> {
+            let i = self.0.iter().position(|(k, _)| k == key)?;
+            Some(self.0.swap_remove(i).1)
+        }
+        fn clear(&mut self) {
+            self.0.clear();
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn capacity(&self) -> usize {
+            64
+        }
+    }
+
+    let mut t = VecTable(Vec::new());
+    for k in 0..20u64 {
+        t.insert(k, k * 3);
+    }
+    let queries: Vec<u64> = (0..40u64).collect();
+    let per_key: Vec<Option<u64>> = queries.iter().map(|k| t.lookup(k)).collect();
+    assert_eq!(t.lookup_batch(&queries), per_key);
+}

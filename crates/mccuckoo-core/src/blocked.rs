@@ -21,7 +21,10 @@
 use hash_kit::{KeyHash, SplitMix64};
 
 use crate::config::{DeletionMode, McConfig};
-use crate::engine::{BucketLayout, CopyProbe, Engine, Probe};
+use crate::engine::{
+    swar_broadcast, swar_eq_mask, swar_first_lane, BucketLayout, CopyProbe, Engine, Probe,
+    ProbePlan, MAX_D,
+};
 
 /// Configuration of a [`BlockedMcCuckoo`].
 #[derive(Debug, Clone)]
@@ -90,31 +93,45 @@ impl BucketLayout for BlockedLayout {
 
     /// Algorithm 2: skip sum-zero buckets, otherwise read the bucket
     /// (one off-chip access) and scan its `l` slots.
-    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(t: &Engine<K, V, Self>, key: &K) -> Probe {
-        let cands = t.candidate_buckets(key);
+    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+    ) -> Probe {
         t.meter_counter_scan();
-        let sums: Vec<u32> = (0..t.d).map(|i| t.bucket_sum(cands[i])).collect();
+        let mut sums = [0u32; MAX_D];
+        for i in 0..t.d {
+            sums[i] = t.bucket_sum(cands[i]);
+        }
         // Extension: Bloom-style early miss (sound without deletions —
         // an insertion leaves no candidate bucket entirely empty).
-        if t.layout.aggressive && t.deletion == DeletionMode::Disabled && sums.contains(&0) {
+        if t.layout.aggressive && t.deletion == DeletionMode::Disabled && sums[..t.d].contains(&0) {
             return Probe::Miss { check_stash: false };
         }
         let mut visited_flags_ok = true;
+        // SWAR tag filter: compare all l fingerprint bytes of a bucket
+        // against the key's tag in one u64 operation, then confirm each
+        // matching lane on the full entry. Pure software fast path — the
+        // bucket read stays metered as one off-chip access either way.
+        let needle = swar_broadcast(tag);
         for i in 0..t.d {
             if sums[i] == 0 {
                 continue; // Algorithm 2: skip empty buckets
             }
             t.meter.offchip_read(1);
             visited_flags_ok &= t.flags[cands[i]];
-            for s in 0..t.layout.l {
-                let idx = t.slot_idx(cands[i], s);
+            let mut hits = swar_eq_mask(t.bucket_tags(cands[i]), needle, t.layout.l);
+            while hits != 0 {
+                let idx = t.slot_idx(cands[i], swar_first_lane(hits));
                 if t.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
                     return Probe::Found(idx);
                 }
+                hits &= hits - 1; // clear the lowest matching lane
             }
         }
         Probe::Miss {
-            check_stash: t.stash_screen(&cands, visited_flags_ok),
+            check_stash: t.stash_screen(cands, visited_flags_ok),
         }
     }
 
@@ -123,8 +140,10 @@ impl BucketLayout for BlockedLayout {
     fn probe_copies<K: KeyHash + Eq + Clone, V: Clone>(
         t: &Engine<K, V, Self>,
         key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
     ) -> CopyProbe {
-        match Self::probe_first(t, key) {
+        match Self::probe_first(t, key, cands, tag) {
             Probe::Found(idx) => {
                 let entry = t.slots[idx].as_ref().expect("probe found it");
                 let count = t.counters.get(idx);
@@ -139,6 +158,76 @@ impl BucketLayout for BlockedLayout {
             }
             Probe::Miss { check_stash } => CopyProbe::Miss { check_stash },
         }
+    }
+
+    /// Stage-1 plan for Algorithm 2: unmetered sum peeks decide which
+    /// buckets the probe will read (sum-zero buckets are skipped, the
+    /// aggressive Bloom rule may kill the probe outright); only those
+    /// are prefetched — bucket line, tag lane and flag byte.
+    fn plan_probe<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        cands: &[usize; MAX_D],
+    ) -> ProbePlan {
+        let mut plan = ProbePlan::FALLBACK;
+        let mut any_zero = false;
+        for &c in cands.iter().take(t.d) {
+            if t.bucket_sum(c) == 0 {
+                any_zero = true;
+                continue;
+            }
+            plan.order[plan.len as usize] = c;
+            plan.len += 1;
+        }
+        if t.layout.aggressive && t.deletion == DeletionMode::Disabled && any_zero {
+            plan.rule1 = true;
+            plan.len = 0; // definite miss: nothing worth prefetching
+            return plan;
+        }
+        for &c in plan.order[..plan.len as usize].iter() {
+            let base = t.slot_idx(c, 0);
+            crate::prefetch::prefetch_index(&t.slots, base);
+            crate::prefetch::prefetch_index(&t.tags, base);
+            crate::prefetch::prefetch_index(&t.flags, c);
+        }
+        plan
+    }
+
+    /// Replay of `probe_first` over the planned buckets: the metered
+    /// counter scan, one off-chip read plus SWAR tag match per non-empty
+    /// bucket, and the same stash-screening decision.
+    fn probe_planned<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+        plan: &ProbePlan,
+    ) -> (Probe, u64) {
+        t.meter_counter_scan();
+        if plan.rule1 {
+            return (Probe::Miss { check_stash: false }, 0);
+        }
+        let mut visited_flags_ok = true;
+        let mut visited = 0u64;
+        let needle = swar_broadcast(tag);
+        for &c in plan.order[..plan.len as usize].iter() {
+            t.meter.offchip_read(1);
+            visited += 1;
+            visited_flags_ok &= t.flags[c];
+            let mut hits = swar_eq_mask(t.bucket_tags(c), needle, t.layout.l);
+            while hits != 0 {
+                let idx = t.slot_idx(c, swar_first_lane(hits));
+                if t.slots[idx].as_ref().is_some_and(|e| e.key == *key) {
+                    return (Probe::Found(idx), visited);
+                }
+                hits &= hits - 1;
+            }
+        }
+        (
+            Probe::Miss {
+                check_stash: t.stash_screen(cands, visited_flags_ok),
+            },
+            visited,
+        )
     }
 }
 

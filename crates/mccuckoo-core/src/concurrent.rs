@@ -55,16 +55,20 @@
 //! `parking_lot`-style unpoisonable, so the table stays writable.
 //!
 //! Keys and values must be `Copy` (pointer-sized payloads — use
-//! [`crate::MultisetIndex`]-style indirection for fat values). The meter
-//! is not threaded through this type; concurrency is evaluated by
-//! throughput, not access counts.
+//! [`crate::MultisetIndex`]-style indirection for fat values). The
+//! sequential tables' `Cell`-based meter is not `Sync`, so this type
+//! carries its own relaxed-atomic access tallies instead: lookups and
+//! the write paths count their modelled on-chip (counter) and off-chip
+//! (bucket) accesses into [`ConcurrentMcCuckoo::mem_stats`]. Maintenance
+//! scans (`items`, the validators) stay unmetered — they model no
+//! data-path traffic.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use hash_kit::{BucketFamily, KeyHash, SplitMix64};
-use mem_model::{InsertOutcome, InsertReport};
+use mem_model::{InsertOutcome, InsertReport, MemStats};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::config::McConfig;
@@ -89,6 +93,50 @@ const STRIPE_BUDGET: u32 = 8;
 const RNG_STREAM_STEP: u64 = 0x9E37_79B9_7F4A_7C15;
 
 type CellArray<K, V> = Box<[UnsafeCell<Option<(K, V)>>]>;
+
+/// Thread-safe memory-access tallies (the concurrent analogue of
+/// `mem_model::MemMeter`, whose `Cell` counters are not `Sync`).
+/// All updates are `Relaxed`: the counts are statistics, not
+/// synchronisation, and per-thread increments commute.
+#[derive(Default)]
+struct AccessMeter {
+    offchip_reads: AtomicU64,
+    offchip_writes: AtomicU64,
+    onchip_reads: AtomicU64,
+    onchip_writes: AtomicU64,
+}
+
+impl AccessMeter {
+    #[inline]
+    fn offchip_read(&self, n: u64) {
+        self.offchip_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn offchip_write(&self, n: u64) {
+        self.offchip_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn onchip_read(&self, n: u64) {
+        self.onchip_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn onchip_write(&self, n: u64) {
+        self.onchip_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> MemStats {
+        MemStats {
+            offchip_reads: self.offchip_reads.load(Ordering::Relaxed),
+            offchip_writes: self.offchip_writes.load(Ordering::Relaxed),
+            onchip_reads: self.onchip_reads.load(Ordering::Relaxed),
+            onchip_writes: self.onchip_writes.load(Ordering::Relaxed),
+            ..MemStats::default()
+        }
+    }
+}
 
 /// Lock-free-read, striped-multi-writer multi-copy cuckoo table.
 ///
@@ -126,6 +174,8 @@ pub struct ConcurrentMcCuckoo<K, V> {
     config: McConfig,
     /// Lock-free observability counters (monotonic; survive `clear`).
     obs: Obs,
+    /// Relaxed-atomic memory-access tallies (monotonic; survive `clear`).
+    access: CachePadded<AccessMeter>,
 }
 
 // SAFETY: the `UnsafeCell` buckets are written only by `write_bucket`,
@@ -186,6 +236,7 @@ where
             rng_stream: CachePadded::new(AtomicU64::new(config.seed ^ 0xC04C_44E4_7AB1_E000)),
             config,
             obs: Obs::default(),
+            access: CachePadded::new(AccessMeter::default()),
         }
     }
 
@@ -199,6 +250,15 @@ where
     /// concurrently with readers and writers.
     pub fn stats(&self) -> TableStats {
         self.obs.snapshot()
+    }
+
+    /// Snapshot of the modelled memory-access tallies: off-chip bucket
+    /// reads/writes and on-chip counter reads/writes, accumulated by the
+    /// lookup and write paths (relaxed atomics — safe to call while
+    /// readers and writers run). Stash fields are always zero: the
+    /// concurrent table has no stash.
+    pub fn mem_stats(&self) -> MemStats {
+        self.access.snapshot()
     }
 
     /// Distinct keys currently stored.
@@ -306,8 +366,10 @@ where
         // only writer; concurrent readers validate against the odd
         // version and discard whatever bytes they raced.
         unsafe { std::ptr::write_volatile(self.cells[idx].get(), content) };
+        self.access.offchip_write(1);
         if let Some(c) = counter {
             self.counters[idx].store(c, Ordering::Release);
+            self.access.onchip_write(1);
         }
         self.versions[idx].store(v + 2, Ordering::Release);
     }
@@ -319,6 +381,16 @@ where
         // SAFETY: exclusivity is the caller's contract, so no writer can
         // race this read.
         unsafe { *self.cells[idx].get() }
+    }
+
+    /// [`Self::cell_read_locked`] plus one modelled off-chip read. The
+    /// mutation paths (upsert/remove/kick) read buckets through this;
+    /// maintenance scans (`items`, validators) keep the unmetered
+    /// variant — they model no data-path traffic.
+    #[inline]
+    fn cell_read_metered(&self, idx: usize) -> Option<(K, V)> {
+        self.access.offchip_read(1);
+        self.cell_read_locked(idx)
     }
 
     /// Seqlock-validated read of a bucket the caller has *not* locked.
@@ -355,6 +427,18 @@ where
     /// versions (see module docs).
     pub fn get(&self, key: &K) -> Option<V> {
         let cands = self.candidates(key);
+        let (found, probes) = self.get_with_cands(key, &cands);
+        self.obs.record_lookup(found.is_some(), probes);
+        found
+    }
+
+    /// [`Self::get`] body with the candidate buckets precomputed (the
+    /// batched path hashes every key up front so it can prefetch).
+    /// Returns the probe count instead of recording it — the batched
+    /// path tallies a whole batch locally and flushes the observability
+    /// atomics once ([`Obs::absorb_lookups`]); access-model metering
+    /// stays per-key in here.
+    fn get_with_cands(&self, key: &K, cands: &[usize; MAX_D]) -> (Option<V>, u64) {
         loop {
             let mut pre = [0u64; MAX_D];
             let mut stable = true;
@@ -390,8 +474,9 @@ where
                 }
                 if let Some((k, v)) = unsafe { raw.assume_init() } {
                     if k == *key {
-                        self.obs.record_lookup(true, probes);
-                        return Some(v);
+                        self.access.onchip_read(self.d as u64);
+                        self.access.offchip_read(probes);
+                        return (Some(v), probes);
                     }
                 }
             }
@@ -400,8 +485,9 @@ where
                 let unchanged =
                     (0..self.d).all(|i| self.versions[cands[i]].load(Ordering::Acquire) == pre[i]);
                 if unchanged {
-                    self.obs.record_lookup(false, probes);
-                    return None;
+                    self.access.onchip_read(self.d as u64);
+                    self.access.offchip_read(probes);
+                    return (None, probes);
                 }
             }
             std::hint::spin_loop();
@@ -519,13 +605,39 @@ where
         out
     }
 
-    /// Look up a batch of keys. Reads are lock-free, so this is a plain
-    /// loop over [`Self::get`] — it exists so batched callers (the
-    /// sharded front end) have a positional batch API for all three op
-    /// kinds.
+    /// Look up a batch of keys with an interleaved multi-key probe state
+    /// machine: per chunk, hash every key, pick its live target buckets
+    /// from the on-chip counters, issue software prefetches for their
+    /// seqlock versions and cells, then run the (unchanged, lock-free)
+    /// per-key probes against lines already in flight — the software
+    /// analogue of the paper's FPGA pipeline. Results are positional and
+    /// semantically identical to a loop over [`Self::get`], including the
+    /// modelled access counts; the stage-1 counter peeks steer prefetch
+    /// only and are deliberately unmetered.
     pub fn get_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        const BATCH_CHUNK: usize = 16;
         self.obs.record_batch(keys.len());
-        keys.iter().map(|k| self.get(k)).collect()
+        let mut out = Vec::with_capacity(keys.len());
+        let mut cands_buf = [[usize::MAX; MAX_D]; BATCH_CHUNK];
+        let mut tally = crate::obs::LookupTally::default();
+        for chunk in keys.chunks(BATCH_CHUNK) {
+            for (key, cands) in chunk.iter().zip(cands_buf.iter_mut()) {
+                *cands = self.candidates(key);
+                for &c in cands.iter().take(self.d) {
+                    if self.counters[c].load(Ordering::Relaxed) != 0 {
+                        crate::prefetch::prefetch_index(&self.versions, c);
+                        crate::prefetch::prefetch_index(&self.cells, c);
+                    }
+                }
+            }
+            for (key, cands) in chunk.iter().zip(cands_buf.iter()) {
+                let (found, probes) = self.get_with_cands(key, cands);
+                tally.record(found.is_some(), probes);
+                out.push(found);
+            }
+        }
+        self.obs.absorb_lookups(&tally);
+        out
     }
 
     /// Remove every item and zero every counter. Takes the full stripe
@@ -668,6 +780,7 @@ where
                 need |= self.stripe_bit(b);
             }
             let last = *path.last().expect("path is non-empty");
+            self.access.offchip_read(1);
             let Some((tk0, _)) = self.cell_read_atomic(last) else {
                 break; // raced a removal of the terminal; escalate
             };
@@ -703,7 +816,7 @@ where
             debug_assert!(settled > 0, "validated terminal had an empty candidate");
             for w in path.windows(2).rev() {
                 let (src, dst) = (w[0], w[1]);
-                let item = self.cell_read_locked(src).expect("validated path bucket");
+                let item = self.cell_read_metered(src).expect("validated path bucket");
                 self.write_bucket(dst, Some(item), Some(1));
             }
             self.write_bucket(path[0], Some((key, value)), Some(1));
@@ -853,7 +966,7 @@ where
         // redundant bucket), then shift the chain backwards.
         let last = *path.last().expect("path is non-empty");
         let (terminal_key, terminal_value) = self
-            .cell_read_locked(last)
+            .cell_read_metered(last)
             .expect("path buckets are occupied");
         #[cfg(feature = "testhooks")]
         crate::testhooks::fire_panic_in_kick();
@@ -864,7 +977,7 @@ where
         for w in path.windows(2).rev() {
             let (src, dst) = (w[0], w[1]);
             let item = self
-                .cell_read_locked(src)
+                .cell_read_metered(src)
                 .expect("path buckets are occupied");
             self.write_bucket(dst, Some(item), Some(1));
         }
@@ -884,8 +997,9 @@ where
     fn try_update_excl(&self, key: &K, value: &V, cands: &[usize; MAX_D]) -> Option<u8> {
         let mut existing = [false; MAX_D];
         let mut exists = false;
+        self.access.onchip_read(self.d as u64);
         for i in 0..self.d {
-            if let Some((k, _)) = self.cell_read_locked(cands[i]) {
+            if let Some((k, _)) = self.cell_read_metered(cands[i]) {
                 if k == *key && self.counters[cands[i]].load(Ordering::Acquire) > 0 {
                     existing[i] = true;
                     exists = true;
@@ -920,11 +1034,12 @@ where
         let mut value = None;
         let mut locations = [usize::MAX; MAX_D];
         let mut count = 0usize;
+        self.access.onchip_read(self.d as u64);
         for &c in cands.iter().take(self.d) {
             if self.counters[c].load(Ordering::Acquire) == 0 {
                 continue;
             }
-            if let Some((k, v)) = self.cell_read_locked(c) {
+            if let Some((k, v)) = self.cell_read_metered(c) {
                 if k == *key {
                     value = Some(v);
                     locations[count] = c;
@@ -950,6 +1065,7 @@ where
     fn try_place_excl(&self, key: &K, value: &V) -> Option<u8> {
         let cands = self.candidates(key);
         let mut cvals = [0u8; MAX_D];
+        self.access.onchip_read(self.d as u64);
         for i in 0..self.d {
             cvals[i] = self.counters[cands[i]].load(Ordering::Acquire);
         }
@@ -987,6 +1103,7 @@ where
         for &p in placed.iter().take(placed_len) {
             self.counters[p].store(placed_len as u8, Ordering::Release);
         }
+        self.access.onchip_write(placed_len as u64);
         Some(placed_len as u8)
     }
 
@@ -1007,6 +1124,7 @@ where
         for &p in placed.iter().take(placed_len) {
             self.counters[p].store(placed_len as u8, Ordering::Release);
         }
+        self.access.onchip_write(placed_len as u64);
         placed_len as u8
     }
 
@@ -1021,7 +1139,7 @@ where
         cands: &[usize; MAX_D],
         cvals: &mut [u8; MAX_D],
     ) {
-        let (vkey, _) = self.cell_read_locked(idx).expect("counter ≥ 1 ⇒ occupied");
+        let (vkey, _) = self.cell_read_metered(idx).expect("counter ≥ 1 ⇒ occupied");
         let vcands = self.candidates(&vkey);
         // New content first: the victim stays reachable via its siblings
         // during the whole update.
@@ -1030,13 +1148,15 @@ where
             if s == idx {
                 continue;
             }
+            self.access.onchip_read(1);
             if self.counters[s].load(Ordering::Acquire) != vcount {
                 continue;
             }
             // Verify content: another item may share the counter value.
-            if let Some((k, _)) = self.cell_read_locked(s) {
+            if let Some((k, _)) = self.cell_read_metered(s) {
                 if k == vkey {
                     self.counters[s].store(vcount - 1, Ordering::Release);
+                    self.access.onchip_write(1);
                     for i in 0..self.d {
                         if cands[i] == s {
                             cvals[i] = vcount - 1;
@@ -1079,12 +1199,14 @@ where
             }
             let next = choices[rng.next_below(m as u64) as usize];
             path.push(next);
+            self.access.offchip_read(1);
             let Some((occupant, _)) = self.cell_read_atomic(next) else {
                 return false; // raced a removal mid-walk; caller retries
             };
             // Can the occupant settle? (any empty — or, when the caller
             // can execute overwrites, any ≥2 — candidate)
             let ocands = self.candidates(&occupant);
+            self.access.onchip_read(self.d as u64);
             let placeable = (0..self.d).any(|i| {
                 let c = self.counters[ocands[i]].load(Ordering::Acquire);
                 c == 0 || (!empty_terminal_only && c >= 2 && ocands[i] != next)

@@ -56,6 +56,39 @@ pub const MAX_D: usize = 4;
 /// Slot-hint sentinel: "no copy in this table".
 pub(crate) const NO_SLOT: u8 = 0xFF;
 
+/// Seed tweak for the per-slot fingerprint tags. Dedicated salt so the
+/// tag byte is independent of every bucket-choice hash.
+const TAG_SALT: u64 = 0x7A95_C0DE_5EED_7A65;
+
+/// Broadcast a tag byte across all 8 lanes of a `u64`.
+#[inline]
+pub(crate) fn swar_broadcast(tag: u8) -> u64 {
+    tag as u64 * 0x0101_0101_0101_0101
+}
+
+/// SWAR byte-equality mask: bit 7 of each of the first `lanes` bytes is
+/// set iff that byte of `packed` equals the broadcast `needle`. Classic
+/// zero-byte detection over `packed ^ needle`; lanes past `lanes` are
+/// cleared so zero-padding never aliases a real slot.
+#[inline]
+pub(crate) fn swar_eq_mask(packed: u64, needle: u64, lanes: usize) -> u64 {
+    debug_assert!((1..=8).contains(&lanes));
+    let x = packed ^ needle;
+    let hit = x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080;
+    if lanes == 8 {
+        hit
+    } else {
+        hit & ((1u64 << (8 * lanes)) - 1)
+    }
+}
+
+/// Lane index (0-based byte position) of the lowest set hit in a
+/// [`swar_eq_mask`] result.
+#[inline]
+pub(crate) fn swar_first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
 /// Insertion failure: relocation budget exhausted and no stash configured.
 ///
 /// As with classic cuckoo hashing, the inserted item was placed during
@@ -135,18 +168,122 @@ pub trait BucketLayout: std::fmt::Debug {
     fn draw_slot(&self, rng: &mut SplitMix64) -> usize;
 
     /// Find the first slot holding `key`, or decide the miss path
-    /// (including stash screening).
-    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(t: &Engine<K, V, Self>, key: &K) -> Probe
+    /// (including stash screening). `cands` and `tag` are the key's
+    /// candidate buckets and fingerprint, precomputed by the caller so
+    /// the batched read path hashes each key exactly once (stage 1
+    /// computes them for prefetching; stage 2 probes with them).
+    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+    ) -> Probe
     where
         Self: Sized;
 
     /// Locate **all** copies of `key` (deletion principles, §III.B.3).
+    /// Same precomputed-`cands`/`tag` contract as
+    /// [`BucketLayout::probe_first`].
     fn probe_copies<K: KeyHash + Eq + Clone, V: Clone>(
         t: &Engine<K, V, Self>,
         key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
     ) -> CopyProbe
     where
         Self: Sized;
+
+    /// Stage 1 of the batched read pipeline: consult the on-chip
+    /// counters to work out **exactly** which positions a subsequent
+    /// [`BucketLayout::probe_first`] on the same key would read, issue a
+    /// software prefetch for each, and return them as a [`ProbePlan`]
+    /// that stage 2 ([`BucketLayout::probe_planned`]) replays without
+    /// re-deriving the pruning. Must be **unmetered** (peek at counters
+    /// directly, never through the metered readers): the modelled access
+    /// counts of a batched lookup are required to equal the per-key
+    /// path's exactly.
+    ///
+    /// The default covers any layout soundly: it prefetches every
+    /// candidate bucket with a non-zero counter (an all-zero bucket is
+    /// skipped by every probe strategy) and returns a fallback plan
+    /// that makes `probe_planned` take the ordinary `probe_first` path.
+    /// Layouts with tighter pruning should override **both** hooks
+    /// together.
+    fn plan_probe<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        cands: &[usize; MAX_D],
+    ) -> ProbePlan
+    where
+        Self: Sized,
+    {
+        let l = t.layout.slots();
+        for &c in cands.iter().take(t.d) {
+            let base = t.slot_idx(c, 0);
+            if (0..l).any(|s| t.counters.get(base + s) != 0) {
+                crate::prefetch::prefetch_index(&t.slots, base);
+                crate::prefetch::prefetch_index(&t.tags, base);
+                crate::prefetch::prefetch_index(&t.flags, c);
+            }
+        }
+        ProbePlan::FALLBACK
+    }
+
+    /// Stage 2 of the batched read pipeline: probe with the positions
+    /// stage 1 planned (and prefetched), metering exactly like
+    /// [`BucketLayout::probe_first`] would. The two stages run against
+    /// the same immutable `&Engine`, so the plan cannot go stale; the
+    /// replay is therefore equivalent by construction — same result,
+    /// same metered counts, same stash-screening decision.
+    ///
+    /// Also returns the number of off-chip reads the probe performed
+    /// (the replay counts its own visits), so the batched path can feed
+    /// the probe histogram without bracketing every key in two full
+    /// meter snapshots.
+    ///
+    /// The default ignores the plan and runs `probe_first` under a
+    /// snapshot pair, which is trivially equivalent (that's the
+    /// fallback contract of the default [`BucketLayout::plan_probe`]).
+    fn probe_planned<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+        plan: &ProbePlan,
+    ) -> (Probe, u64)
+    where
+        Self: Sized,
+    {
+        let _ = plan;
+        let before = t.meter.snapshot();
+        let probe = Self::probe_first(t, key, cands, tag);
+        let delta = t.meter.snapshot() - before;
+        (probe, delta.offchip_reads)
+    }
+}
+
+/// Output of [`BucketLayout::plan_probe`]: the off-chip positions
+/// (slots for the single layout, buckets for the blocked one) that
+/// `probe_first` on the same key would visit, in probe order, plus the
+/// rule-1 verdict. `FALLBACK` marks "no plan — probe normally".
+#[derive(Debug, Clone, Copy)]
+pub struct ProbePlan {
+    /// Probe positions in visit order (`order[..len]` are valid). A key
+    /// is probed at most once per candidate, so `MAX_D` always fits.
+    pub(crate) order: [usize; MAX_D],
+    pub(crate) len: u8,
+    /// Lookup rule 1 fired: a definite miss with zero off-chip reads
+    /// and no stash consultation.
+    pub(crate) rule1: bool,
+}
+
+impl ProbePlan {
+    /// The empty non-rule1 plan — and, by the default-hook contract,
+    /// the "replay via `probe_first`" sentinel.
+    pub(crate) const FALLBACK: ProbePlan = ProbePlan {
+        order: [0; MAX_D],
+        len: 0,
+        rule1: false,
+    };
 }
 
 /// The generic multi-copy cuckoo table. Use through the
@@ -163,6 +300,13 @@ pub struct Engine<K, V, L: BucketLayout> {
     pub(crate) resolution: ResolutionPolicy,
     /// Off-chip slots: `(table * n + bucket) * l + slot`.
     pub(crate) slots: Vec<Option<Entry<K, V>>>,
+    /// Dense fingerprint plane: one tag byte per slot, same indexing as
+    /// `slots`, so a bucket's `l` tags are contiguous and SWAR-comparable
+    /// in one `u64` load. Tags are a pure software-side probe filter —
+    /// may-match with entry confirmation — and are deliberately left
+    /// stale on removal (counters and the entry compare gate occupancy),
+    /// so they add **zero** metered off-chip accesses.
+    pub(crate) tags: Vec<u8>,
     /// Off-chip 1-bit stash flags, one per bucket (read/written together
     /// with the bucket, so they cost no dedicated accesses on lookups).
     pub(crate) flags: Vec<bool>,
@@ -209,6 +353,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             maxloop: config.maxloop,
             resolution: config.resolution,
             slots,
+            tags: vec![0u8; total_slots],
             flags: vec![false; total_buckets],
             counters: CounterArray::new(total_slots, config.d as u8),
             kick_history: match config.resolution {
@@ -355,6 +500,8 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         let total_slots = total_buckets * self.layout.slots();
         self.slots.clear();
         self.slots.resize_with(total_slots, || None);
+        self.tags.clear();
+        self.tags.resize(total_slots, 0);
         self.flags.clear();
         self.flags.resize(total_buckets, false);
         self.counters = CounterArray::new(total_slots, self.d as u8);
@@ -371,6 +518,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         for s in &mut self.slots {
             *s = None;
         }
+        self.tags.fill(0);
         self.flags.fill(false);
         self.counters.reset();
         if let Some(h) = &mut self.kick_history {
@@ -401,6 +549,26 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     #[inline]
     pub(crate) fn slot_idx(&self, bucket: usize, slot: usize) -> usize {
         bucket * self.layout.slots() + slot
+    }
+
+    /// Fingerprint byte of `key` for the tag plane (top byte of a
+    /// dedicated-salt hash, independent of the bucket-choice hashes).
+    #[inline]
+    pub(crate) fn tag_of(&self, key: &K) -> u8 {
+        (key.hash_seeded(self.seed ^ TAG_SALT) >> 56) as u8
+    }
+
+    /// The `l` tag bytes of `bucket`, packed little-endian into a `u64`
+    /// (lane `s` = slot `s`; lanes ≥ `l` zero). One load when `l = 8`.
+    #[inline]
+    pub(crate) fn bucket_tags(&self, bucket: usize) -> u64 {
+        let l = self.layout.slots();
+        let base = bucket * l;
+        let mut packed = 0u64;
+        for (s, &t) in self.tags[base..base + l].iter().enumerate() {
+            packed |= (t as u64) << (8 * s);
+        }
+        packed
     }
 
     /// Sum of a bucket's slot counters (on-chip, metered by caller).
@@ -612,6 +780,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         }
         self.meter.offchip_write(claimed_len as u64);
         self.meter.onchip_write(claimed_len as u64);
+        let tag = self.tag_of(key);
         for i in 0..self.d {
             let Some(s) = claimed[i] else { continue };
             let idx = self.slot_idx(cands[i], s as usize);
@@ -620,6 +789,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                 value: value.clone(),
                 hints,
             });
+            self.tags[idx] = tag;
             self.counters.set(idx, claimed_len as u8);
         }
         self.redundant_writes += claimed_len as u64 - 1;
@@ -652,6 +822,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             // out, sole copy in).
             self.meter.offchip_read(1);
             self.meter.offchip_write(1);
+            let tag = self.tag_of(&carried_key);
             let old = self.slots[idx]
                 .replace(Entry {
                     key: carried_key,
@@ -659,6 +830,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                     hints,
                 })
                 .expect("victims hold sole copies");
+            self.tags[idx] = tag;
             carried_key = old.key;
             carried_value = old.value;
             prev_bucket = vb;
@@ -752,7 +924,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// If `key` exists, rewrite the value of every copy (and/or the stash
     /// entry) and return an `Updated` report.
     fn try_update(&mut self, key: &K, value: &V) -> Option<InsertReport> {
-        match L::probe_copies(self, key) {
+        match L::probe_copies(self, key, &self.candidate_buckets(key), self.tag_of(key)) {
             CopyProbe::Found { locations, .. } => {
                 self.meter.offchip_write(locations.len() as u64);
                 for &l in &locations {
@@ -803,8 +975,17 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// Look up `key` using the layout's probe strategy and the stash
     /// screening rules (§III.E–F).
     pub fn get(&self, key: &K) -> Option<&V> {
+        self.get_prepared(key, &self.candidate_buckets(key), self.tag_of(key))
+    }
+
+    /// [`Engine::get`] with the key's candidate buckets and tag already
+    /// in hand. The batched path computes both during its planning stage
+    /// and probes with them here, so each key is hashed exactly once per
+    /// batch; metering is identical because every meter call lives
+    /// inside the probe bodies and the stash, not in the hashing.
+    fn get_prepared(&self, key: &K, cands: &[usize; MAX_D], tag: u8) -> Option<&V> {
         let before = self.meter.snapshot();
-        let found = match L::probe_first(self, key) {
+        let found = match L::probe_first(self, key, cands, tag) {
             Probe::Found(idx) => self.slots[idx].as_ref().map(|e| &e.value),
             Probe::Miss { check_stash } => {
                 if check_stash {
@@ -820,9 +1001,87 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         found
     }
 
+    /// Stage 2 of the batched pipeline: like [`Engine::get_prepared`]
+    /// but probing through the layout's plan replay
+    /// ([`BucketLayout::probe_planned`]) instead of a fresh
+    /// `probe_first` — the plan was computed against this same immutable
+    /// `&self`, so the result and every metered count are identical.
+    /// Returns the probe count instead of recording it: the caller
+    /// tallies per-key outcomes locally and flushes the whole batch's
+    /// observability in one [`Obs::absorb_lookups`] pass.
+    fn get_planned(
+        &self,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+        plan: &ProbePlan,
+    ) -> (Option<&V>, u64) {
+        let (probe, mut probes) = L::probe_planned(self, key, cands, tag, plan);
+        let found = match probe {
+            Probe::Found(idx) => self.slots[idx].as_ref().map(|e| &e.value),
+            Probe::Miss { check_stash } => {
+                if check_stash {
+                    // Rare path: only a stash consultation needs the
+                    // full snapshot bracket (its reads are metered
+                    // inside the stash).
+                    let before = self.meter.snapshot();
+                    let v = self.stash.get(key, &self.meter);
+                    let delta = self.meter.snapshot() - before;
+                    probes += delta.offchip_reads + delta.stash_reads;
+                    v
+                } else {
+                    None
+                }
+            }
+        };
+        (found, probes)
+    }
+
     /// Whether `key` is stored (main table or stash).
     pub fn contains(&self, key: &K) -> bool {
         self.get(key).is_some()
+    }
+
+    /// Batched lookup: one result per key, in order, exactly equivalent
+    /// to calling [`Engine::get`] per key (same hits, same misses, same
+    /// metered access counts, same per-lookup observability records —
+    /// plus one batch-size sample).
+    ///
+    /// The throughput win comes from an interleaved two-stage state
+    /// machine over fixed-size chunks, the software analogue of the
+    /// paper's FPGA pipeline: stage 1 hashes every key of the chunk,
+    /// consults the on-chip counters to find the buckets a probe will
+    /// actually touch, and issues a software prefetch for each of them;
+    /// stage 2 runs the ordinary probe, by which time the lines are in
+    /// flight. Counter reads in stage 1 are on-chip and the prefetches
+    /// are hints, so the modelled access counts cannot change.
+    pub fn lookup_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        /// Keys in flight per pipeline round: enough outstanding loads
+        /// to cover DRAM latency, small enough to stay in the L1 TLB.
+        const BATCH_CHUNK: usize = 16;
+        self.obs.record_batch(keys.len());
+        let mut out = Vec::with_capacity(keys.len());
+        let mut cands_buf = [[usize::MAX; MAX_D]; BATCH_CHUNK];
+        let mut tag_buf = [0u8; BATCH_CHUNK];
+        let mut plan_buf = [ProbePlan::FALLBACK; BATCH_CHUNK];
+        let mut tally = crate::obs::LookupTally::default();
+        for chunk in keys.chunks(BATCH_CHUNK) {
+            for (i, key) in chunk.iter().enumerate() {
+                cands_buf[i] = self.candidate_buckets(key);
+                tag_buf[i] = self.tag_of(key);
+                // The on-chip counters tell stage 1 exactly which lines
+                // the probe will fetch; prefetch them and keep the plan.
+                plan_buf[i] = L::plan_probe(self, &cands_buf[i]);
+            }
+            for (i, key) in chunk.iter().enumerate() {
+                let (found, probes) =
+                    self.get_planned(key, &cands_buf[i], tag_buf[i], &plan_buf[i]);
+                tally.record(found.is_some(), probes);
+                out.push(found.cloned());
+            }
+        }
+        self.obs.absorb_lookups(&tally);
+        out
     }
 
     /// Number of live copies of `key` in the main table (0 if absent or
@@ -868,7 +1127,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             self.deletion != DeletionMode::Disabled,
             "this table was configured with DeletionMode::Disabled"
         );
-        let out = match L::probe_copies(self, key) {
+        let out = match L::probe_copies(self, key, &self.candidate_buckets(key), self.tag_of(key)) {
             CopyProbe::Found { locations, primary } => {
                 self.meter.onchip_write(locations.len() as u64);
                 #[cfg(feature = "testhooks")]
@@ -992,7 +1251,10 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     /// every mutation under the `paranoid` feature.
     pub fn check_invariants(&self) -> Result<(), String> {
         let l = self.layout.slots();
-        if self.counters.len() != self.slots.len() || self.flags.len() * l != self.slots.len() {
+        if self.counters.len() != self.slots.len()
+            || self.tags.len() != self.slots.len()
+            || self.flags.len() * l != self.slots.len()
+        {
             return Err("length mismatch between planes".into());
         }
         let mut distinct_seen = 0usize;
@@ -1003,6 +1265,12 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                 (None, c) => return Err(format!("slot {idx}: vacant but counter {c}")),
                 (Some(_), 0) => return Err(format!("slot {idx}: occupied but counter 0")),
                 (Some(e), c) => {
+                    // The tag filter is may-match: a live copy whose tag
+                    // byte went stale would be a false *negative*, which
+                    // the probe paths cannot recover from.
+                    if self.tags[idx] != self.tag_of(&e.key) {
+                        return Err(format!("slot {idx}: tag does not match occupant"));
+                    }
                     let bucket = idx / l;
                     let cands = self.candidate_buckets(&e.key);
                     let Some(t) = (0..self.d).find(|&t| cands[t] == bucket) else {

@@ -74,6 +74,7 @@ pub mod multiset;
 pub mod obs;
 pub mod pad;
 pub mod persist;
+pub mod prefetch;
 pub mod rehash;
 pub mod shard;
 pub mod single;

@@ -94,6 +94,34 @@ impl InsertTally {
     }
 }
 
+/// Batch-local, non-atomic lookup bookkeeping, flushed in one pass by
+/// [`Obs::absorb_lookups`]. The batched read paths tally per-key
+/// outcomes here and pay the atomic traffic once per batch instead of
+/// ~4 RMWs per key — on a table whose probes mostly hit cache, those
+/// RMWs are a large share of the whole lookup.
+#[derive(Debug, Default)]
+pub(crate) struct LookupTally {
+    hits: u64,
+    misses: u64,
+    probe_buckets: [u64; HIST_BUCKETS],
+    probe_count: u64,
+    probe_sum: u64,
+}
+
+impl LookupTally {
+    /// Mirror of [`Obs::record_lookup`] against the local tally.
+    pub(crate) fn record(&mut self, hit: bool, probes: u64) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.probe_buckets[bucket_of(probes)] += 1;
+        self.probe_count += 1;
+        self.probe_sum += probes;
+    }
+}
+
 impl AtomicHistogram {
     /// Record one sample.
     pub fn record(&self, value: u64) {
@@ -446,6 +474,31 @@ impl Obs {
         if t.kick_count > 0 {
             w.kick_hist.count.fetch_add(t.kick_count, Ordering::Relaxed);
             w.kick_hist.sum.fetch_add(t.kick_sum, Ordering::Relaxed);
+        }
+    }
+
+    /// Flush a batch-local lookup tally in one pass — the read-side twin
+    /// of [`Self::absorb_inserts`]. Every counter and histogram cell
+    /// lands exactly as if each lookup had called
+    /// [`Self::record_lookup`] individually.
+    pub(crate) fn absorb_lookups(&self, t: &LookupTally) {
+        let r = &self.read;
+        if t.hits > 0 {
+            r.lookup_hits.fetch_add(t.hits, Ordering::Relaxed);
+        }
+        if t.misses > 0 {
+            r.lookup_misses.fetch_add(t.misses, Ordering::Relaxed);
+        }
+        for (i, &n) in t.probe_buckets.iter().enumerate() {
+            if n > 0 {
+                r.probe_hist.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if t.probe_count > 0 {
+            r.probe_hist
+                .count
+                .fetch_add(t.probe_count, Ordering::Relaxed);
+            r.probe_hist.sum.fetch_add(t.probe_sum, Ordering::Relaxed);
         }
     }
 

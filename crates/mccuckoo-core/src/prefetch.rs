@@ -1,0 +1,65 @@
+//! Best-effort software prefetch shim for the batched read paths.
+//!
+//! The batched lookup state machine
+//! ([`McTable::lookup_batch`](crate::McTable::lookup_batch)) hashes a
+//! whole batch of keys, picks
+//! each key's target buckets from the on-chip counters, and issues a
+//! prefetch for every bucket it is about to probe before touching any of
+//! them — the software analogue of the paper's FPGA pipeline keeping
+//! many keys in flight to hide memory latency.
+//!
+//! Prefetching is purely a *hint*: it never faults, never changes
+//! results, and never changes the modelled access counts. On x86_64 it
+//! lowers to `_mm_prefetch(T0)`, on aarch64 to `prfm pldl1keep`; on
+//! every other target — and under the `no_prefetch` feature, which CI
+//! uses to keep the portable fallback green — it compiles to nothing.
+
+/// Hint the CPU to pull the cache line containing `p` toward L1.
+///
+/// Safe for any pointer value, including dangling or null: the
+/// underlying instructions are architectural no-ops on unmapped
+/// addresses and the pointer is never dereferenced.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "no_prefetch")))]
+    // SAFETY: _mm_prefetch has no memory effects visible to the program;
+    // it is a hint and cannot fault regardless of the address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(all(target_arch = "aarch64", not(feature = "no_prefetch")))]
+    // SAFETY: PRFM is a hint instruction; it cannot fault and has no
+    // architectural side effects beyond cache state.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(any(
+        not(any(target_arch = "x86_64", target_arch = "aarch64")),
+        feature = "no_prefetch"
+    ))]
+    let _ = p;
+}
+
+/// Prefetch a slice element (bounds-unchecked on purpose: an
+/// out-of-range index only wastes the hint).
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], index: usize) {
+    // Pointer arithmetic without `get_unchecked`: wrapping add keeps
+    // this sound for any index, the resulting pointer is never read.
+    prefetch_read(slice.as_ptr().wrapping_add(index));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_tolerates_any_pointer() {
+        let v = [1u64, 2, 3];
+        prefetch_read(v.as_ptr());
+        prefetch_read(core::ptr::null::<u64>());
+        prefetch_read(usize::MAX as *const u64);
+        prefetch_index(&v, 0);
+        prefetch_index(&v, 1_000_000); // far out of range: still a no-op
+    }
+}

@@ -190,6 +190,22 @@ where
         agg
     }
 
+    /// Aggregate memory-access tallies: the sum of every shard's
+    /// [`ConcurrentMcCuckoo::mem_stats`] snapshot. Safe under concurrent
+    /// readers and writers (each shard's counters are relaxed atomics);
+    /// the sum is as linearizable as any live multi-writer statistic.
+    pub fn mem_stats(&self) -> mem_model::MemStats {
+        let mut agg = mem_model::MemStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.mem_stats();
+            agg.offchip_reads += s.offchip_reads;
+            agg.offchip_writes += s.offchip_writes;
+            agg.onchip_reads += s.onchip_reads;
+            agg.onchip_writes += s.onchip_writes;
+        }
+        agg
+    }
+
     // ------------------------------------------------------------------
     // Single-op API (mirrors `ConcurrentMcCuckoo`)
     // ------------------------------------------------------------------
@@ -261,19 +277,22 @@ where
         shard_of: impl Fn(&T) -> usize,
     ) -> (Vec<u32>, Vec<u32>) {
         let nshards = self.shards.len();
+        // Route each item once — the selector digest is a full seeded
+        // hash, so re-deriving it in the placement pass would double the
+        // batch's hashing bill.
+        let ids: Vec<u32> = items.iter().map(|item| shard_of(item) as u32).collect();
         let mut offsets: Vec<u32> = vec![0; nshards + 1];
         let mut order: Vec<u32> = vec![0; items.len()];
-        for item in items {
-            offsets[shard_of(item) + 1] += 1;
+        for &s in &ids {
+            offsets[s as usize + 1] += 1;
         }
         for s in 0..nshards {
             offsets[s + 1] += offsets[s];
         }
         let mut cursor = offsets.clone();
-        for (i, item) in items.iter().enumerate() {
-            let s = shard_of(item);
-            order[cursor[s] as usize] = i as u32;
-            cursor[s] += 1;
+        for (i, &s) in ids.iter().enumerate() {
+            order[cursor[s as usize] as usize] = i as u32;
+            cursor[s as usize] += 1;
         }
         (order, offsets)
     }

@@ -17,7 +17,7 @@
 use hash_kit::{KeyHash, SplitMix64};
 
 use crate::config::DeletionMode;
-use crate::engine::{BucketLayout, CopyProbe, Engine, Probe};
+use crate::engine::{BucketLayout, CopyProbe, Engine, Probe, ProbePlan};
 
 pub use crate::engine::{McFull, MAX_D};
 
@@ -48,34 +48,47 @@ impl BucketLayout for SingleLayout {
 
     /// Partition-pruned first-hit probe (§III.B.2). At `l = 1` the
     /// global bucket index doubles as the slot index.
-    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(t: &Engine<K, V, Self>, key: &K) -> Probe {
-        let cands = t.candidate_buckets(key);
-        let cvals = read_counters(t, &cands);
+    fn probe_first<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+    ) -> Probe {
+        let cvals = read_counters(t, cands);
         // Lookup rule 1 (mode-dependent).
-        if rule1_miss(t, &cands, &cvals) {
+        if rule1_miss(t, cands, &cvals) {
             return Probe::Miss { check_stash: false };
         }
         let mut visited_flags_ok = true;
-        // Partitions in decreasing counter value.
+        // Partitions in decreasing counter value. Partition membership
+        // fits in a fixed array — no heap traffic on the lookup path.
         for v in (1..=t.d as u8).rev() {
-            let positions: Vec<usize> = (0..t.d)
-                .filter(|&i| cvals[i] == v)
-                .map(|i| cands[i])
-                .collect();
-            if positions.len() < v as usize {
+            let mut positions = [0usize; MAX_D];
+            let mut plen = 0usize;
+            for i in 0..t.d {
+                if cvals[i] == v {
+                    positions[plen] = cands[i];
+                    plen += 1;
+                }
+            }
+            if plen < v as usize {
                 continue; // rule 2: impossible partition
             }
-            let budget = positions.len() - v as usize + 1; // rule 3
+            let budget = plen - v as usize + 1; // rule 3
             for &p in positions.iter().take(budget) {
                 t.meter.offchip_read(1);
                 visited_flags_ok &= t.flags[p];
-                if t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
+                // Tag filter (software fast path, zero modelled cost):
+                // the bucket read is already metered above; the tag only
+                // decides whether to touch the boxed entry and compare
+                // the full key. May-match ⇒ confirm on the entry.
+                if t.tags[p] == tag && t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
                     return Probe::Found(p);
                 }
             }
         }
         Probe::Miss {
-            check_stash: t.stash_screen(&cands, visited_flags_ok),
+            check_stash: t.stash_screen(cands, visited_flags_ok),
         }
     }
 
@@ -85,10 +98,11 @@ impl BucketLayout for SingleLayout {
     fn probe_copies<K: KeyHash + Eq + Clone, V: Clone>(
         t: &Engine<K, V, Self>,
         key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
     ) -> CopyProbe {
-        let cands = t.candidate_buckets(key);
-        let cvals = read_counters(t, &cands);
-        if rule1_miss(t, &cands, &cvals) {
+        let cvals = read_counters(t, cands);
+        if rule1_miss(t, cands, &cvals) {
             return CopyProbe::Miss { check_stash: false };
         }
         let mut visited_flags_ok = true;
@@ -124,7 +138,9 @@ impl BucketLayout for SingleLayout {
                 }
                 t.meter.offchip_read(1);
                 visited_flags_ok &= t.flags[p];
-                if t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
+                // Tag-filtered entry confirm (see `probe_first`); the
+                // counting-based early stops above never consult tags.
+                if t.tags[p] == tag && t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
                     if first.is_none() {
                         first = Some(p);
                     }
@@ -140,8 +156,87 @@ impl BucketLayout for SingleLayout {
             }
         }
         CopyProbe::Miss {
-            check_stash: t.stash_screen(&cands, visited_flags_ok),
+            check_stash: t.stash_screen(cands, visited_flags_ok),
         }
+    }
+
+    /// Replicates the partition-pruned probe order of `probe_first`
+    /// (rules 1–3) with **unmetered** counter peeks, prefetching only
+    /// the positions a probe on this key would actually read — on a hit
+    /// with all counters at `d` that is a single line, where the naive
+    /// all-candidates default would fetch `d` — and records them so
+    /// [`BucketLayout::probe_planned`] can replay without re-deriving
+    /// the partitions.
+    fn plan_probe<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        cands: &[usize; MAX_D],
+    ) -> ProbePlan {
+        let mut cvals = [0u8; MAX_D];
+        for i in 0..t.d {
+            cvals[i] = t.counters.get(cands[i]);
+        }
+        let mut plan = ProbePlan::FALLBACK;
+        if rule1_miss(t, cands, &cvals) {
+            plan.rule1 = true; // the probe reads nothing off-chip
+            return plan;
+        }
+        for v in (1..=t.d as u8).rev() {
+            let mut positions = [0usize; MAX_D];
+            let mut plen = 0usize;
+            for i in 0..t.d {
+                if cvals[i] == v {
+                    positions[plen] = cands[i];
+                    plen += 1;
+                }
+            }
+            if plen < v as usize {
+                continue;
+            }
+            let budget = plen - v as usize + 1;
+            for &p in positions.iter().take(budget) {
+                crate::prefetch::prefetch_index(&t.slots, p);
+                crate::prefetch::prefetch_index(&t.tags, p);
+                crate::prefetch::prefetch_index(&t.flags, p);
+                plan.order[plan.len as usize] = p;
+                plan.len += 1;
+            }
+        }
+        plan
+    }
+
+    /// Replay of `probe_first` over the planned positions. Metering is
+    /// identical: one on-chip read per counter (`read_counters`'
+    /// tally — the values themselves were already peeked by the plan),
+    /// one off-chip read per visited position, and the same
+    /// stash-screening decision (rule 1 carries `check_stash: false`;
+    /// an exhausted probe consults the visited flags).
+    fn probe_planned<K: KeyHash + Eq + Clone, V: Clone>(
+        t: &Engine<K, V, Self>,
+        key: &K,
+        cands: &[usize; MAX_D],
+        tag: u8,
+        plan: &ProbePlan,
+    ) -> (Probe, u64) {
+        t.meter.onchip_read(t.d as u64);
+        if plan.rule1 {
+            return (Probe::Miss { check_stash: false }, 0);
+        }
+        let mut visited_flags_ok = true;
+        let mut visited = 0u64;
+        for &p in plan.order[..plan.len as usize].iter() {
+            t.meter.offchip_read(1);
+            visited += 1;
+            visited_flags_ok &= t.flags[p];
+            if t.tags[p] == tag && t.slots[p].as_ref().is_some_and(|e| e.key == *key) {
+                return (Probe::Found(p), visited);
+            }
+        }
+        (
+            Probe::Miss {
+                check_stash: t.stash_screen(cands, visited_flags_ok),
+            },
+            visited,
+        )
     }
 }
 
@@ -199,6 +294,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
             return None;
         }
         let mut visited_flags_ok = true;
+        let tag = self.tag_of(key);
         for i in 0..self.d {
             if cvals[i] == 0 {
                 continue;
@@ -206,7 +302,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
             let p = cands[i];
             self.meter.offchip_read(1);
             visited_flags_ok &= self.flags[p];
-            if self.slots[p].as_ref().is_some_and(|e| e.key == *key) {
+            if self.tags[p] == tag && self.slots[p].as_ref().is_some_and(|e| e.key == *key) {
                 return self.slots[p].as_ref().map(|e| &e.value);
             }
         }

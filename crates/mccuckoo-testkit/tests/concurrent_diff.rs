@@ -146,6 +146,121 @@ fn writer_differential_with_reader_storm() {
 }
 
 #[test]
+fn writer_differential_with_batched_reader_storm() {
+    // The same three decidable checks as `writer_differential_with_
+    // reader_storm`, but every reader goes through the *batched* read
+    // path (`get_batch`): the batch machinery (shared hashing pass,
+    // batch-local stat tally, prefetch hints) must not weaken seqlock
+    // reads. The monotone key is planted at several positions of each
+    // batch; positions are resolved in order, so the observed sequence
+    // across positions and batches must still be non-decreasing.
+    use mccuckoo_core::McTable;
+
+    const MONOTONE_KEY: u64 = 0;
+    for seed in [9u64, 27] {
+        let t = Arc::new(ConcurrentMcCuckoo::<u64, u64>::new(McConfig::paper(
+            512, seed,
+        )));
+        let ops = schedule(seed, 30_000, 600);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let violations = std::thread::scope(|scope| {
+            let mut readers = Vec::new();
+            for r in 0..3 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                readers.push(scope.spawn(move || {
+                    let mut last_seen = 0u64;
+                    let mut violations = 0usize;
+                    let mut spin = r as u64;
+                    let mut batch = [0u64; 32];
+                    while !stop.load(Ordering::Acquire) {
+                        // Monotone key at positions 0, 10, 20, 30;
+                        // churn keys everywhere else (unchecked).
+                        for (j, slot) in batch.iter_mut().enumerate() {
+                            *slot = if j % 10 == 0 {
+                                MONOTONE_KEY
+                            } else {
+                                1 + (spin + j as u64) % 600
+                            };
+                        }
+                        spin = spin.wrapping_add(31);
+                        let got = t.get_batch(&batch);
+                        for (j, v) in got.iter().enumerate() {
+                            if j % 10 != 0 {
+                                continue;
+                            }
+                            if let Some(v) = v {
+                                if *v < last_seen {
+                                    violations += 1;
+                                }
+                                last_seen = *v;
+                            }
+                        }
+                    }
+                    violations
+                }));
+            }
+
+            let mut bump = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                if i % 64 == 0 {
+                    bump += 1;
+                    t.insert(MONOTONE_KEY, bump).unwrap();
+                }
+                match *op {
+                    WOp::Insert(k, v) => {
+                        let _ = t.insert(k, v);
+                    }
+                    WOp::Remove(k) => {
+                        let _ = t.remove(&k);
+                    }
+                }
+            }
+            stop.store(true, Ordering::Release);
+            readers
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        });
+        assert_eq!(
+            violations, 0,
+            "seed {seed}: non-monotone batched reads of the designated key"
+        );
+
+        // Final state equals the sequential oracle — swept through the
+        // batched path this time.
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut bump = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if i % 64 == 0 {
+                bump += 1;
+                oracle.insert(MONOTONE_KEY, bump);
+            }
+            match *op {
+                WOp::Insert(k, v) => {
+                    oracle.insert(k, v);
+                }
+                WOp::Remove(k) => {
+                    oracle.remove(&k);
+                }
+            }
+        }
+        t.check_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(t.len(), oracle.len(), "seed {seed}: distinct count");
+        let keys: Vec<u64> = (0..=600u64).collect();
+        for (k, got) in keys.iter().zip(McTable::lookup_batch(&*t, &keys)) {
+            assert_eq!(
+                got,
+                oracle.get(k).copied(),
+                "seed {seed}: key {k} diverged through the batched sweep"
+            );
+        }
+    }
+}
+
+#[test]
 fn concurrent_matches_oracle_single_threaded_histories() {
     // Pure sequential differential at higher load, including update
     // histories per key — the linearizable single-key case degenerate
