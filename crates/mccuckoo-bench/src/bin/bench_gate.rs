@@ -33,6 +33,20 @@
 //! machine must beat the per-key loop by a real margin, on any host
 //! with a functioning cache hierarchy (batching amortises dispatch even
 //! where the prefetch shim is a no-op).
+//!
+//! With `--first-failure-only` only the kick-policy gate runs: it reads
+//! the fresh `results/fig11_kick_policies.csv` (written by
+//! `fig11_first_failure` in the same job; header
+//! `maxloop,scheme,policy,load`) and fails when the best plan-first
+//! policy (bfs or bubble) of any scheme, averaged over the swept
+//! maxloop budgets, reaches less than `MCB_FF_MIN` × the random-walk
+//! first-failure load. The default minimum is 1.0 — searching the
+//! eviction *tree* must never average worse than sampling one path.
+//! Averaging over budgets is deliberate: at the largest budgets every
+//! policy compresses into the saturation plateau where differences are
+//! noise-level, while the planned policies' real edge shows across the
+//! whole curve. The sweep is seed-deterministic, so the gate is stable
+//! for a given `MCB_CAP`/`MCB_RUNS`.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -150,6 +164,107 @@ fn gate_lookup() {
     exit(1);
 }
 
+/// Per-scheme `best(bfs, bubble) / random-walk` first-failure ratios,
+/// each policy's load first averaged over every swept maxloop budget,
+/// from the CSV text written by `fig11_first_failure` (header
+/// `maxloop,scheme,policy,load`).
+fn first_failure_ratios(csv: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut rows: Vec<(String, String, f64)> = Vec::new();
+    for (lineno, line) in csv.lines().enumerate().skip(1) {
+        let f: Vec<&str> = line.trim().split(',').collect();
+        if f.len() != 4 {
+            return Err(format!(
+                "line {}: expected 4 fields, got {line:?}",
+                lineno + 1
+            ));
+        }
+        f[0].parse::<u32>()
+            .map_err(|e| format!("line {}: {e} in {line:?}", lineno + 1))?;
+        let load = f[3]
+            .parse::<f64>()
+            .map_err(|e| format!("line {}: {e} in {line:?}", lineno + 1))?;
+        rows.push((f[1].to_string(), f[2].to_string(), load));
+    }
+    if rows.is_empty() {
+        return Err("no data rows".into());
+    }
+    let mut schemes: Vec<String> = Vec::new();
+    for r in &rows {
+        if !schemes.contains(&r.0) {
+            schemes.push(r.0.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for scheme in schemes {
+        let mean = |policy: &str| {
+            let loads: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.0 == scheme && r.1 == policy)
+                .map(|r| r.2)
+                .collect();
+            if loads.is_empty() {
+                None
+            } else {
+                Some(loads.iter().sum::<f64>() / loads.len() as f64)
+            }
+        };
+        let walk = mean("random-walk").ok_or(format!("no random-walk row for {scheme}"))?;
+        let best = mean("bfs")
+            .into_iter()
+            .chain(mean("bubble"))
+            .fold(None::<f64>, |b, v| Some(b.map_or(v, |b| b.max(v))))
+            .ok_or(format!("no bfs/bubble row for {scheme}"))?;
+        if walk <= 0.0 {
+            return Err(format!("non-positive random-walk load {walk} for {scheme}"));
+        }
+        out.push((scheme, best / walk));
+    }
+    Ok(out)
+}
+
+/// `MCB_FF_MIN`, defaulting to parity: the plan-first policies must not
+/// lose to the random walk at the operating budget.
+fn first_failure_min() -> f64 {
+    if let Ok(v) = std::env::var("MCB_FF_MIN") {
+        if let Ok(min) = v.parse::<f64>() {
+            return min;
+        }
+        eprintln!("[gate] ignoring unparseable MCB_FF_MIN={v:?}");
+    }
+    1.0
+}
+
+fn gate_first_failure() {
+    let path = csv_path("fig11_kick_policies");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot read {}: {e}", path.display());
+        eprintln!("[gate] run `fig11_first_failure` first");
+        exit(2);
+    });
+    let ratios = first_failure_ratios(&raw).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot interpret {}: {e}", path.display());
+        exit(2);
+    });
+    let min = first_failure_min();
+    let mut failed = false;
+    for (scheme, ratio) in &ratios {
+        println!(
+            "[gate] {scheme:<10} first-failure: best planned policy is {ratio:.4}x \
+             the random walk (minimum {min:.4}x)"
+        );
+        if *ratio < min {
+            eprintln!(
+                "[gate] FAIL: {scheme} planned kick {ratio:.4}x < {min:.4}x — BFS/bubbling \
+                 no longer beat the random walk (see DESIGN.md \"Kick policies\")"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn load(path: &PathBuf) -> SmokeReport {
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("[gate] cannot read {}: {e}", path.display());
@@ -168,6 +283,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--lookup-only") {
         gate_lookup();
+        return;
+    }
+    if std::env::args().any(|a| a == "--first-failure-only") {
+        gate_first_failure();
         return;
     }
     let fresh_path = csv_path("bench_smoke").with_extension("json");
@@ -246,6 +365,56 @@ mod tests {
         assert_eq!((0.625f64 * 4.0).max(1.0), 2.5);
         let min = scaling_min();
         assert!((1.0..=2.5).contains(&min), "default min {min} out of range");
+    }
+
+    #[test]
+    fn first_failure_ratios_average_over_budgets_and_take_the_best_policy() {
+        let csv = "maxloop,scheme,policy,load\n\
+                   50,McCuckoo,random-walk,0.8000\n\
+                   50,McCuckoo,bfs,0.7000\n\
+                   50,McCuckoo,bubble,0.8200\n\
+                   500,McCuckoo,random-walk,0.9000\n\
+                   500,McCuckoo,bfs,0.9090\n\
+                   500,McCuckoo,bubble,0.9000\n\
+                   500,B-McCuckoo,random-walk,0.9900\n\
+                   500,B-McCuckoo,bfs,0.9920\n\
+                   500,B-McCuckoo,bubble,0.9940\n";
+        // Each policy is averaged across its budget rows, then the best
+        // of bfs/bubble is compared to the walk: bubble's mean 0.8600
+        // beats bfs's 0.8045 and the walk's 0.8500 for McCuckoo.
+        let ratios = first_failure_ratios(csv).unwrap();
+        assert_eq!(ratios.len(), 2);
+        assert_eq!(ratios[0].0, "McCuckoo");
+        assert!((ratios[0].1 - 0.8600 / 0.8500).abs() < 1e-12);
+        assert_eq!(ratios[1].0, "B-McCuckoo");
+        assert!((ratios[1].1 - 0.9940 / 0.9900).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_failure_ratios_reject_incomplete_sweeps() {
+        assert!(first_failure_ratios("maxloop,scheme,policy,load\n")
+            .unwrap_err()
+            .contains("no data rows"));
+        assert!(
+            first_failure_ratios("maxloop,scheme,policy,load\n500,McCuckoo,bfs,0.9\n")
+                .unwrap_err()
+                .contains("no random-walk row")
+        );
+        assert!(
+            first_failure_ratios("maxloop,scheme,policy,load\n500,McCuckoo,random-walk,0.9\n")
+                .unwrap_err()
+                .contains("no bfs/bubble row")
+        );
+        assert!(first_failure_ratios("maxloop,scheme,policy,load\nnot,a,row\n").is_err());
+    }
+
+    #[test]
+    fn first_failure_minimum_defaults_to_parity() {
+        // Env-independent check of the committed default (the CI job
+        // does not set MCB_FF_MIN).
+        if std::env::var("MCB_FF_MIN").is_err() {
+            assert_eq!(first_failure_min(), 1.0);
+        }
     }
 
     #[test]

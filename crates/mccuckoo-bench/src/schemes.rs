@@ -7,7 +7,9 @@
 //! are sized by **total slot capacity** so load ratios are comparable.
 
 use cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
-use mccuckoo_core::{BlockedConfig, BlockedMcCuckoo, McConfig, McCuckoo, McTable, ShardedMcCuckoo};
+use mccuckoo_core::{
+    BlockedConfig, BlockedMcCuckoo, KickPolicyKind, McConfig, McCuckoo, McTable, ShardedMcCuckoo,
+};
 use mem_model::{InsertOutcome, InsertReport, MemStats};
 
 /// The four schemes of the paper's evaluation, plus the sharded
@@ -98,13 +100,35 @@ pub struct AnyTable {
 impl AnyTable {
     /// Build `scheme` with ~`cap_slots` total capacity. `deletion`
     /// enables Reset-mode deletion on the multi-copy schemes (baselines
-    /// always support removal).
+    /// always support removal). Uses the paper's random-walk kick policy;
+    /// [`Self::build_with_policy`] selects another.
     pub fn build(
         scheme: Scheme,
         cap_slots: usize,
         seed: u64,
         maxloop: u32,
         deletion: bool,
+    ) -> Self {
+        Self::build_with_policy(
+            scheme,
+            cap_slots,
+            seed,
+            maxloop,
+            deletion,
+            KickPolicyKind::RandomWalk,
+        )
+    }
+
+    /// [`Self::build`] with an explicit kick policy for the multi-copy
+    /// schemes (McCuckoo, B-McCuckoo, Sharded). The baselines have no
+    /// policy layer and ignore `kick` — their walk is the scheme.
+    pub fn build_with_policy(
+        scheme: Scheme,
+        cap_slots: usize,
+        seed: u64,
+        maxloop: u32,
+        deletion: bool,
+        kick: KickPolicyKind,
     ) -> Self {
         let t: Box<dyn McTable<u64, u64>> = match scheme {
             Scheme::Cuckoo => {
@@ -119,6 +143,7 @@ impl AnyTable {
                     McConfig::paper(cap_slots / 3, seed)
                 };
                 cfg.maxloop = maxloop;
+                cfg.kick = kick;
                 Box::new(McCuckoo::new(cfg))
             }
             Scheme::Bcht => {
@@ -138,6 +163,7 @@ impl AnyTable {
                     aggressive_lookup: false,
                 };
                 cfg.base.maxloop = maxloop;
+                cfg.base.kick = kick;
                 Box::new(BlockedMcCuckoo::new(cfg))
             }
             Scheme::Sharded => {
@@ -146,6 +172,7 @@ impl AnyTable {
                 const SHARDS: usize = 4;
                 let mut cfg = McConfig::paper((cap_slots / 3 / SHARDS).max(1), seed);
                 cfg.maxloop = maxloop;
+                cfg.kick = kick;
                 Box::new(ShardedMcCuckoo::new(SHARDS, cfg))
             }
         };

@@ -72,6 +72,7 @@ use mem_model::{InsertOutcome, InsertReport, MemStats};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::config::McConfig;
+use crate::kick::{self, EvictionGraph};
 use crate::obs::{InsertTally, Obs, TableStats};
 use crate::pad::CachePadded;
 use crate::single::MAX_D;
@@ -249,7 +250,9 @@ where
     /// histograms). Monotonic over the table's lifetime; safe to call
     /// concurrently with readers and writers.
     pub fn stats(&self) -> TableStats {
-        self.obs.snapshot()
+        let mut s = self.obs.snapshot();
+        s.kick_policy = self.config.kick.label().to_string();
+        s
     }
 
     /// Snapshot of the modelled memory-access tallies: off-chip bucket
@@ -768,11 +771,23 @@ where
                 want |= need;
                 continue;
             }
-            // Real collision: bounded kick walk. The striped executor
-            // only settles walks whose terminal item has an *empty*
-            // candidate; overwrite-terminal walks go to the sweep.
+            // Real collision: plan a displacement chain through the
+            // configured kick policy (`crate::kick`). The plan is pure
+            // reads, so its slot list is exactly the stripe footprint the
+            // executor needs. The striped executor only settles chains
+            // whose terminal item has an *empty* candidate
+            // (`empty_terminal_only`); overwrite-terminal chains go to
+            // the sweep.
             let mut rng = self.op_rng();
-            if !self.precompute_path(&key, &mut rng, true, &mut path) {
+            if !kick::plan_kick(
+                self,
+                self.config.kick,
+                &key,
+                &mut rng,
+                true,
+                self.maxloop,
+                &mut path,
+            ) {
                 break;
             }
             let mut need = base;
@@ -956,10 +971,19 @@ where
             self.distinct.fetch_add(1, Ordering::AcqRel);
             return Ok(InsertReport::clean(copies));
         }
-        // Real collision: precompute a random-walk path, then execute it
-        // backwards (MemC3 ordering) so readers never lose an item.
+        // Real collision: plan a displacement chain through the
+        // configured kick policy, then execute it backwards (MemC3
+        // ordering) so readers never lose an item.
         let mut rng = self.op_rng();
-        if !self.precompute_path(&key, &mut rng, false, path) {
+        if !kick::plan_kick(
+            self,
+            self.config.kick,
+            &key,
+            &mut rng,
+            false,
+            self.maxloop,
+            path,
+        ) {
             return Err((key, value));
         }
         // Settle the path's terminal occupant first (it has a free or
@@ -1167,58 +1191,6 @@ where
         }
     }
 
-    /// Precompute a random-walk relocation path into `path`: a chain of
-    /// occupied buckets whose last occupant can settle elsewhere.
-    /// Read-only (the buffer is caller-provided so batched inserts reuse
-    /// one allocation). The path is kept *simple* (no bucket repeats) so
-    /// the backward execution never clobbers an unmoved item; a walk
-    /// with no unvisited candidate is abandoned as a failure. With
-    /// `empty_terminal_only`, a terminal only counts as settleable into
-    /// an *empty* candidate — the shape the striped executor handles.
-    fn precompute_path(
-        &self,
-        key: &K,
-        rng: &mut SplitMix64,
-        empty_terminal_only: bool,
-        path: &mut Vec<usize>,
-    ) -> bool {
-        path.clear();
-        let mut cur_key = *key;
-        for _ in 0..self.maxloop {
-            let cands = self.candidates(&cur_key);
-            let mut choices = [usize::MAX; MAX_D];
-            let mut m = 0usize;
-            for &b in cands.iter().take(self.d) {
-                if !path.contains(&b) {
-                    choices[m] = b;
-                    m += 1;
-                }
-            }
-            if m == 0 {
-                return false; // walk trapped in its own footprint
-            }
-            let next = choices[rng.next_below(m as u64) as usize];
-            path.push(next);
-            self.access.offchip_read(1);
-            let Some((occupant, _)) = self.cell_read_atomic(next) else {
-                return false; // raced a removal mid-walk; caller retries
-            };
-            // Can the occupant settle? (any empty — or, when the caller
-            // can execute overwrites, any ≥2 — candidate)
-            let ocands = self.candidates(&occupant);
-            self.access.onchip_read(self.d as u64);
-            let placeable = (0..self.d).any(|i| {
-                let c = self.counters[ocands[i]].load(Ordering::Acquire);
-                c == 0 || (!empty_terminal_only && c >= 2 && ocands[i] != next)
-            });
-            if placeable {
-                return true;
-            }
-            cur_key = occupant;
-        }
-        false
-    }
-
     /// The validator body. Caller must hold every stripe (or otherwise
     /// guarantee no writer is active).
     fn validate_excl(&self) -> Result<(), String> {
@@ -1290,6 +1262,51 @@ where
             ));
         }
         Ok(())
+    }
+}
+
+/// The concurrent table as a planning substrate for [`crate::kick`]:
+/// one slot per bucket (`l = 1`), counters read with `Acquire`, and
+/// occupants read through the seqlock (`cell_read_atomic`) — a planner
+/// runs **unlocked**, so a raced removal surfaces as `None` and fails
+/// the plan, which the caller re-validates or retries under locks
+/// anyway. This is the only kick-walk logic the concurrent table has:
+/// all three policies (random-walk, BFS, bubbling) drive the striped
+/// plan→lock→re-validate pipeline through the shared planners.
+impl<K, V> EvictionGraph for ConcurrentMcCuckoo<K, V>
+where
+    K: KeyHash + Eq + Copy,
+    V: Copy,
+{
+    type Key = K;
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    fn l(&self) -> usize {
+        1
+    }
+
+    fn counter(&self, slot: usize) -> u8 {
+        self.counters[slot].load(Ordering::Acquire)
+    }
+
+    fn cands(&self, key: &K) -> [usize; MAX_D] {
+        self.candidates(key)
+    }
+
+    fn slot_of(&self, bucket: usize, _slot: usize) -> usize {
+        bucket
+    }
+
+    fn occupant(&self, slot: usize) -> Option<K> {
+        self.access.offchip_read(1);
+        self.cell_read_atomic(slot).map(|(k, _)| k)
+    }
+
+    fn meter_onchip(&self, n: u64) {
+        self.access.onchip_read(n);
     }
 }
 
@@ -1409,6 +1426,62 @@ mod tests {
         assert_eq!(t.get(&failed), None, "failed insert must not be visible");
         for k in &stored {
             assert_eq!(t.get(k), Some(*k), "failure must not disturb others");
+        }
+    }
+
+    #[test]
+    fn every_kick_policy_drives_the_striped_path() {
+        use crate::config::KickPolicyKind;
+        for kind in KickPolicyKind::ALL {
+            let t: ConcurrentMcCuckoo<u64, u64> = ConcurrentMcCuckoo::new(
+                McConfig::paper(256 / SCALE.min(4), 21).with_kick_policy(kind),
+            );
+            let mut keys = UniqueKeys::new(22);
+            // ~78% load: plenty of real collisions, so every policy's
+            // plan actually flows through plan→lock→re-validate.
+            let ks = keys.take_vec(600 / SCALE.min(4));
+            for &k in &ks {
+                t.insert(k, k ^ 1)
+                    .unwrap_or_else(|_| panic!("{kind:?}: table overflowed"));
+            }
+            for &k in &ks {
+                assert_eq!(t.get(&k), Some(k ^ 1), "{kind:?}: key lost");
+            }
+            let s = t.stats();
+            assert_eq!(s.kick_policy, kind.label());
+            assert!(s.kick_hist.count > 0, "{kind:?}: no kick was exercised");
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn failed_insert_mutates_nothing_under_every_policy() {
+        use crate::config::KickPolicyKind;
+        for kind in KickPolicyKind::ALL {
+            let t: ConcurrentMcCuckoo<u64, u64> = ConcurrentMcCuckoo::new(
+                McConfig::paper(4, 4)
+                    .with_maxloop(20)
+                    .with_kick_policy(kind),
+            );
+            let mut keys = UniqueKeys::new(5);
+            let mut stored = Vec::new();
+            let mut failed = None;
+            for _ in 0..40 {
+                let k = keys.next_key();
+                match t.insert(k, k) {
+                    Ok(_) => stored.push(k),
+                    Err((ek, _)) => {
+                        failed = Some(ek);
+                        break;
+                    }
+                }
+            }
+            let failed = failed.unwrap_or_else(|| panic!("{kind:?}: 12 buckets must overflow"));
+            assert_eq!(t.get(&failed), None, "{kind:?}: failed insert visible");
+            for k in &stored {
+                assert_eq!(t.get(k), Some(*k), "{kind:?}: failure disturbed others");
+            }
+            t.check_invariants().unwrap();
         }
     }
 

@@ -39,6 +39,48 @@ pub enum ResolutionPolicy {
     MinCounter,
 }
 
+/// How an insertion chooses and traverses displacement chains when every
+/// candidate bucket holds a sole copy (a *real* collision). Orthogonal to
+/// [`ResolutionPolicy`], which only picks the blind victim inside the
+/// random-walk policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KickPolicyKind {
+    /// The paper's mutate-as-you-walk random walk (§III.D), optionally
+    /// refined by [`ResolutionPolicy::MinCounter`]. `maxloop` counts
+    /// *walk hops*. A failed walk leaves its relocations in place and
+    /// stashes the last carried item.
+    #[default]
+    RandomWalk,
+    /// Breadth-first search over the eviction tree: finds a *shortest*
+    /// displacement chain before moving anything, so a failed insert is
+    /// naturally a strict no-op. `maxloop` counts *expanded nodes*.
+    Bfs,
+    /// Depth-bounded bubbling per "Efficient d-ary Cuckoo Hashing at
+    /// High Load Factors by Bubbling Up" (arXiv 2501.02312): recursive
+    /// eviction with a small depth bound, planned up front like BFS.
+    /// `maxloop` counts *visited nodes*; the depth bound is derived
+    /// (≈ log₂ maxloop, clamped to 2..=8).
+    Bubble,
+}
+
+impl KickPolicyKind {
+    /// Stable lowercase label used in stats, CSV output, and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            KickPolicyKind::RandomWalk => "random-walk",
+            KickPolicyKind::Bfs => "bfs",
+            KickPolicyKind::Bubble => "bubble",
+        }
+    }
+
+    /// All policies, in sweep order.
+    pub const ALL: [KickPolicyKind; 3] = [
+        KickPolicyKind::RandomWalk,
+        KickPolicyKind::Bfs,
+        KickPolicyKind::Bubble,
+    ];
+}
+
 /// Stash configuration (§III.E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StashPolicy {
@@ -68,6 +110,8 @@ pub struct McConfig {
     pub maxloop: u32,
     /// Collision resolution policy.
     pub resolution: ResolutionPolicy,
+    /// Kick-walk strategy for real collisions.
+    pub kick: KickPolicyKind,
     /// Deletion handling.
     pub deletion: DeletionMode,
     /// Stash behaviour.
@@ -87,6 +131,11 @@ impl_json_enum!(ResolutionPolicy {
     RandomWalk,
     MinCounter
 });
+impl_json_enum!(KickPolicyKind {
+    RandomWalk,
+    Bfs,
+    Bubble
+});
 impl_json_enum!(StashPolicy {
     None,
     Linear,
@@ -97,6 +146,7 @@ impl_json_struct!(McConfig {
     buckets_per_table,
     maxloop,
     resolution,
+    kick,
     deletion,
     stash,
     family,
@@ -113,6 +163,7 @@ impl McConfig {
             buckets_per_table,
             maxloop: 500,
             resolution: ResolutionPolicy::RandomWalk,
+            kick: KickPolicyKind::RandomWalk,
             deletion: DeletionMode::Disabled,
             stash: StashPolicy::Linear,
             family: FamilyKind::Independent,
@@ -159,6 +210,12 @@ impl McConfig {
         self
     }
 
+    /// Set the kick-walk policy.
+    pub fn with_kick_policy(mut self, kick: KickPolicyKind) -> Self {
+        self.kick = kick;
+        self
+    }
+
     /// Set the hash family.
     pub fn with_family(mut self, family: FamilyKind) -> Self {
         self.family = family;
@@ -190,6 +247,7 @@ mod tests {
         assert_eq!(c.d, 3);
         assert_eq!(c.maxloop, 500);
         assert_eq!(c.resolution, ResolutionPolicy::RandomWalk);
+        assert_eq!(c.kick, KickPolicyKind::RandomWalk);
         assert_eq!(c.deletion, DeletionMode::Disabled);
         assert_eq!(c.stash, StashPolicy::Linear);
         c.validate();
@@ -202,12 +260,22 @@ mod tests {
             .with_maxloop(50)
             .with_deletion(DeletionMode::Tombstone)
             .with_stash(StashPolicy::Hashed)
-            .with_resolution(ResolutionPolicy::MinCounter);
+            .with_resolution(ResolutionPolicy::MinCounter)
+            .with_kick_policy(KickPolicyKind::Bfs);
         assert_eq!(c.d, 4);
         assert_eq!(c.maxloop, 50);
         assert_eq!(c.deletion, DeletionMode::Tombstone);
         assert_eq!(c.stash, StashPolicy::Hashed);
         assert_eq!(c.resolution, ResolutionPolicy::MinCounter);
+        assert_eq!(c.kick, KickPolicyKind::Bfs);
+    }
+
+    #[test]
+    fn kick_policy_labels_are_stable() {
+        assert_eq!(KickPolicyKind::RandomWalk.label(), "random-walk");
+        assert_eq!(KickPolicyKind::Bfs.label(), "bfs");
+        assert_eq!(KickPolicyKind::Bubble.label(), "bubble");
+        assert_eq!(KickPolicyKind::ALL.len(), 3);
     }
 
     #[test]

@@ -45,8 +45,9 @@
 use hash_kit::{BucketFamily, KeyHash, SplitMix64};
 use mem_model::{InsertOutcome, InsertReport, MemMeter};
 
-use crate::config::{DeletionMode, McConfig, ResolutionPolicy};
+use crate::config::{DeletionMode, KickPolicyKind, McConfig, ResolutionPolicy};
 use crate::counters::CounterArray;
+use crate::kick::{self, EvictionGraph};
 use crate::obs::{Obs, TableStats};
 use crate::stash::Stash;
 
@@ -298,6 +299,9 @@ pub struct Engine<K, V, L: BucketLayout> {
     pub(crate) deletion: DeletionMode,
     pub(crate) maxloop: u32,
     pub(crate) resolution: ResolutionPolicy,
+    /// Kick-walk strategy: the paper's mutate-as-you-walk random walk,
+    /// or a plan-first policy (BFS / bubbling) from the [`kick`] layer.
+    pub(crate) kick: KickPolicyKind,
     /// Off-chip slots: `(table * n + bucket) * l + slot`.
     pub(crate) slots: Vec<Option<Entry<K, V>>>,
     /// Dense fingerprint plane: one tag byte per slot, same indexing as
@@ -352,6 +356,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             deletion: config.deletion,
             maxloop: config.maxloop,
             resolution: config.resolution,
+            kick: config.kick,
             slots,
             tags: vec![0u8; total_slots],
             flags: vec![false; total_buckets],
@@ -380,6 +385,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             buckets_per_table: self.n,
             maxloop: self.maxloop,
             resolution: self.resolution,
+            kick: self.kick,
             deletion: self.deletion,
             stash: self.stash_policy,
             family: self.family.kind(),
@@ -433,9 +439,14 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     }
 
     /// Snapshot of the observability counters (op counts and probe/kick
-    /// histograms). Monotonic over the table's lifetime.
+    /// histograms). Monotonic over the table's lifetime. The snapshot is
+    /// labelled with the configured kick policy — one table runs exactly
+    /// one policy, so `kick_hist` *is* that policy's walk-length
+    /// histogram.
     pub fn stats(&self) -> TableStats {
-        self.obs.snapshot()
+        let mut s = self.obs.snapshot();
+        s.kick_policy = self.kick.label().to_string();
+        s
     }
 
     /// Deletion mode the table was configured with.
@@ -451,9 +462,14 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     }
 
     /// On-chip bytes consumed by the counter array (plus the kick
-    /// history under the MinCounter policy).
+    /// history under the MinCounter policy, 5 bits per bucket rounded
+    /// up to whole bytes).
     pub fn onchip_bytes(&self) -> usize {
-        self.counters.onchip_bytes() + self.kick_history.as_ref().map_or(0, |k| k.len() * 5 / 8)
+        self.counters.onchip_bytes()
+            + self
+                .kick_history
+                .as_ref()
+                .map_or(0, |k| (k.len() * 5).div_ceil(8))
     }
 
     /// Buckets per sub-table (`n`).
@@ -743,7 +759,13 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         if matches.len() == needed {
             return matches;
         }
-        // Ambiguous: verify contents until the remainder is forced.
+        // Ambiguous: verify contents until the remainder is forced. The
+        // tag plane pre-filters the entry compare (a mismatched tag
+        // byte proves a different occupant without dereferencing the
+        // `Option<Entry>`); the verification read is still metered —
+        // the modelled system fetched the slot either way — so the
+        // access counts are bit-identical to the untagged scan.
+        let tag = self.tag_of(key);
         let mut confirmed = Vec::with_capacity(needed);
         for (pos, &m) in matches.iter().enumerate() {
             if confirmed.len() == needed {
@@ -754,7 +776,7 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                 break;
             }
             self.meter.verify_read(1);
-            if self.slots[m].as_ref().is_some_and(|e| e.key == *key) {
+            if self.tags[m] == tag && self.slots[m].as_ref().is_some_and(|e| e.key == *key) {
                 confirmed.push(m);
             }
         }
@@ -795,12 +817,29 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         self.redundant_writes += claimed_len as u64 - 1;
     }
 
-    /// Collision resolution (§III.D): the counters have already proven
-    /// that every candidate slot holds a sole copy, so relocation begins
-    /// immediately; each step re-applies the insertion principles for the
-    /// carried item and the counters pinpoint a usable slot the moment
-    /// one exists on the walk.
+    /// Collision resolution: the counters have already proven that every
+    /// candidate slot holds a sole copy, so a displacement chain is
+    /// needed. Dispatch on the configured [`KickPolicyKind`]: the
+    /// paper's random walk mutates as it goes (§III.D, preserved
+    /// bit-for-bit); BFS and bubbling plan a complete chain through the
+    /// [`kick`] layer first and execute it only if it exists, so their
+    /// failed inserts leave the main table untouched.
     fn resolve_collision(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
+        match self.kick {
+            KickPolicyKind::RandomWalk => self.resolve_collision_walk(key, value),
+            KickPolicyKind::Bfs | KickPolicyKind::Bubble => {
+                self.resolve_collision_planned(key, value)
+            }
+        }
+    }
+
+    /// The paper's mutate-as-you-walk random walk (§III.D): each step
+    /// re-applies the insertion principles for the carried item and the
+    /// counters pinpoint a usable slot the moment one exists on the
+    /// walk. On budget exhaustion the relocations stay in place and the
+    /// *last carried* item is stashed (classic cuckoo failure
+    /// semantics).
+    fn resolve_collision_walk(&mut self, key: K, value: V) -> Result<InsertReport, McFull<K, V>> {
         let mut kickouts = 0u32;
         let mut carried_key = key;
         let mut carried_value = value;
@@ -809,6 +848,8 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             if kickouts >= self.maxloop {
                 return self.stash_item(carried_key, carried_value, kickouts);
             }
+            #[cfg(feature = "testhooks")]
+            crate::testhooks::fire_panic_in_kick();
             let cands = self.candidate_buckets(&carried_key);
             let vi = self.pick_victim(&cands, prev_bucket);
             let vb = cands[vi];
@@ -848,6 +889,107 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
                 });
             }
         }
+    }
+
+    /// Plan-first collision resolution (BFS / bubbling): ask the [`kick`]
+    /// layer for a complete displacement chain, then execute it —
+    /// settle the terminal occupant by the ordinary insertion
+    /// principles, shift the chain backward one slot each, write the
+    /// inserted key into the freed front slot. Planning only reads, so
+    /// a plan failure stashes the *original* key with the main table
+    /// strictly untouched (no unwind log needed — contrast with the
+    /// random walk, which leaves its relocations in place).
+    fn resolve_collision_planned(
+        &mut self,
+        key: K,
+        value: V,
+    ) -> Result<InsertReport, McFull<K, V>> {
+        let mut path = Vec::new();
+        // The planner borrows the table immutably; lend it the RNG.
+        let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+        let planned = kick::plan_kick(
+            &*self,
+            self.kick,
+            &key,
+            &mut rng,
+            false,
+            self.maxloop,
+            &mut path,
+        );
+        self.rng = rng;
+        if !planned {
+            return self.stash_item(key, value, 0);
+        }
+        #[cfg(feature = "testhooks")]
+        crate::testhooks::fire_panic_in_kick();
+        let l = self.layout.slots();
+        let kickouts = path.len() as u32;
+
+        // 1. Settle the terminal occupant via the insertion principles.
+        //    The planner guaranteed a counter-0 slot or an overwritable
+        //    redundant copy among its candidates, and nothing has moved
+        //    since (sequential table), so this cannot fail. Its `distinct`
+        //    was counted when it first entered the table; its stale copy
+        //    at the terminal slot is overwritten in step 2.
+        let last = *path.last().expect("planned chains are non-empty");
+        self.meter.offchip_read(1);
+        let terminal = self.slots[last]
+            .as_ref()
+            .expect("chain slots hold sole copies");
+        let (tkey, tvalue) = (terminal.key.clone(), terminal.value.clone());
+        let tcands = self.candidate_buckets(&tkey);
+        self.meter_counter_scan();
+        let copies = self
+            .try_place(&tkey, &tvalue, &tcands)
+            .expect("planned terminal occupant must settle");
+
+        // 2. Shift the chain backward: the occupant of `path[w]` moves
+        //    into `path[w+1]` (just vacated logically). Sole copies move
+        //    between sole-copy slots, so every counter on the chain stays
+        //    1; each hop is one victim read + one write, like a walk hop.
+        for w in (0..path.len() - 1).rev() {
+            let (src, dst) = (path[w], path[w + 1]);
+            self.meter.offchip_read(1);
+            self.meter.offchip_write(1);
+            let e = self.slots[src]
+                .as_ref()
+                .expect("chain slots hold sole copies");
+            let (mkey, mvalue) = (e.key.clone(), e.value.clone());
+            let mcands = self.candidate_buckets(&mkey);
+            let dst_bucket = dst / l;
+            let t = (0..self.d)
+                .find(|&t| mcands[t] == dst_bucket)
+                .expect("chain hop lands in a candidate bucket");
+            let mut hints = [NO_SLOT; MAX_D];
+            hints[t] = (dst % l) as u8;
+            let tag = self.tag_of(&mkey);
+            self.slots[dst] = Some(Entry {
+                key: mkey,
+                value: mvalue,
+                hints,
+            });
+            self.tags[dst] = tag;
+        }
+
+        // 3. The front slot now belongs to the inserted key (sole copy).
+        let s0 = path[0];
+        let cands = self.candidate_buckets(&key);
+        let t = (0..self.d)
+            .find(|&t| cands[t] == s0 / l)
+            .expect("chains start at a candidate of the inserted key");
+        let mut hints = [NO_SLOT; MAX_D];
+        hints[t] = (s0 % l) as u8;
+        self.meter.offchip_write(1);
+        let tag = self.tag_of(&key);
+        self.slots[s0] = Some(Entry { key, value, hints });
+        self.tags[s0] = tag;
+        self.distinct += 1;
+        Ok(InsertReport {
+            outcome: InsertOutcome::Placed,
+            kickouts,
+            collision: true,
+            copies_written: copies,
+        })
     }
 
     /// Choose the candidate index to evict from, excluding `prev_bucket`.
@@ -1324,10 +1466,59 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
     }
 }
 
+/// The engine's read-only view for the [`kick`] planners. `occupant`
+/// meters one off-chip read (the planner is charged for every victim
+/// identity it inspects, exactly like the mutate-as-you-walk loop);
+/// counter peeks are raw and the planners meter the scans they model.
+impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> EvictionGraph for Engine<K, V, L> {
+    type Key = K;
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    fn l(&self) -> usize {
+        self.layout.slots()
+    }
+
+    fn counter(&self, slot: usize) -> u8 {
+        self.counters.get(slot)
+    }
+
+    fn cands(&self, key: &K) -> [usize; MAX_D] {
+        self.candidate_buckets(key)
+    }
+
+    fn slot_of(&self, bucket: usize, slot: usize) -> usize {
+        self.slot_idx(bucket, slot)
+    }
+
+    fn occupant(&self, slot: usize) -> Option<K> {
+        self.meter.offchip_read(1);
+        self.slots[slot].as_ref().map(|e| e.key.clone())
+    }
+
+    fn meter_onchip(&self, n: u64) {
+        self.meter.onchip_read(n);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{McConfig, McCuckoo};
     use proptest::prelude::*;
+
+    #[test]
+    fn onchip_bytes_rounds_kick_history_up() {
+        // MinCounter keeps 5 bits per bucket: 3 tables × 3 buckets = 9
+        // buckets → 45 bits → 6 bytes (truncating division said 5).
+        let config = McConfig::paper(3, 1).with_resolution(crate::ResolutionPolicy::MinCounter);
+        let t: McCuckoo<u64, u64> = McCuckoo::new(config);
+        assert_eq!(t.onchip_bytes(), t.counters.onchip_bytes() + 6);
+        // Without kick history the counter array is all there is.
+        let t2: McCuckoo<u64, u64> = McCuckoo::new(McConfig::paper(3, 1));
+        assert_eq!(t2.onchip_bytes(), t2.counters.onchip_bytes());
+    }
 
     /// The flag plane a refresh must leave behind: exactly the union of
     /// the candidate buckets of the items still stashed afterwards.

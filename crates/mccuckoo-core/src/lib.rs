@@ -30,6 +30,10 @@
 //!   insert/lookup/remove/kick-walk/stash control flow, parameterised by
 //!   a [`BucketLayout`](engine::BucketLayout) (slots per bucket, victim
 //!   slot choice, the two probe strategies),
+//! * [`kick`] — the pluggable `KickPolicy` layer: random-walk, BFS, and
+//!   bubbling displacement-chain planners shared by the engine and the
+//!   concurrent table (configured via
+//!   [`KickPolicyKind`]),
 //! * [`McCuckoo`] = `Engine<K, V, SingleLayout>` — the single-slot d-ary
 //!   table (d = 3 in the paper) with partition-pruned lookups
 //!   ([`single`]),
@@ -69,6 +73,7 @@ pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod invariant;
+pub mod kick;
 pub mod map;
 pub mod multiset;
 pub mod obs;
@@ -85,7 +90,7 @@ pub mod testhooks;
 
 pub use blocked::{BlockedConfig, BlockedMcCuckoo};
 pub use concurrent::ConcurrentMcCuckoo;
-pub use config::{DeletionMode, McConfig, ResolutionPolicy, StashPolicy};
+pub use config::{DeletionMode, KickPolicyKind, McConfig, ResolutionPolicy, StashPolicy};
 pub use counters::CounterArray;
 pub use engine::McFull;
 pub use map::McMap;

@@ -298,6 +298,11 @@ pub struct TableStats {
     pub batch_hist: Histogram,
     /// Per-shard breakdown; empty for unsharded tables.
     pub shards: Vec<ShardStats>,
+    /// Configured kick-walk policy label (`"random-walk"`, `"bfs"`,
+    /// `"bubble"`); empty for tables without a kick policy (baselines).
+    /// One table runs exactly one policy, so `kick_hist` *is* the
+    /// per-policy kick-walk-length histogram — this label names it.
+    pub kick_policy: String,
 }
 
 impl_json_struct!(TableStats {
@@ -305,18 +310,23 @@ impl_json_struct!(TableStats {
     probe_hist,
     kick_hist,
     batch_hist,
-    shards
+    shards,
+    kick_policy
 });
 
 impl TableStats {
     /// Accumulate `other`'s counters and histograms into `self` (shard
-    /// breakdowns are concatenated).
+    /// breakdowns are concatenated; the policy label is adopted from
+    /// `other` when `self` has none).
     pub fn merge(&mut self, other: &TableStats) {
         self.ops.merge(&other.ops);
         self.probe_hist.merge(&other.probe_hist);
         self.kick_hist.merge(&other.kick_hist);
         self.batch_hist.merge(&other.batch_hist);
         self.shards.extend(other.shards.iter().cloned());
+        if self.kick_policy.is_empty() {
+            self.kick_policy = other.kick_policy.clone();
+        }
     }
 
     /// Occupancy skew across shards: max shard load divided by mean
@@ -520,6 +530,7 @@ impl Obs {
             kick_hist: self.write.kick_hist.snapshot(),
             batch_hist: self.write.batch_hist.snapshot(),
             shards: Vec::new(),
+            kick_policy: String::new(),
         }
     }
 
@@ -675,9 +686,28 @@ mod tests {
             capacity: 3,
             ops: snap.ops,
         });
+        snap.kick_policy = "bfs".to_string();
         let s = jsonlite::to_string(&snap);
         let back: TableStats = jsonlite::from_str(&s).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_adopts_policy_label_when_absent() {
+        let mut a = TableStats::default();
+        let b = TableStats {
+            kick_policy: "bubble".to_string(),
+            ..TableStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.kick_policy, "bubble");
+        // An already-set label is kept.
+        let c = TableStats {
+            kick_policy: "bfs".to_string(),
+            ..TableStats::default()
+        };
+        a.merge(&c);
+        assert_eq!(a.kick_policy, "bubble");
     }
 
     #[test]

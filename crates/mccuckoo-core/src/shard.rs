@@ -174,6 +174,9 @@ where
     /// reset them.
     pub fn stats(&self) -> TableStats {
         let mut agg = self.obs.snapshot();
+        // Every shard is built from the same master config, so the
+        // policy label is uniform across the breakdown.
+        agg.kick_policy = self.config.kick.label().to_string();
         for (i, shard) in self.shards.iter().enumerate() {
             let s = shard.stats();
             agg.ops.merge(&s.ops);

@@ -352,6 +352,23 @@ mod tests {
     }
 
     #[test]
+    fn stats_expose_the_kick_policy_label() {
+        use crate::KickPolicyKind;
+        for kind in KickPolicyKind::ALL {
+            let cfg = McConfig::paper(64, 6).with_kick_policy(kind);
+            let single: Box<dyn McTable<u64, u64>> =
+                Box::new(McCuckoo::<u64, u64>::new(cfg.clone()));
+            assert_eq!(single.stats().kick_policy, kind.label());
+            let conc: Box<dyn McTable<u64, u64>> =
+                Box::new(ConcurrentMcCuckoo::<u64, u64>::new(cfg.clone()));
+            assert_eq!(conc.stats().kick_policy, kind.label());
+            let sharded: Box<dyn McTable<u64, u64>> =
+                Box::new(ShardedMcCuckoo::<u64, u64>::new(2, cfg));
+            assert_eq!(sharded.stats().kick_policy, kind.label());
+        }
+    }
+
+    #[test]
     fn concurrent_table_conforms() {
         // The concurrent upsert distinguishes `Updated` from `Placed`
         // like every other implementor, so the shared driver applies.

@@ -32,11 +32,15 @@ pub fn arm_skip_counter_reset(n: u32) {
 }
 
 /// Arm the fault: the next `n` kick-walk executions on this thread
-/// (in `ConcurrentMcCuckoo`'s striped and sweep insert paths) panic
-/// while the walk's stripe locks are held, before any bucket mutation.
-/// Used to prove a dying writer releases its stripes (RAII guards) and
-/// leaves the table structurally intact. Pass `u32::MAX` to keep the
-/// fault active for the rest of the thread (until [`disarm`]).
+/// panic mid-collision-resolution. In `ConcurrentMcCuckoo`'s striped
+/// and sweep insert paths the panic fires while the walk's stripe locks
+/// are held, before any bucket mutation — proving a dying writer
+/// releases its stripes (RAII guards) and leaves the table intact. In
+/// the sequential engine it fires at the top of each random-walk hop,
+/// and for the plan-first policies (BFS / bubbling) after the plan
+/// succeeds but before the first mutation — proving a planned insert
+/// that dies there is a strict physical no-op. Pass `u32::MAX` to keep
+/// the fault active for the rest of the thread (until [`disarm`]).
 pub fn arm_panic_in_kick(n: u32) {
     PANIC_IN_KICK.with(|c| c.set(n));
 }
@@ -62,8 +66,8 @@ pub(crate) fn take_skip_counter_reset() -> bool {
     })
 }
 
-/// Consumed by the concurrent kick-walk paths: panics mid-operation if
-/// the hook is armed (the injected writer death).
+/// Consumed by the kick-walk paths (concurrent and sequential): panics
+/// mid-operation if the hook is armed (the injected writer death).
 pub(crate) fn fire_panic_in_kick() {
     let armed = PANIC_IN_KICK.with(|c| {
         let n = c.get();

@@ -15,8 +15,8 @@
 
 use mccuckoo_core::invariant::Validate;
 use mccuckoo_core::{
-    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
-    ShardedMcCuckoo, TableStats,
+    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, KickPolicyKind, McConfig,
+    McCuckoo, McTable, ShardedMcCuckoo, TableStats,
 };
 
 /// Which table implementation a fuzz case drives.
@@ -36,11 +36,19 @@ pub enum TableKind {
     Concurrent,
     /// [`ShardedMcCuckoo`] (4 shards) driven from one thread.
     Sharded,
+    /// [`McCuckoo`] with the BFS kick policy, reset deletion.
+    SingleBfs,
+    /// [`McCuckoo`] with the bubbling kick policy, reset deletion.
+    SingleBubble,
+    /// [`ConcurrentMcCuckoo`] with the BFS kick policy, one thread.
+    ConcurrentBfs,
+    /// [`ConcurrentMcCuckoo`] with the bubbling kick policy, one thread.
+    ConcurrentBubble,
 }
 
 impl TableKind {
     /// All kinds, for sweep drivers.
-    pub const ALL: [TableKind; 7] = [
+    pub const ALL: [TableKind; 11] = [
         TableKind::Single,
         TableKind::SingleTombstone,
         TableKind::Blocked,
@@ -48,6 +56,10 @@ impl TableKind {
         TableKind::Blocked3,
         TableKind::Concurrent,
         TableKind::Sharded,
+        TableKind::SingleBfs,
+        TableKind::SingleBubble,
+        TableKind::ConcurrentBfs,
+        TableKind::ConcurrentBubble,
     ];
 
     /// Short name for reports.
@@ -60,6 +72,10 @@ impl TableKind {
             TableKind::Blocked3 => "blocked-3slot",
             TableKind::Concurrent => "concurrent",
             TableKind::Sharded => "sharded-4",
+            TableKind::SingleBfs => "single-bfs",
+            TableKind::SingleBubble => "single-bubble",
+            TableKind::ConcurrentBfs => "concurrent-bfs",
+            TableKind::ConcurrentBubble => "concurrent-bubble",
         }
     }
 
@@ -101,6 +117,34 @@ impl TableKind {
             TableKind::Sharded => Box::new(Shim::new(
                 self.name(),
                 ShardedMcCuckoo::new(SHARDS, McConfig::paper((buckets / SHARDS).max(1), seed)),
+            )),
+            TableKind::SingleBfs => Box::new(Shim::new(
+                self.name(),
+                McCuckoo::new(
+                    McConfig::paper(buckets, seed)
+                        .with_deletion(DeletionMode::Reset)
+                        .with_kick_policy(KickPolicyKind::Bfs),
+                ),
+            )),
+            TableKind::SingleBubble => Box::new(Shim::new(
+                self.name(),
+                McCuckoo::new(
+                    McConfig::paper(buckets, seed)
+                        .with_deletion(DeletionMode::Reset)
+                        .with_kick_policy(KickPolicyKind::Bubble),
+                ),
+            )),
+            TableKind::ConcurrentBfs => Box::new(Shim::new(
+                self.name(),
+                ConcurrentMcCuckoo::new(
+                    McConfig::paper(buckets, seed).with_kick_policy(KickPolicyKind::Bfs),
+                ),
+            )),
+            TableKind::ConcurrentBubble => Box::new(Shim::new(
+                self.name(),
+                ConcurrentMcCuckoo::new(
+                    McConfig::paper(buckets, seed).with_kick_policy(KickPolicyKind::Bubble),
+                ),
             )),
         }
     }

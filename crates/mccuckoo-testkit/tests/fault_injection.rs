@@ -80,6 +80,76 @@ fn bounded_fault_hits_exactly_n_deletions() {
 }
 
 #[test]
+fn planned_engine_insert_dying_mid_kick_is_a_physical_noop() {
+    // For the plan-first policies (BFS, bubbling) the injected panic
+    // fires after the plan succeeds but before the first mutation, so a
+    // sequential insert that dies there must leave the table *bit-for-
+    // bit* untouched: same length, every stored key intact, and the
+    // offered key absent.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use mccuckoo_core::{KickPolicyKind, McConfig, McCuckoo, StashPolicy};
+
+    for kind in [KickPolicyKind::Bfs, KickPolicyKind::Bubble] {
+        let mut t: McCuckoo<u64, u64> = McCuckoo::new(
+            McConfig::paper(24, 41)
+                .with_stash(StashPolicy::None)
+                .with_kick_policy(kind),
+        );
+        let mut stored: Vec<u64> = Vec::new();
+        testhooks::arm_panic_in_kick(u32::MAX);
+        let mut died_at = None;
+        for k in 0..10_000u64 {
+            let len_before = t.len();
+            match catch_unwind(AssertUnwindSafe(|| t.insert(k, k ^ 0xF00D).is_ok())) {
+                Ok(true) => stored.push(k),
+                Ok(false) => {} // overflow without a kick plan; keep going
+                Err(_) => {
+                    died_at = Some((k, len_before));
+                    break;
+                }
+            }
+        }
+        testhooks::disarm();
+        let (k, len_before) = died_at.unwrap_or_else(|| {
+            panic!("{kind:?}: filling a 72-bucket table must reach a kick plan")
+        });
+        assert_eq!(t.len(), len_before, "{kind:?}: dying insert changed len");
+        assert_eq!(t.get(&k), None, "{kind:?}: dying insert left its key");
+        for &s in &stored {
+            assert_eq!(t.get(&s), Some(&(s ^ 0xF00D)), "{kind:?}: key {s} damaged");
+        }
+        t.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn random_walk_engine_dying_mid_kick_stays_structurally_valid() {
+    // The paper's mutate-as-you-walk random walk cannot promise a
+    // physical no-op (relocations already made stay, and the carried
+    // item is lost with the dying thread) — but the table must remain
+    // structurally valid: counters consistent, every surviving key
+    // findable.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use mccuckoo_core::{McConfig, McCuckoo, StashPolicy};
+
+    let mut t: McCuckoo<u64, u64> =
+        McCuckoo::new(McConfig::paper(24, 42).with_stash(StashPolicy::None));
+    testhooks::arm_panic_in_kick(u32::MAX);
+    let mut died = false;
+    for k in 0..10_000u64 {
+        if catch_unwind(AssertUnwindSafe(|| t.insert(k, k).is_ok())).is_err() {
+            died = true;
+            break;
+        }
+    }
+    testhooks::disarm();
+    assert!(died, "filling a 72-bucket table must reach a kick walk");
+    t.check_invariants().unwrap();
+}
+
+#[test]
 fn writer_panic_mid_kick_releases_stripes_and_preserves_the_table() {
     // A writer dies *while holding kick-walk stripe locks* (injected
     // panic fires after the path is planned and locked, before any

@@ -15,8 +15,8 @@
 
 use mccuckoo_suite::cuckoo_baselines::{Bcht, BchtConfig, CuckooConfig, DaryCuckoo};
 use mccuckoo_suite::mccuckoo_core::{
-    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, McConfig, McCuckoo, McTable,
-    ShardedMcCuckoo,
+    BlockedConfig, BlockedMcCuckoo, ConcurrentMcCuckoo, DeletionMode, KickPolicyKind, McConfig,
+    McCuckoo, McTable, ShardedMcCuckoo, StashPolicy,
 };
 use mem_model::InsertOutcome;
 
@@ -136,6 +136,25 @@ fn sharded_conforms() {
         4,
         McConfig::paper(256, 18),
     ));
+}
+
+#[test]
+fn bfs_and_bubble_policies_conform() {
+    // The plan-first kick policies honour the same contract on both the
+    // sequential engine and the striped concurrent table.
+    for kind in [KickPolicyKind::Bfs, KickPolicyKind::Bubble] {
+        conformance(McCuckoo::<u64, u64>::new(
+            McConfig::paper_with_deletion(1024, 19).with_kick_policy(kind),
+        ));
+        conformance(BlockedMcCuckoo::<u64, u64>::new(BlockedConfig {
+            base: McConfig::paper_with_deletion(512, 20).with_kick_policy(kind),
+            slots: 2,
+            aggressive_lookup: true,
+        }));
+        conformance(ConcurrentMcCuckoo::<u64, u64>::new(
+            McConfig::paper(1024, 21).with_kick_policy(kind),
+        ));
+    }
 }
 
 #[test]
@@ -332,4 +351,76 @@ fn failed_inserts_are_noops_sharded() {
         ),
         120,
     );
+}
+
+/// Stronger than [`failed_insert_noop_storm`]: a plan-first policy's
+/// failed insert must be a *physical* no-op — planning only reads, so a
+/// failing attempt costs **zero off-chip writes** on top of leaving
+/// every stored key intact. (The sequential random walk is exempt by
+/// design: the paper's walk mutates as it goes and stashes the last
+/// carried item on failure, so only BFS/bubbling engines and the
+/// concurrent table — plan-first for every policy — qualify.)
+fn failed_insert_physical_noop_storm<T: McTable<u64, u64>>(mut t: T, attempts: u64, label: &str) {
+    let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut failures = 0u64;
+    for k in 0..attempts {
+        let before = t.mem_stats();
+        let r = t.insert(k, k ^ 0x5A5A);
+        if r.stored() {
+            model.insert(k, k ^ 0x5A5A);
+        } else {
+            failures += 1;
+            let delta = t.mem_stats() - before;
+            assert_eq!(
+                delta.offchip_writes, 0,
+                "{label}: failed insert of {k} wrote off-chip"
+            );
+            assert!(!t.contains(&k), "{label}: rejected key {k} stored");
+            assert_eq!(t.len(), model.len(), "{label}: failed insert changed len");
+            for (&mk, &mv) in &model {
+                assert_eq!(
+                    t.lookup(&mk),
+                    Some(mv),
+                    "{label}: failed insert of {k} damaged stored key {mk}"
+                );
+            }
+        }
+    }
+    assert!(
+        failures > 0,
+        "{label}: storm never overflowed the table; shrink it or raise attempts"
+    );
+}
+
+#[test]
+fn failed_inserts_are_physical_noops_planned_engines() {
+    for kind in [KickPolicyKind::Bfs, KickPolicyKind::Bubble] {
+        // StashPolicy::None so overflow surfaces as Failed instead of
+        // being absorbed by the stash.
+        failed_insert_physical_noop_storm(
+            McCuckoo::<u64, u64>::new(
+                McConfig::paper(4, 35)
+                    .with_maxloop(8)
+                    .with_stash(StashPolicy::None)
+                    .with_kick_policy(kind),
+            ),
+            80,
+            kind.label(),
+        );
+    }
+}
+
+#[test]
+fn failed_inserts_are_physical_noops_concurrent_all_policies() {
+    for kind in KickPolicyKind::ALL {
+        failed_insert_physical_noop_storm(
+            ConcurrentMcCuckoo::<u64, u64>::new(
+                McConfig::paper(4, 36)
+                    .with_maxloop(8)
+                    .with_kick_policy(kind),
+            ),
+            80,
+            kind.label(),
+        );
+    }
 }
