@@ -34,6 +34,19 @@
 //! with a functioning cache hierarchy (batching amortises dispatch even
 //! where the prefetch shim is a no-op).
 //!
+//! With `--migration-only` only the grow-under-fire gate runs: it reads
+//! the fresh `results/migration_pause.csv` (written by `migration_pause`
+//! in the same job; header `phase,splits,keys_moved,reader_ops,
+//! lookup_errors,max_pause_us,mean_pause_us,recovery_identical`) and
+//! fails when (a) any reader observed a lookup error — a stable key
+//! going missing while a split drained the table, the exact availability
+//! hole the forwarding entries exist to close; (b) the worst per-op
+//! reader pause during the split phase exceeds `MCB_PAUSE_MAX_US`
+//! (default 250000 — generous against scheduler noise on shared
+//! runners, but far below the seconds-long stall a reader-blocking
+//! migration would show); or (c) op-log replay did not rebuild a
+//! logically identical table (`recovery_identical != 1`).
+//!
 //! With `--first-failure-only` only the kick-policy gate runs: it reads
 //! the fresh `results/fig11_kick_policies.csv` (written by
 //! `fig11_first_failure` in the same job; header
@@ -265,6 +278,106 @@ fn gate_first_failure() {
     }
 }
 
+/// One parsed `migration_pause.csv` row.
+#[derive(Debug)]
+struct PauseRow {
+    phase: String,
+    lookup_errors: u64,
+    max_pause_us: f64,
+    recovery_identical: u64,
+}
+
+/// Parse the CSV text written by `migration_pause` (header
+/// `phase,splits,keys_moved,reader_ops,lookup_errors,max_pause_us,mean_pause_us,recovery_identical`).
+fn pause_rows(csv: &str) -> Result<Vec<PauseRow>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in csv.lines().enumerate().skip(1) {
+        let f: Vec<&str> = line.trim().split(',').collect();
+        if f.len() != 8 {
+            return Err(format!(
+                "line {}: expected 8 fields, got {line:?}",
+                lineno + 1
+            ));
+        }
+        let err = |e| format!("line {}: {e} in {line:?}", lineno + 1);
+        rows.push(PauseRow {
+            phase: f[0].to_string(),
+            lookup_errors: f[4].parse().map_err(|e| err(format!("{e}")))?,
+            max_pause_us: f[5].parse().map_err(|e| err(format!("{e}")))?,
+            recovery_identical: f[7].parse().map_err(|e| err(format!("{e}")))?,
+        });
+    }
+    if !rows.iter().any(|r| r.phase == "split") {
+        return Err("no split-phase row".into());
+    }
+    Ok(rows)
+}
+
+/// `MCB_PAUSE_MAX_US`, defaulting to 250ms: far above scheduler noise,
+/// far below a reader actually blocking on a migration lock.
+fn pause_max_us() -> f64 {
+    if let Ok(v) = std::env::var("MCB_PAUSE_MAX_US") {
+        if let Ok(max) = v.parse::<f64>() {
+            return max;
+        }
+        eprintln!("[gate] ignoring unparseable MCB_PAUSE_MAX_US={v:?}");
+    }
+    250_000.0
+}
+
+fn gate_migration() {
+    let path = csv_path("migration_pause");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot read {}: {e}", path.display());
+        eprintln!("[gate] run `migration_pause` first");
+        exit(2);
+    });
+    let rows = pause_rows(&raw).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot interpret {}: {e}", path.display());
+        exit(2);
+    });
+    let max = pause_max_us();
+    let mut failed = false;
+    for r in &rows {
+        println!(
+            "[gate] {:<8} lookup errors {}, worst pause {:.2} us, recovery {}",
+            r.phase, r.lookup_errors, r.max_pause_us, r.recovery_identical
+        );
+        if r.lookup_errors > 0 {
+            eprintln!(
+                "[gate] FAIL: {} phase lost {} reader lookup(s) — a stable key went \
+                 missing mid-migration (see DESIGN.md \"Growth & persistence\")",
+                r.phase, r.lookup_errors
+            );
+            failed = true;
+        }
+        if r.phase == "split" {
+            if r.max_pause_us > max {
+                eprintln!(
+                    "[gate] FAIL: worst reader pause {:.2} us > {max:.0} us during the \
+                     split — readers are blocking on migration",
+                    r.max_pause_us
+                );
+                failed = true;
+            }
+            if r.recovery_identical != 1 {
+                eprintln!(
+                    "[gate] FAIL: op-log replay did not rebuild an identical table \
+                     (recovery_identical = {})",
+                    r.recovery_identical
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+    println!(
+        "[gate] pass: readers never erred or blocked during the split, and log replay is exact"
+    );
+}
+
 fn load(path: &PathBuf) -> SmokeReport {
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("[gate] cannot read {}: {e}", path.display());
@@ -287,6 +400,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--first-failure-only") {
         gate_first_failure();
+        return;
+    }
+    if std::env::args().any(|a| a == "--migration-only") {
+        gate_migration();
         return;
     }
     let fresh_path = csv_path("bench_smoke").with_extension("json");
@@ -414,6 +531,41 @@ mod tests {
         // does not set MCB_FF_MIN).
         if std::env::var("MCB_FF_MIN").is_err() {
             assert_eq!(first_failure_min(), 1.0);
+        }
+    }
+
+    #[test]
+    fn pause_rows_parse_both_phases() {
+        let csv = "phase,splits,keys_moved,reader_ops,lookup_errors,max_pause_us,mean_pause_us,recovery_identical\n\
+                   baseline,0,0,100000,0,120.50,0.60,1\n\
+                   split,6,57000,90000,0,340.25,0.80,1\n";
+        let rows = pause_rows(csv).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].phase, "split");
+        assert_eq!(rows[1].lookup_errors, 0);
+        assert_eq!(rows[1].max_pause_us, 340.25);
+        assert_eq!(rows[1].recovery_identical, 1);
+    }
+
+    #[test]
+    fn pause_rows_reject_incomplete_sweeps() {
+        let header = "phase,splits,keys_moved,reader_ops,lookup_errors,max_pause_us,mean_pause_us,recovery_identical\n";
+        assert!(pause_rows(header)
+            .unwrap_err()
+            .contains("no split-phase row"));
+        let no_split = format!("{header}baseline,0,0,1,0,1.0,0.5,1\n");
+        assert!(pause_rows(&no_split)
+            .unwrap_err()
+            .contains("no split-phase row"));
+        assert!(pause_rows("phase,x\nsplit,broken\n").is_err());
+    }
+
+    #[test]
+    fn pause_maximum_defaults_to_a_quarter_second() {
+        // Env-independent check of the committed default (the CI job
+        // does not set MCB_PAUSE_MAX_US).
+        if std::env::var("MCB_PAUSE_MAX_US").is_err() {
+            assert_eq!(pause_max_us(), 250_000.0);
         }
     }
 

@@ -1,0 +1,241 @@
+//! Migration-pause sweep: what do readers *feel* while shard splits
+//! drain the table, and does op-log recovery reproduce it exactly?
+//!
+//! Two measured phases over the same table shape, then a recovery
+//! check, all written to `results/migration_pause.csv` (header
+//! `phase,splits,keys_moved,reader_ops,lookup_errors,max_pause_us,mean_pause_us,recovery_identical`):
+//!
+//! * **baseline** — 2 readers loop over a stable key set (every probe
+//!   must hit) and 1 writer churns disjoint keys, with no migration.
+//!   Per-op latency is timed around each `get`; the max is the worst
+//!   pause a reader ever saw.
+//! * **split** — identical traffic, but the main thread runs the table
+//!   from 2 to 8 shards with back-to-back `begin_split` calls while the
+//!   readers measure. Readers never take a lock on this path (seqlock
+//!   retries only), so `lookup_errors` must stay 0 and the max pause
+//!   must stay bounded — that bound is CI-gated by
+//!   `bench_gate --migration-only` (`MCB_PAUSE_MAX_US`, default 250ms,
+//!   catches reader-blocking regressions without flaking on shared
+//!   runners).
+//! * **recovery** — every mutation of the run was recorded through an
+//!   [`mccuckoo_core::oplog::OpLog`]; replaying the log over the empty
+//!   baseline snapshot must rebuild a logically identical table (same
+//!   shard layout, same length, same sorted item set) as the one that
+//!   served the traffic. `recovery_identical` is 1 on success and is
+//!   also CI-gated.
+//!
+//! Wall-clock latency, so run with `--release`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mccuckoo_bench::report::{f2, write_csv, Table};
+use mccuckoo_core::oplog::{parse_log, OpLog, OpRecord, VecSink};
+use mccuckoo_core::{McConfig, ShardedMcCuckoo};
+
+/// Buckets per table per shard of the 2-shard starting layout.
+const BUCKETS: usize = 1 << 15;
+/// Stable keys preloaded before the runs; every reader probe must hit.
+const STABLE: u64 = 40_000;
+/// Churn keys live in a disjoint range so they never shadow stable keys.
+const CHURN_BASE: u64 = 1 << 32;
+/// Writer's sliding window of live churn keys.
+const CHURN_WINDOW: usize = 15_000;
+/// Splits performed in the split phase: 2 → 8 shards.
+const SPLITS: usize = 6;
+/// Baseline phase duration (the split phase runs as long as the splits
+/// take).
+const BASELINE_MS: u64 = 400;
+
+/// Per-reader latency tally, in nanoseconds.
+#[derive(Default, Clone, Copy)]
+struct ReaderStats {
+    ops: u64,
+    errors: u64,
+    max_ns: u64,
+    total_ns: u64,
+}
+
+impl ReaderStats {
+    fn merge(&mut self, o: ReaderStats) {
+        self.ops += o.ops;
+        self.errors += o.errors;
+        self.max_ns = self.max_ns.max(o.max_ns);
+        self.total_ns += o.total_ns;
+    }
+}
+
+/// Run readers + churn writer around `migrate`, which executes on the
+/// main thread while the measurement is live and returns keys moved.
+fn run_phase<F>(
+    table: &Arc<ShardedMcCuckoo<u64, u64>>,
+    log: &OpLog<VecSink>,
+    churn_base: u64,
+    migrate: F,
+) -> (ReaderStats, u64)
+where
+    F: FnOnce() -> u64,
+{
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for rid in 0..2u64 {
+            let table = Arc::clone(table);
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut st = ReaderStats::default();
+                let mut k = rid * 31;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = k % STABLE;
+                    let t0 = Instant::now();
+                    let hit = table.get(&key);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    st.ops += 1;
+                    if hit != Some(key ^ 0xF00D) {
+                        st.errors += 1;
+                    }
+                    st.max_ns = st.max_ns.max(ns);
+                    st.total_ns += ns;
+                    k += 13;
+                }
+                st
+            }));
+        }
+        let writer = {
+            let table = Arc::clone(table);
+            let stop = &stop;
+            scope.spawn(move || {
+                // Each phase churns its own key range; leftovers from a
+                // previous phase simply stay live (and logged), adding
+                // to the volume the splits must drain.
+                let mut next = churn_base;
+                let mut window: Vec<u64> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let k = next;
+                    next += 1;
+                    if table.insert(k, k).is_ok() {
+                        log.record(&OpRecord::Insert { key: k, value: k });
+                        window.push(k);
+                    }
+                    if window.len() > CHURN_WINDOW {
+                        let victim = window.swap_remove(0);
+                        table.remove(&victim);
+                        log.record(&OpRecord::<u64, u64>::Remove { key: victim });
+                    }
+                }
+            })
+        };
+        let moved = migrate();
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("churn writer died");
+        let mut sum = ReaderStats::default();
+        for r in readers {
+            sum.merge(r.join().expect("reader died"));
+        }
+        (sum, moved)
+    })
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+fn main() {
+    let table: Arc<ShardedMcCuckoo<u64, u64>> = Arc::new(ShardedMcCuckoo::new(
+        2,
+        McConfig::paper(BUCKETS, 0x517E_D0C5),
+    ));
+    // The log starts over an empty-table snapshot; every later mutation
+    // is recorded, so snapshot + log is the full recovery input.
+    let snapshot = table.to_snapshot();
+    let sink = VecSink::new();
+    let log = OpLog::new(sink.clone());
+    for k in 0..STABLE {
+        table.insert(k, k ^ 0xF00D).expect("preload fits");
+        log.record(&OpRecord::Insert {
+            key: k,
+            value: k ^ 0xF00D,
+        });
+    }
+
+    let mut out = Table::new(
+        "Migration pause: per-op reader latency under live shard splits",
+        &[
+            "phase",
+            "splits",
+            "keys_moved",
+            "reader_ops",
+            "lookup_errors",
+            "max_pause_us",
+            "mean_pause_us",
+            "recovery_identical",
+        ],
+    );
+
+    let (base, _) = run_phase(&table, &log, CHURN_BASE, || {
+        std::thread::sleep(Duration::from_millis(BASELINE_MS));
+        0
+    });
+
+    let split_t0 = Instant::now();
+    let (split, moved) = run_phase(&table, &log, CHURN_BASE + (1 << 24), || {
+        let mut moved = 0u64;
+        for shard in 0..SPLITS {
+            let report = table.begin_split(shard).expect("split must succeed");
+            assert!(report.forwarding_cleared, "split {shard} left forwarding");
+            moved += report.moved;
+            log.record(&OpRecord::<u64, u64>::Split { shard });
+        }
+        moved
+    });
+    let split_secs = split_t0.elapsed().as_secs_f64();
+
+    // Recovery: replay the whole log over the empty baseline snapshot
+    // and demand logical identity with the table that served traffic.
+    let ops = parse_log::<u64, u64>(&sink.lines()).expect("log parses");
+    let recovered = ShardedMcCuckoo::recover(snapshot, &ops).expect("recovery succeeds");
+    let mut live_items = table.to_snapshot().items;
+    let mut rec_items = recovered.to_snapshot().items;
+    live_items.sort_unstable();
+    rec_items.sort_unstable();
+    let identical = recovered.shard_count() == table.shard_count()
+        && recovered.len() == table.len()
+        && live_items == rec_items;
+
+    let mean = |s: &ReaderStats| us(s.total_ns / s.ops.max(1));
+    out.row(vec![
+        "baseline".into(),
+        "0".into(),
+        "0".into(),
+        base.ops.to_string(),
+        base.errors.to_string(),
+        f2(us(base.max_ns)),
+        f2(mean(&base)),
+        "1".into(),
+    ]);
+    out.row(vec![
+        "split".into(),
+        SPLITS.to_string(),
+        moved.to_string(),
+        split.ops.to_string(),
+        split.errors.to_string(),
+        f2(us(split.max_ns)),
+        f2(mean(&split)),
+        (identical as u32).to_string(),
+    ]);
+    out.print();
+    write_csv("migration_pause", &out);
+    println!(
+        "(2 -> {} shards in {:.2}s, {} keys moved, {} log records; readers saw \
+         {} error(s), worst pause {} us during migration vs {} us baseline)",
+        table.shard_count(),
+        split_secs,
+        moved,
+        sink.len(),
+        split.errors,
+        f2(us(split.max_ns)),
+        f2(us(base.max_ns)),
+    );
+    assert_eq!(table.shard_count(), 2 + SPLITS);
+}

@@ -196,6 +196,31 @@ struct StripeGuard<'a> {
     _held: [Option<MutexGuard<'a, ()>>; MAX_STRIPES],
 }
 
+/// What an upsert does when it finds the key already present.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum UpsertMode {
+    /// Rewrite every live copy in place (the public `insert`).
+    Update,
+    /// Leave the existing entry untouched and report `Updated` with
+    /// zero copies written — an atomic insert-if-absent, used by the
+    /// shard migrator and duplicate-tolerant restores.
+    KeepExisting,
+    /// The caller guarantees absence (`insert_new`); presence is a
+    /// bookkeeping bug, `debug_assert`ed.
+    AssertAbsent,
+}
+
+/// Result of [`ConcurrentMcCuckoo::migrate_out`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MigrateOutcome {
+    /// The key was handed to `transfer` and removed from this table.
+    Moved,
+    /// The key was no longer present (already moved or removed).
+    Skipped,
+    /// `transfer` declined (destination full); the key stays here.
+    Failed,
+}
+
 impl<K, V> ConcurrentMcCuckoo<K, V>
 where
     K: KeyHash + Eq + Copy,
@@ -515,7 +540,7 @@ where
     /// Safe to call from many threads at once: writers with disjoint
     /// stripe footprints run concurrently.
     pub fn insert(&self, key: K, value: V) -> Result<bool, (K, V)> {
-        let out = self.upsert_striped(key, value, true);
+        let out = self.upsert_striped(key, value, UpsertMode::Update);
         self.record_upsert(&out);
         self.check_paranoid();
         out.map(|rep| matches!(rep.outcome, InsertOutcome::Updated))
@@ -539,7 +564,7 @@ where
             let _guard = self.lock_stripes(self.all_stripes);
             let mut path_buf = Vec::new();
             for &(k, v) in items {
-                let r = self.upsert_excl(k, v, true, &mut path_buf);
+                let r = self.upsert_excl(k, v, UpsertMode::Update, &mut path_buf);
                 match &r {
                     Ok(rep) => tally.record(rep),
                     Err(_) => tally.record(&InsertReport {
@@ -562,19 +587,233 @@ where
     /// was mutated. Inserting a key that is already present corrupts the
     /// copy bookkeeping (`debug_assert`ed).
     pub fn insert_new(&self, key: K, value: V) -> Result<(), (K, V)> {
-        let out = self.upsert_striped(key, value, false);
+        let out = self.upsert_striped(key, value, UpsertMode::AssertAbsent);
         self.record_upsert(&out);
         self.check_paranoid();
         out.map(|_| ())
     }
 
-    /// [`Self::insert_new`] without observability recording — snapshot
-    /// restores go through this so re-placing persisted items does not
-    /// count as user inserts.
-    pub(crate) fn insert_new_unrecorded(&self, key: K, value: V) -> Result<(), (K, V)> {
-        let out = self.upsert_striped(key, value, false);
+    // ------------------------------------------------------------------
+    // Migration / maintenance support (crate-internal: the sharded
+    // layer's split migrator and live snapshots build on these)
+    // ------------------------------------------------------------------
+
+    /// Unrecorded upsert returning the full [`InsertReport`] — the
+    /// sharded layer records exactly one op per *public* call, even
+    /// when forwarding retries the op on a sibling table.
+    pub(crate) fn upsert_unrecorded(&self, key: K, value: V) -> Result<InsertReport, (K, V)> {
+        let out = self.upsert_striped(key, value, UpsertMode::Update);
         self.check_paranoid();
-        out.map(|_| ())
+        out
+    }
+
+    /// Atomic insert-if-absent (unrecorded). `Ok(true)` means the key
+    /// was freshly placed; `Ok(false)` means it was already present and
+    /// the stored value was left untouched. `Err` returns the pair on a
+    /// relocation-budget overflow with nothing mutated.
+    pub(crate) fn insert_if_absent_unrecorded(&self, key: K, value: V) -> Result<bool, (K, V)> {
+        let out = self.upsert_striped(key, value, UpsertMode::KeepExisting);
+        self.check_paranoid();
+        out.map(|rep| matches!(rep.outcome, InsertOutcome::Placed))
+    }
+
+    /// Unrecorded removal.
+    pub(crate) fn remove_unrecorded(&self, key: &K) -> Option<V> {
+        let cands = self.candidates(key);
+        let out = {
+            let _guard = self.lock_stripes(self.mask_of(&cands));
+            self.remove_excl(key, &cands)
+        };
+        self.check_paranoid();
+        out
+    }
+
+    /// Unrecorded lock-free lookup, returning the probe count for the
+    /// caller to record against whichever table answered.
+    pub(crate) fn get_unrecorded(&self, key: &K) -> (Option<V>, u64) {
+        let cands = self.candidates(key);
+        self.get_with_cands(key, &cands)
+    }
+
+    /// Rewrite every live copy of `key` if (and only if) it is already
+    /// present; never places a fresh entry. Returns whether an update
+    /// happened. Unrecorded.
+    pub(crate) fn update_existing_unrecorded(&self, key: &K, value: &V) -> bool {
+        let cands = self.candidates(key);
+        let out = {
+            let _guard = self.lock_stripes(self.mask_of(&cands));
+            self.try_update_excl(key, value, &cands).is_some()
+        };
+        self.check_paranoid();
+        out
+    }
+
+    /// How many writer-lock stripes this table has (the migration
+    /// cursor sweeps them one at a time).
+    pub(crate) fn nstripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The distinct keys whose buckets map to lock `stripe`, read under
+    /// that one stripe lock. A key with several copies inside the
+    /// stripe appears once per copy — migration callers re-validate per
+    /// key under locks anyway, so duplicates are harmlessly skipped.
+    pub(crate) fn stripe_keys(&self, stripe: usize) -> Vec<K> {
+        debug_assert!(stripe < self.stripes.len());
+        let _guard = self.lock_stripes(1u64 << stripe);
+        let mut out = Vec::new();
+        // Buckets on stripe s are exactly those ≡ s (mod nstripes).
+        let mut b = stripe;
+        while b < self.cells.len() {
+            if self.counters[b].load(Ordering::Acquire) != 0 {
+                if let Some((k, _)) = self.cell_read_locked(b) {
+                    out.push(k);
+                }
+            }
+            b += self.stripes.len();
+        }
+        out
+    }
+
+    /// Atomically hand one key to another table: under this table's
+    /// candidate stripes, re-read the key, call `transfer(k, v)`, and
+    /// remove the local entry only if the transfer reports success.
+    /// Holding the source stripes across the transfer closes the
+    /// lost-update window (a concurrent upsert of the same key blocks
+    /// on these stripes until the move completes). Only the migration
+    /// cursor holds locks in two tables at once, always source→dest,
+    /// so no lock cycle can form.
+    pub(crate) fn migrate_out<F: FnOnce(K, V) -> bool>(
+        &self,
+        key: &K,
+        transfer: F,
+    ) -> MigrateOutcome {
+        let cands = self.candidates(key);
+        let out = {
+            let _guard = self.lock_stripes(self.mask_of(&cands));
+            let mut found = None;
+            for &c in cands.iter().take(self.d) {
+                if self.counters[c].load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                if let Some((k, v)) = self.cell_read_locked(c) {
+                    if k == *key {
+                        found = Some(v);
+                        break;
+                    }
+                }
+            }
+            match found {
+                None => MigrateOutcome::Skipped,
+                Some(v) => {
+                    if transfer(*key, v) {
+                        let removed = self.remove_excl(key, &cands);
+                        debug_assert!(removed.is_some(), "key vanished under held stripes");
+                        MigrateOutcome::Moved
+                    } else {
+                        MigrateOutcome::Failed
+                    }
+                }
+            }
+        };
+        self.check_paranoid();
+        out
+    }
+
+    /// Every stored pair via the lock-free seqlock read protocol — no
+    /// writer lock is taken, so this can run concurrently with writers.
+    /// Each bucket read is individually consistent (torn reads are
+    /// discarded); the scan as a whole is a best-effort cut: exact when
+    /// the table is quiescent, and any pair stable across the scan is
+    /// present exactly once. Used by background snapshots.
+    pub(crate) fn items_live(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for i in 0..self.cells.len() {
+            let Some((k, v)) = self.cell_read_atomic(i) else {
+                continue;
+            };
+            // Emit at the smallest candidate bucket currently holding a
+            // copy, so a multi-copy key is reported once.
+            let cands = self.candidates(&k);
+            let mut first = usize::MAX;
+            for &b in cands.iter().take(self.d) {
+                if self.counters[b].load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                if let Some((bk, _)) = self.cell_read_atomic(b) {
+                    if bk == k {
+                        first = first.min(b);
+                    }
+                }
+            }
+            if first == i {
+                out.push((k, v));
+            }
+        }
+        out
+    }
+
+    /// The observability recorder (the sharded layer records forwarded
+    /// ops against the table that served them).
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// [`Self::insert_batch`] body without observability recording and
+    /// with the full per-item [`InsertReport`]s — the sharded layer
+    /// revalidates routing after the batch and records each item against
+    /// whichever table finally served it.
+    pub(crate) fn insert_batch_unrecorded(
+        &self,
+        items: &[(K, V)],
+    ) -> Vec<Result<InsertReport, (K, V)>> {
+        let mut out = Vec::with_capacity(items.len());
+        {
+            let _guard = self.lock_stripes(self.all_stripes);
+            let mut path_buf = Vec::new();
+            for &(k, v) in items {
+                out.push(self.upsert_excl(k, v, UpsertMode::Update, &mut path_buf));
+            }
+        }
+        self.check_paranoid();
+        out
+    }
+
+    /// [`Self::remove_batch`] body without observability recording.
+    pub(crate) fn remove_batch_unrecorded(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut out = Vec::with_capacity(keys.len());
+        {
+            let _guard = self.lock_stripes(self.all_stripes);
+            for k in keys {
+                out.push(self.remove_excl(k, &self.candidates(k)));
+            }
+        }
+        self.check_paranoid();
+        out
+    }
+
+    /// [`Self::get_batch`] body without observability recording,
+    /// returning per-key probe counts for the caller to tally against
+    /// whichever table answered. Keeps the interleaved prefetch pipeline.
+    pub(crate) fn get_batch_with_probes(&self, keys: &[K]) -> Vec<(Option<V>, u64)> {
+        const BATCH_CHUNK: usize = 16;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut cands_buf = [[usize::MAX; MAX_D]; BATCH_CHUNK];
+        for chunk in keys.chunks(BATCH_CHUNK) {
+            for (key, cands) in chunk.iter().zip(cands_buf.iter_mut()) {
+                *cands = self.candidates(key);
+                for &c in cands.iter().take(self.d) {
+                    if self.counters[c].load(Ordering::Relaxed) != 0 {
+                        crate::prefetch::prefetch_index(&self.versions, c);
+                        crate::prefetch::prefetch_index(&self.cells, c);
+                    }
+                }
+            }
+            for (key, cands) in chunk.iter().zip(cands_buf.iter()) {
+                out.push(self.get_with_cands(key, cands));
+            }
+        }
+        out
     }
 
     /// Remove `key` (counter-reset deletion). Returns its value.
@@ -738,24 +977,37 @@ where
     /// whole plan is covered by held stripes; anything that exceeds the
     /// stripe budget (or the attempt limit) escalates to the global
     /// sweep, which runs the full single-writer logic.
-    fn upsert_striped(&self, key: K, value: V, scan_update: bool) -> Result<InsertReport, (K, V)> {
+    fn upsert_striped(&self, key: K, value: V, mode: UpsertMode) -> Result<InsertReport, (K, V)> {
         let cands = self.candidates(&key);
         let base = self.mask_of(&cands);
         let mut want = base;
         let mut path: Vec<usize> = Vec::new();
         for _ in 0..LOCK_ATTEMPTS {
             let guard = self.lock_stripes(want);
-            if scan_update {
-                if let Some(copies) = self.try_update_excl(&key, &value, &cands) {
-                    return Ok(InsertReport {
-                        outcome: InsertOutcome::Updated,
-                        kickouts: 0,
-                        collision: false,
-                        copies_written: copies,
-                    });
+            match mode {
+                UpsertMode::Update => {
+                    if let Some(copies) = self.try_update_excl(&key, &value, &cands) {
+                        return Ok(InsertReport {
+                            outcome: InsertOutcome::Updated,
+                            kickouts: 0,
+                            collision: false,
+                            copies_written: copies,
+                        });
+                    }
                 }
-            } else {
-                debug_assert!(!self.raw_contains_excl(&key), "insert_new of a present key");
+                UpsertMode::KeepExisting => {
+                    if self.raw_contains_excl(&key) {
+                        return Ok(InsertReport {
+                            outcome: InsertOutcome::Updated,
+                            kickouts: 0,
+                            collision: false,
+                            copies_written: 0,
+                        });
+                    }
+                }
+                UpsertMode::AssertAbsent => {
+                    debug_assert!(!self.raw_contains_excl(&key), "insert_new of a present key");
+                }
             }
             if let Some(extra) = self.plan_place(&cands) {
                 let need = base | extra;
@@ -846,7 +1098,7 @@ where
         // Escalation: the global stripe sweep covers any footprint and
         // runs the full (overwrite-terminal included) insert logic.
         let _guard = self.lock_stripes(self.all_stripes);
-        self.upsert_excl(key, value, scan_update, &mut path)
+        self.upsert_excl(key, value, mode, &mut path)
     }
 
     /// Dry-run of [`Self::try_place_excl`]: decides placeability and
@@ -953,19 +1205,32 @@ where
         &self,
         key: K,
         value: V,
-        scan_update: bool,
+        mode: UpsertMode,
         path: &mut Vec<usize>,
     ) -> Result<InsertReport, (K, V)> {
         let cands = self.candidates(&key);
-        if scan_update {
-            if let Some(copies) = self.try_update_excl(&key, &value, &cands) {
-                return Ok(InsertReport {
-                    outcome: InsertOutcome::Updated,
-                    kickouts: 0,
-                    collision: false,
-                    copies_written: copies,
-                });
+        match mode {
+            UpsertMode::Update => {
+                if let Some(copies) = self.try_update_excl(&key, &value, &cands) {
+                    return Ok(InsertReport {
+                        outcome: InsertOutcome::Updated,
+                        kickouts: 0,
+                        collision: false,
+                        copies_written: copies,
+                    });
+                }
             }
+            UpsertMode::KeepExisting => {
+                if self.raw_contains_excl(&key) {
+                    return Ok(InsertReport {
+                        outcome: InsertOutcome::Updated,
+                        kickouts: 0,
+                        collision: false,
+                        copies_written: 0,
+                    });
+                }
+            }
+            UpsertMode::AssertAbsent => {}
         }
         if let Some(copies) = self.try_place_excl(&key, &value) {
             self.distinct.fetch_add(1, Ordering::AcqRel);

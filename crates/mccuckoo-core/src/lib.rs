@@ -77,6 +77,7 @@ pub mod kick;
 pub mod map;
 pub mod multiset;
 pub mod obs;
+pub mod oplog;
 pub mod pad;
 pub mod persist;
 pub mod prefetch;
@@ -93,13 +94,15 @@ pub use concurrent::ConcurrentMcCuckoo;
 pub use config::{DeletionMode, KickPolicyKind, McConfig, ResolutionPolicy, StashPolicy};
 pub use counters::CounterArray;
 pub use engine::McFull;
-pub use map::McMap;
+pub use map::{GrowError, McMap};
 pub use multiset::MultisetIndex;
-pub use obs::{Histogram, OpStats, ShardStats, TableStats};
+pub use obs::{Histogram, MigrationStats, OpStats, ShardStats, TableStats};
+pub use oplog::{parse_log, LogSink, OpLog, OpRecord, RecoverError, VecSink};
 pub use pad::CachePadded;
 pub use persist::{BlockedSnapshot, SnapshotOverflow, TableSnapshot};
 pub use rehash::{RehashOverflow, RehashReport};
-pub use shard::ShardedMcCuckoo;
-pub use shard::ShardedSnapshot;
+pub use shard::{
+    ShardedMcCuckoo, ShardedSnapshot, SplitError, SplitReport, SHARDED_SNAPSHOT_FORMAT,
+};
 pub use single::McCuckoo;
 pub use table::McTable;

@@ -7,6 +7,16 @@
 //! wrapper provides that: inserts that stash, or a stash exceeding a
 //! small fraction of capacity, trigger a doubling rehash — the
 //! classical remedy, applied rarely enough to amortise.
+//!
+//! Growth is **total**: a rehash that overflows (possible with
+//! [`crate::StashPolicy::None`], or under an adversarial seed) retries
+//! with the next derived seed a bounded number of times, and anything
+//! still unplaced is *parked* in a side buffer that every read, write,
+//! and iteration consults — the map never aborts and never loses an
+//! item. [`McMap::grow_now`] surfaces the condition as a typed
+//! [`GrowError`] for callers that want to react.
+
+use std::fmt;
 
 use hash_kit::KeyHash;
 use mem_model::{InsertOutcome, InsertReport, MemStats};
@@ -18,6 +28,38 @@ use crate::table::McTable;
 
 /// Stash occupancy (relative to capacity) that triggers a growth rehash.
 const GROW_AT_STASH_FRACTION: f64 = 0.002;
+
+/// How many fresh derived seeds a single growth tries before parking
+/// the stragglers. Each retry redraws every hash function, so repeated
+/// failure means the table is genuinely overfull for its geometry (the
+/// first attempt already doubled it) — more retries would thrash.
+const GROW_RETRIES: usize = 3;
+
+/// A growth pass that could not re-place every item after
+/// `GROW_RETRIES` reseeded attempts. **Nothing is lost**: the
+/// stragglers are parked in a side buffer the map keeps consulting, and
+/// the next growth re-offers them first. Returned by
+/// [`McMap::grow_now`]; automatic growths park silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowError {
+    /// Reseeded rehash attempts that were made.
+    pub attempts: usize,
+    /// Items left in the parked side buffer afterwards.
+    pub parked: usize,
+}
+
+impl fmt::Display for GrowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "growth could not place {} item(s) after {} reseeded attempts; \
+             they remain served from the parked buffer",
+            self.parked, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for GrowError {}
 
 /// An auto-growing map backed by a multi-copy cuckoo table.
 ///
@@ -35,6 +77,10 @@ const GROW_AT_STASH_FRACTION: f64 = 0.002;
 pub struct McMap<K, V> {
     table: McCuckoo<K, V>,
     grow_seed: u64,
+    /// Items a failed growth could not re-place (stash-less tables
+    /// only). Every operation consults this buffer, and every growth
+    /// re-offers it first, so parked items are fully live — just slow.
+    parked: Vec<(K, V)>,
 }
 
 impl<K: KeyHash + Eq + Clone, V: Clone> Default for McMap<K, V> {
@@ -65,12 +111,24 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
     /// reproducible through any number of growths.
     pub fn with_capacity_and_seed(items: usize, seed: u64) -> Self {
         let per_table = (items as f64 / 3.0 / 0.85).ceil() as usize;
-        let config = McConfig::paper(per_table.max(8), seed).with_deletion(DeletionMode::Reset);
+        Self::with_config(
+            McConfig::paper(per_table.max(8), seed).with_deletion(DeletionMode::Reset),
+        )
+    }
+
+    /// A map over an explicit table configuration — stash policy,
+    /// deletion mode, kick policy and maxloop included. Growth works
+    /// for every configuration: a stash-less table that overflows a
+    /// rehash parks the stragglers instead of aborting (see
+    /// [`GrowError`]).
+    pub fn with_config(config: McConfig) -> Self {
+        // Decorrelated from the table seed so growth never rehashes
+        // into the hash functions it is escaping.
+        let grow_seed = config.seed ^ 0x9E37_79B9_7F4A_7C15;
         Self {
             table: McCuckoo::new(config),
-            // Decorrelated from the table seed so growth never rehashes
-            // into the hash functions it is escaping.
-            grow_seed: seed ^ 0x9E37_79B9_7F4A_7C15,
+            grow_seed,
+            parked: Vec::new(),
         }
     }
 
@@ -87,14 +145,21 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
             .finish()
     }
 
-    /// Number of stored keys.
+    /// Number of stored keys (parked stragglers included).
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.table.len() + self.parked.len()
     }
 
     /// True if the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.table.is_empty() && self.parked.is_empty()
+    }
+
+    /// Items currently served from the parked side buffer (non-zero
+    /// only after a growth overflowed all its retries; see
+    /// [`GrowError`]).
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
     }
 
     /// Current slot capacity.
@@ -112,12 +177,32 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
     /// A `Stashed` outcome describes the pre-growth placement; the item
     /// is in the main table by the time this returns.
     fn insert_report(&mut self, key: K, value: V) -> InsertReport {
+        // A parked copy is the authoritative one; update it in place.
+        if let Some(slot) = self.parked.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+            return InsertReport {
+                outcome: InsertOutcome::Updated,
+                kickouts: 0,
+                collision: false,
+                copies_written: 0,
+            };
+        }
         let report = match self.table.insert(key, value) {
             Ok(r) => r,
-            Err(_full) => unreachable!("stash-backed insert cannot hard-fail"),
+            // Stash-less table full. The failed kick walk placed the
+            // offered pair and handed back whatever fell off the end of
+            // the walk (which may be the offered pair itself): grow,
+            // carrying the evictee — it is re-placed or parked, never
+            // dropped — then report the insert as stored.
+            Err(full) => {
+                let mut report = full.report;
+                let _ = self.grow_carrying(vec![full.evicted]);
+                report.outcome = InsertOutcome::Placed;
+                return report;
+            }
         };
         if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
-            self.grow();
+            let _ = self.grow_carrying(Vec::new());
         }
         report
     }
@@ -127,40 +212,89 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
             > (self.table.capacity() as f64 * GROW_AT_STASH_FRACTION).max(4.0)
     }
 
-    fn grow(&mut self) {
-        self.grow_seed = self
-            .grow_seed
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1);
-        // Growth with a stash-backed table cannot overflow.
-        let Ok(_) = self.table.grow(self.grow_seed) else {
-            unreachable!("stash-backed rehash cannot overflow")
-        };
+    /// Force a growth rehash now, surfacing the overflow condition that
+    /// automatic growths park silently. `Ok` also means previously
+    /// parked items were re-absorbed into the table.
+    pub fn grow_now(&mut self) -> Result<(), GrowError> {
+        self.grow_carrying(Vec::new())
+    }
+
+    /// One growth pass: double the table under the next derived seed,
+    /// then re-offer `pending` plus everything previously parked. Each
+    /// overflow hands its leftovers to the next reseeded attempt
+    /// (bounded by `GROW_RETRIES`); stragglers end up parked, never
+    /// dropped, never a panic.
+    fn grow_carrying(&mut self, mut pending: Vec<(K, V)>) -> Result<(), GrowError> {
+        pending.append(&mut self.parked);
+        for attempt in 0..GROW_RETRIES {
+            self.grow_seed = self
+                .grow_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1);
+            // The first attempt doubles; retries re-draw the hash
+            // functions at the doubled size (a second doubling for a
+            // seed problem would waste memory without fixing anything).
+            let result = if attempt == 0 {
+                self.table.grow(self.grow_seed)
+            } else {
+                self.table.rehash(None, self.grow_seed)
+            };
+            if let Err(overflow) = result {
+                pending.extend(overflow.leftover);
+                continue;
+            }
+            // Rebuilt table: re-offer the carried items. Unrecorded —
+            // each was already counted when the user first inserted it.
+            let mut still = Vec::new();
+            for (k, v) in pending.drain(..) {
+                if let Err(full) = self.table.insert_new_unrecorded(k, v) {
+                    still.push(full.evicted);
+                }
+            }
+            if still.is_empty() {
+                return Ok(());
+            }
+            pending = still;
+        }
+        let parked = pending.len();
+        self.parked = pending;
+        Err(GrowError {
+            attempts: GROW_RETRIES,
+            parked,
+        })
     }
 
     /// Get a reference to the value for `key`.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.table.get(key)
+        self.table
+            .get(key)
+            .or_else(|| self.parked.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.table.contains(key)
+        self.get(key).is_some()
     }
 
     /// Remove `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        self.table.remove(key)
+        self.table.remove(key).or_else(|| {
+            let at = self.parked.iter().position(|(k, _)| k == key)?;
+            Some(self.parked.swap_remove(at).1)
+        })
     }
 
-    /// Iterate `(key, value)` pairs.
+    /// Iterate `(key, value)` pairs (parked stragglers included).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.table.iter()
+        self.table
+            .iter()
+            .chain(self.parked.iter().map(|(k, v)| (k, v)))
     }
 
     /// Remove all entries.
     pub fn clear(&mut self) {
         self.table.clear();
+        self.parked.clear();
     }
 
     /// Access the underlying table (metering, diagnostics).
@@ -177,10 +311,17 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for McMap<K, V> {
     fn insert_new(&mut self, key: K, value: V) -> InsertReport {
         let report = match self.table.insert_new(key, value) {
             Ok(r) => r,
-            Err(_full) => unreachable!("stash-backed insert cannot hard-fail"),
+            // Same recovery as the upsert path: the walk placed the
+            // offered pair; grow carrying the evictee.
+            Err(full) => {
+                let mut report = full.report;
+                let _ = self.grow_carrying(vec![full.evicted]);
+                report.outcome = InsertOutcome::Placed;
+                return report;
+            }
         };
         if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
-            self.grow();
+            let _ = self.grow_carrying(Vec::new());
         }
         report
     }
@@ -345,6 +486,76 @@ mod tests {
         assert_eq!(s.ops.updates, 1);
         assert_eq!(s.ops.removes, 1);
         assert!(s.kick_hist.count >= 200);
+    }
+
+    #[test]
+    fn stashless_config_grows_without_aborting() {
+        use crate::config::StashPolicy;
+        // The config the old code aborted on: no stash to absorb failed
+        // walks, a tiny table, and a short maxloop so walks fail often.
+        let mut m: McMap<u64, u64> = McMap::with_config(
+            McConfig::paper(8, 21)
+                .with_stash(StashPolicy::None)
+                .with_maxloop(8)
+                .with_deletion(DeletionMode::Reset),
+        );
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = hash_kit::SplitMix64::new(22);
+        for step in 0..6_000u64 / SCALE as u64 {
+            let k = rng.next_below(2_000 / SCALE as u64);
+            match rng.next_below(4) {
+                0 | 1 => {
+                    assert_eq!(m.insert(k, step), model.insert(k, step).is_none());
+                }
+                2 => assert_eq!(m.get(&k), model.get(&k)),
+                _ => assert_eq!(m.remove(&k), model.remove(&k)),
+            }
+        }
+        assert_eq!(m.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(m.get(k), Some(v), "key {k} lost");
+        }
+        m.table().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grow_now_reports_and_parked_items_stay_live() {
+        use crate::config::StashPolicy;
+        let mut m: McMap<u64, u64> = McMap::with_config(
+            McConfig::paper(8, 23)
+                .with_stash(StashPolicy::None)
+                .with_maxloop(8)
+                .with_deletion(DeletionMode::Reset),
+        );
+        for k in 0..500u64 {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.len(), 500);
+        // Whether or not anything is parked right now, every item is
+        // served, iterated, and countable.
+        assert_eq!(m.iter().count(), 500);
+        for k in 0..500u64 {
+            assert_eq!(m.get(&k), Some(&(k * 2)), "key {k} lost");
+            assert!(m.contains_key(&k));
+        }
+        // An explicit growth either absorbs the parked buffer or
+        // reports a typed error — never a panic.
+        match m.grow_now() {
+            Ok(()) => assert_eq!(m.parked_len(), 0),
+            Err(e) => {
+                assert_eq!(e.parked, m.parked_len());
+                assert!(e.attempts > 0);
+                let msg = e.to_string();
+                assert!(msg.contains("parked buffer"), "got: {msg}");
+            }
+        }
+        assert_eq!(m.len(), 500);
+        // Parked-or-not, updates and removals hit the right copy.
+        assert!(!m.insert(7, 999));
+        assert_eq!(m.get(&7), Some(&999));
+        assert_eq!(m.remove(&7), Some(999));
+        assert_eq!(m.len(), 499);
+        m.table().check_invariants().unwrap();
     }
 
     #[test]

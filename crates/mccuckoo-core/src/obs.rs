@@ -283,6 +283,110 @@ impl ShardStats {
     }
 }
 
+/// Counters for incremental shard-split migration (zero for tables
+/// that never split). Monotonic, like every other observability cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationStats {
+    /// Shard splits begun (including resumed ones).
+    pub splits_started: u64,
+    /// Splits whose drain finished with forwarding fully retired.
+    pub splits_completed: u64,
+    /// Keys relocated from a parent shard to its split sibling.
+    pub keys_moved: u64,
+    /// Migration-cursor visits that found the key already gone
+    /// (removed, or moved by a forwarded client upsert).
+    pub keys_skipped: u64,
+    /// Keys the sibling could not absorb (left in the parent behind a
+    /// permanent forwarding entry).
+    pub move_failures: u64,
+    /// Operations that consulted the forwarding map and touched the
+    /// parent side of an in-flight split.
+    pub forwarding_hits: u64,
+    /// Wall-clock duration of each completed `begin_split` call, in
+    /// microseconds (log2 buckets).
+    pub split_hist: Histogram,
+}
+
+impl_json_struct!(MigrationStats {
+    splits_started,
+    splits_completed,
+    keys_moved,
+    keys_skipped,
+    move_failures,
+    forwarding_hits,
+    split_hist
+});
+
+impl MigrationStats {
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &MigrationStats) {
+        self.splits_started += other.splits_started;
+        self.splits_completed += other.splits_completed;
+        self.keys_moved += other.keys_moved;
+        self.keys_skipped += other.keys_skipped;
+        self.move_failures += other.move_failures;
+        self.forwarding_hits += other.forwarding_hits;
+        self.split_hist.merge(&other.split_hist);
+    }
+}
+
+/// Relaxed-atomic recorder behind [`MigrationStats`] — one per sharded
+/// table, bumped by the split cursor and the forwarding-aware routing
+/// paths.
+#[derive(Debug, Default)]
+pub(crate) struct MigrationObs {
+    splits_started: AtomicU64,
+    splits_completed: AtomicU64,
+    keys_moved: AtomicU64,
+    keys_skipped: AtomicU64,
+    move_failures: AtomicU64,
+    forwarding_hits: AtomicU64,
+    split_hist: AtomicHistogram,
+}
+
+impl MigrationObs {
+    pub(crate) fn record_split_started(&self) {
+        self.splits_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a finished drain: whether forwarding was fully retired,
+    /// plus the split's wall-clock duration in microseconds.
+    pub(crate) fn record_split_finished(&self, completed: bool, duration_us: u64) {
+        if completed {
+            self.splits_completed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.split_hist.record(duration_us);
+    }
+
+    pub(crate) fn record_moved(&self) {
+        self.keys_moved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_skipped(&self) {
+        self.keys_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_move_failure(&self) {
+        self.move_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_forwarding_hit(&self) {
+        self.forwarding_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MigrationStats {
+        MigrationStats {
+            splits_started: self.splits_started.load(Ordering::Relaxed),
+            splits_completed: self.splits_completed.load(Ordering::Relaxed),
+            keys_moved: self.keys_moved.load(Ordering::Relaxed),
+            keys_skipped: self.keys_skipped.load(Ordering::Relaxed),
+            move_failures: self.move_failures.load(Ordering::Relaxed),
+            forwarding_hits: self.forwarding_hits.load(Ordering::Relaxed),
+            split_hist: self.split_hist.snapshot(),
+        }
+    }
+}
+
 /// Plain-data statistics snapshot returned by
 /// [`McTable::stats`](crate::McTable::stats).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -303,6 +407,9 @@ pub struct TableStats {
     /// One table runs exactly one policy, so `kick_hist` *is* the
     /// per-policy kick-walk-length histogram — this label names it.
     pub kick_policy: String,
+    /// Shard-split migration counters; all-zero for tables that never
+    /// split (every unsharded table).
+    pub migration: MigrationStats,
 }
 
 impl_json_struct!(TableStats {
@@ -311,7 +418,8 @@ impl_json_struct!(TableStats {
     kick_hist,
     batch_hist,
     shards,
-    kick_policy
+    kick_policy,
+    migration
 });
 
 impl TableStats {
@@ -327,6 +435,7 @@ impl TableStats {
         if self.kick_policy.is_empty() {
             self.kick_policy = other.kick_policy.clone();
         }
+        self.migration.merge(&other.migration);
     }
 
     /// Occupancy skew across shards: max shard load divided by mean
@@ -531,6 +640,7 @@ impl Obs {
             batch_hist: self.write.batch_hist.snapshot(),
             shards: Vec::new(),
             kick_policy: String::new(),
+            migration: MigrationStats::default(),
         }
     }
 

@@ -1,0 +1,309 @@
+//! Append-only operation log — incremental persistence on top of
+//! [`crate::persist`] snapshots.
+//!
+//! A snapshot alone forces a full re-insert on restore and says nothing
+//! about operations after the capture. The op log closes both gaps:
+//! the application records every *completed* mutation (insert, remove,
+//! shard split, clear) as one JSON line through a pluggable
+//! [`LogSink`], and [`crate::ShardedMcCuckoo::recover`] replays the
+//! tail into a restored snapshot. Because shard and split-child hash
+//! seeds re-derive deterministically from the master seed, replaying
+//! the logged `Split` records reproduces the grown shard layout
+//! exactly — a recovered table routes, probes, and splits identically
+//! to the one that wrote the log.
+//!
+//! The writer is deliberately fsync-free and in-memory: durability
+//! policy (buffering, rotation, fsync cadence) belongs to the sink, not
+//! the table. [`VecSink`] is the reference sink — an `Arc`'d line
+//! buffer that tests and the bench harness read back directly; a real
+//! deployment implements [`LogSink`] over its file or replication
+//! stream.
+//!
+//! **Recovery ordering.** Replay records in append order, after the
+//! snapshot they follow. Logged shard ids are interpreted against the
+//! recovering table's state, so the log must be replayed onto the
+//! snapshot it was written against (standard log-shipping discipline:
+//! a snapshot capture notes the log position and truncates up to it).
+//! Records are idempotent at the value level (`Insert` is an upsert,
+//! `Remove` of a missing key is a no-op), so replaying a suffix that
+//! straddles a *live* snapshot capture converges to the same state.
+//!
+//! ```
+//! use mccuckoo_core::oplog::{OpLog, OpRecord, VecSink, parse_log};
+//! use mccuckoo_core::{McConfig, ShardedMcCuckoo};
+//!
+//! let table = ShardedMcCuckoo::<u64, u64>::new(2, McConfig::paper(256, 9));
+//! let snapshot = table.to_snapshot(); // empty baseline
+//!
+//! let sink = VecSink::new();
+//! let log = OpLog::new(sink.clone());
+//! table.insert(1, 10).unwrap();
+//! log.record(&OpRecord::Insert { key: 1u64, value: 10u64 });
+//! table.begin_split(0).unwrap();
+//! log.record(&OpRecord::<u64, u64>::Split { shard: 0 });
+//!
+//! // Crash. Recover = snapshot + replay.
+//! let ops = parse_log::<u64, u64>(&sink.lines()).unwrap();
+//! let recovered = ShardedMcCuckoo::recover(snapshot, &ops).unwrap();
+//! assert_eq!(recovered.get(&1), Some(10));
+//! assert_eq!(recovered.shard_count(), table.shard_count());
+//! ```
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use jsonlite::{FromJson, Json, JsonError, ToJson};
+
+use crate::shard::SplitError;
+
+/// One logged mutation. `Insert` records the post-image (an upsert on
+/// replay), so logging the operation *after* it completes is safe even
+/// when it overwrote an existing value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpRecord<K, V> {
+    /// A completed insert or update of `key` to `value`.
+    Insert {
+        /// The written key.
+        key: K,
+        /// The value the key held when the operation completed.
+        value: V,
+    },
+    /// A completed removal of `key` (logging a miss is harmless).
+    Remove {
+        /// The removed key.
+        key: K,
+    },
+    /// A completed [`crate::ShardedMcCuckoo::begin_split`] of `shard`.
+    Split {
+        /// The shard that was split (id in the *writing* table — replay
+        /// against the snapshot this log was written over).
+        shard: usize,
+    },
+    /// A completed [`crate::ShardedMcCuckoo::clear`].
+    Clear,
+}
+
+impl<K: ToJson, V: ToJson> ToJson for OpRecord<K, V> {
+    fn to_json(&self) -> Json {
+        match self {
+            OpRecord::Insert { key, value } => Json::Obj(vec![
+                ("op".to_owned(), Json::Str("insert".to_owned())),
+                ("key".to_owned(), key.to_json()),
+                ("value".to_owned(), value.to_json()),
+            ]),
+            OpRecord::Remove { key } => Json::Obj(vec![
+                ("op".to_owned(), Json::Str("remove".to_owned())),
+                ("key".to_owned(), key.to_json()),
+            ]),
+            OpRecord::Split { shard } => Json::Obj(vec![
+                ("op".to_owned(), Json::Str("split".to_owned())),
+                ("shard".to_owned(), shard.to_json()),
+            ]),
+            OpRecord::Clear => Json::Obj(vec![("op".to_owned(), Json::Str("clear".to_owned()))]),
+        }
+    }
+}
+
+impl<K: FromJson, V: FromJson> FromJson for OpRecord<K, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            j.get(name)
+                .ok_or_else(|| JsonError(format!("op record missing field '{name}'")))
+        };
+        let Json::Str(op) = field("op")? else {
+            return Err(JsonError("op record field 'op' must be a string".into()));
+        };
+        match op.as_str() {
+            "insert" => Ok(OpRecord::Insert {
+                key: FromJson::from_json(field("key")?)?,
+                value: FromJson::from_json(field("value")?)?,
+            }),
+            "remove" => Ok(OpRecord::Remove {
+                key: FromJson::from_json(field("key")?)?,
+            }),
+            "split" => Ok(OpRecord::Split {
+                shard: FromJson::from_json(field("shard")?)?,
+            }),
+            "clear" => Ok(OpRecord::Clear),
+            other => Err(JsonError(format!("unknown op record kind '{other}'"))),
+        }
+    }
+}
+
+/// Where serialised log lines go. Implementations own the durability
+/// policy — buffer, rotate, fsync, replicate — the table layer never
+/// blocks on it. `append` must be safe to call from multiple threads.
+pub trait LogSink {
+    /// Persist one serialised record (a single JSON object, no
+    /// trailing newline).
+    fn append(&self, line: &str);
+}
+
+/// The reference in-memory sink: a shared, thread-safe line buffer.
+/// Clones share the same buffer, so the writer side hands a clone to
+/// the log and keeps one for reading the lines back.
+#[derive(Clone, Default)]
+pub struct VecSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl VecSink {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every line appended so far, in append order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("oplog sink poisoned").clone()
+    }
+
+    /// Lines appended so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("oplog sink poisoned").len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LogSink for VecSink {
+    fn append(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("oplog sink poisoned")
+            .push(line.to_owned());
+    }
+}
+
+/// The append-only writer: serialises each record through `jsonlite`
+/// and hands the line to the sink. Stateless beyond the sink — cheap to
+/// share behind an `Arc` next to the table.
+pub struct OpLog<S: LogSink> {
+    sink: S,
+}
+
+impl<S: LogSink> OpLog<S> {
+    /// Wrap a sink.
+    pub fn new(sink: S) -> Self {
+        Self { sink }
+    }
+
+    /// Append one record.
+    pub fn record<K: ToJson, V: ToJson>(&self, rec: &OpRecord<K, V>) {
+        self.sink.append(&jsonlite::to_string(rec));
+    }
+
+    /// The sink, for handing to readers.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+}
+
+/// Parse an append-ordered slice of log lines back into records.
+/// Fails on the first malformed line (a torn tail line should be
+/// truncated by the sink's recovery procedure before parsing).
+pub fn parse_log<K: FromJson, V: FromJson>(
+    lines: &[String],
+) -> Result<Vec<OpRecord<K, V>>, JsonError> {
+    lines
+        .iter()
+        .map(|l| OpRecord::from_json(&jsonlite::parse(l)?))
+        .collect()
+}
+
+/// Why [`crate::ShardedMcCuckoo::recover`] could not rebuild the table.
+/// Every variant is a *reported* failure — recovery never panics and
+/// never silently drops data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The snapshot itself no longer fits its geometry (only possible
+    /// when the snapshot was edited toward a smaller configuration).
+    SnapshotOverflow {
+        /// How many snapshot items could not be placed.
+        leftover: usize,
+    },
+    /// A replayed insert overflowed the table.
+    InsertOverflow {
+        /// Index of the failing record in the log slice.
+        index: usize,
+    },
+    /// A replayed split was rejected (e.g. the log was replayed against
+    /// a snapshot it was not written over).
+    Split {
+        /// Index of the failing record in the log slice.
+        index: usize,
+        /// The split-layer rejection.
+        error: SplitError,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::SnapshotOverflow { leftover } => {
+                write!(
+                    f,
+                    "snapshot restore overflowed: {leftover} item(s) unplaceable"
+                )
+            }
+            RecoverError::InsertOverflow { index } => {
+                write!(
+                    f,
+                    "log replay: insert at record {index} overflowed the table"
+                )
+            }
+            RecoverError::Split { index, error } => {
+                write!(f, "log replay: split at record {index} rejected: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_json_lines() {
+        let sink = VecSink::new();
+        let log = OpLog::new(sink.clone());
+        let recs: Vec<OpRecord<u64, u64>> = vec![
+            OpRecord::Insert { key: 7, value: 70 },
+            OpRecord::Remove { key: 7 },
+            OpRecord::Split { shard: 1 },
+            OpRecord::Clear,
+            OpRecord::Insert { key: 8, value: 80 },
+        ];
+        for r in &recs {
+            log.record(r);
+        }
+        assert_eq!(sink.len(), recs.len());
+        let back = parse_log::<u64, u64>(&sink.lines()).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        let bad = vec!["{\"op\":\"teleport\",\"key\":1}".to_owned()];
+        let err = parse_log::<u64, u64>(&bad).unwrap_err();
+        assert!(err.0.contains("teleport"), "got: {}", err.0);
+        let missing = vec!["{\"key\":1}".to_owned()];
+        let err = parse_log::<u64, u64>(&missing).unwrap_err();
+        assert!(err.0.contains("'op'"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn sink_clones_share_the_buffer() {
+        let a = VecSink::new();
+        let b = a.clone();
+        a.append("x");
+        b.append("y");
+        assert_eq!(a.lines(), vec!["x".to_owned(), "y".to_owned()]);
+        assert!(!b.is_empty());
+    }
+}

@@ -165,6 +165,10 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, SingleLayout> {
     /// (stash-less overfull snapshot). Use
     /// [`Engine::try_from_snapshot`] to recover the unplaced items
     /// instead; data is never silently dropped.
+    #[deprecated(
+        since = "0.9.0",
+        note = "aborts the process on overflow; use `try_from_snapshot` and handle `SnapshotOverflow`"
+    )]
     pub fn from_snapshot(snapshot: TableSnapshot<K, V>) -> Self {
         Self::try_from_snapshot(snapshot).unwrap_or_else(|overflow| {
             panic!(
@@ -220,6 +224,10 @@ impl<K: KeyHash + Eq + Clone, V: Clone> Engine<K, V, BlockedLayout> {
     /// (stash-less overfull snapshot). Use
     /// [`Engine::try_from_snapshot`] to recover the unplaced items
     /// instead; data is never silently dropped.
+    #[deprecated(
+        since = "0.9.0",
+        note = "aborts the process on overflow; use `try_from_snapshot` and handle `SnapshotOverflow`"
+    )]
     pub fn from_snapshot(snapshot: BlockedSnapshot<K, V>) -> Self {
         Self::try_from_snapshot(snapshot).unwrap_or_else(|overflow| {
             panic!(
@@ -252,7 +260,7 @@ mod tests {
         let snap = t.to_snapshot();
         let json = jsonlite::to_string(&snap);
         let back: TableSnapshot<u64, String> = jsonlite::from_str(&json).unwrap();
-        let restored = McCuckoo::from_snapshot(back);
+        let restored = McCuckoo::try_from_snapshot(back).expect("stash-backed restore fits");
         assert_eq!(restored.len(), t.len());
         for &k in ks.iter().take(200) {
             assert_eq!(restored.get(&k), None);
@@ -272,7 +280,7 @@ mod tests {
             t.insert_new(k, k).unwrap();
         }
         assert!(t.stash_len() > 0);
-        let restored = McCuckoo::from_snapshot(t.to_snapshot());
+        let restored = McCuckoo::try_from_snapshot(t.to_snapshot()).expect("stash absorbs all");
         for &k in &ks {
             assert_eq!(restored.get(&k), Some(&k), "key lost through snapshot");
         }
@@ -295,7 +303,7 @@ mod tests {
         let back: BlockedSnapshot<u64, u64> = jsonlite::from_str(&json).unwrap();
         assert_eq!(back.slots, 3);
         assert!(back.aggressive_lookup);
-        let restored = BlockedMcCuckoo::from_snapshot(back);
+        let restored = BlockedMcCuckoo::try_from_snapshot(back).expect("restore fits");
         for &k in &ks {
             assert_eq!(restored.get(&k), Some(&(k.wrapping_mul(3))));
         }
@@ -335,8 +343,11 @@ mod tests {
         assert_eq!(all, want, "every snapshot item must be handed back");
     }
 
+    /// The deprecated shape must keep its documented panic (it exists
+    /// precisely so old callers fail loudly instead of losing data).
     #[test]
     #[should_panic(expected = "snapshot restore overflowed")]
+    #[allow(deprecated)]
     fn from_snapshot_panics_rather_than_dropping() {
         use crate::config::StashPolicy;
         let config = McConfig {
@@ -397,7 +408,7 @@ mod tests {
         for &k in &keys.take_vec(400) {
             t.insert_new(k, k).unwrap();
         }
-        let mut restored = McCuckoo::from_snapshot(t.to_snapshot());
+        let mut restored = McCuckoo::try_from_snapshot(t.to_snapshot()).expect("restore fits");
         // Insert, update, delete on the restored instance.
         let more = keys.take_vec(200);
         for &k in &more {

@@ -20,6 +20,10 @@ thread_local! {
     /// path is planned and its stripes are held, but before any bucket
     /// is mutated. `u32::MAX` means "every kick walk".
     static PANIC_IN_KICK: Cell<u32> = const { Cell::new(0) };
+
+    /// Countdown to a migration-cursor crash: the N-th key visit of a
+    /// `begin_split` drain panics before that key is touched. 0 = inert.
+    static PANIC_IN_MIGRATION: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Arm the fault: the next `n` calls to `McCuckoo::remove` that find the
@@ -45,10 +49,21 @@ pub fn arm_panic_in_kick(n: u32) {
     PANIC_IN_KICK.with(|c| c.set(n));
 }
 
+/// Arm the fault: the `n`-th upcoming key visit of a shard-split drain
+/// (`ShardedMcCuckoo::begin_split`) on this thread panics before the
+/// key is migrated — the migrator dies mid-split with the forwarding
+/// map still active, proving readers and writers stay consistent and a
+/// later `begin_split` resumes and finishes the drain. `n` counts down:
+/// `1` crashes on the very next visited key.
+pub fn arm_panic_in_migration(n: u32) {
+    PANIC_IN_MIGRATION.with(|c| c.set(n));
+}
+
 /// Disarm all hooks on this thread.
 pub fn disarm() {
     SKIP_COUNTER_RESETS.with(|c| c.set(0));
     PANIC_IN_KICK.with(|c| c.set(0));
+    PANIC_IN_MIGRATION.with(|c| c.set(0));
 }
 
 /// Consumed by the deletion path: returns `true` if this deletion should
@@ -81,5 +96,21 @@ pub(crate) fn fire_panic_in_kick() {
     });
     if armed {
         panic!("testhooks: injected panic mid-kick-walk");
+    }
+}
+
+/// Consumed once per key visit by the split drain: panics when the
+/// armed countdown reaches zero (the injected migrator death).
+pub(crate) fn fire_panic_in_migration() {
+    let fire = PANIC_IN_MIGRATION.with(|c| {
+        let n = c.get();
+        if n == 0 {
+            return false;
+        }
+        c.set(n - 1);
+        n == 1
+    });
+    if fire {
+        panic!("testhooks: injected panic mid-migration");
     }
 }

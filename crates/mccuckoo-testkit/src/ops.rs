@@ -80,17 +80,26 @@ pub enum MixProfile {
     /// whole-table coordination and would make multi-writer oracle
     /// reconciliation undecidable.
     ContendedStripes,
+    /// Write-skewed churn over a mid-sized key domain, meant to run
+    /// *while a shard split drains the table*: heavy upserts keep the
+    /// forwarding redo path hot, steady removes race the migration
+    /// cursor's insert-then-remove window, and frequent lookups observe
+    /// every intermediate state. No `Clear`/`RefreshStash` (whole-table
+    /// coordination; `Clear` additionally serialises against the split
+    /// lock, which would turn the mix into a migration barrier).
+    GrowUnderFire,
 }
 
 impl MixProfile {
     /// All profiles, for sweep drivers.
-    pub const ALL: [MixProfile; 6] = [
+    pub const ALL: [MixProfile; 7] = [
         MixProfile::Balanced,
         MixProfile::DuplicateHeavy,
         MixProfile::DeleteHeavy,
         MixProfile::NearFull,
         MixProfile::UpsertHammer,
         MixProfile::ContendedStripes,
+        MixProfile::GrowUnderFire,
     ];
 
     /// Op-kind weights: insert, insert_new, get, contains, remove,
@@ -103,6 +112,7 @@ impl MixProfile {
             MixProfile::NearFull => [60, 10, 10, 3, 12, 0, 5],
             MixProfile::UpsertHammer => [80, 2, 12, 3, 2, 0, 1],
             MixProfile::ContendedStripes => [55, 5, 15, 5, 20, 0, 0],
+            MixProfile::GrowUnderFire => [45, 10, 25, 5, 15, 0, 0],
         }
     }
 
@@ -119,6 +129,9 @@ impl MixProfile {
             // Tiny domain: once mapped onto mined same-stripe keys, the
             // whole op stream lands on a handful of lock stripes.
             MixProfile::ContendedStripes => 10,
+            // Roomy enough that splits have real key volume to drain,
+            // small enough that writers keep revisiting migrating keys.
+            MixProfile::GrowUnderFire => (capacity as u64 / 3).max(16),
         }
     }
 }

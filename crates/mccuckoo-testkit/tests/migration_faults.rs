@@ -1,0 +1,146 @@
+//! Crash the shard migrator mid-split *under fire* and prove the
+//! forwarding map keeps the table consistent.
+//!
+//! Requires `--features faults` (forwards `mccuckoo-core/testhooks`).
+//! The injected fault kills the migration cursor partway through a
+//! drain, on the migrator's own thread, while writers keep upserting
+//! and readers keep probing. Because the table is preloaded and the
+//! writers never delete, every reader probe must HIT — any `None` is a
+//! key lost in the half-migrated window, the exact failure the
+//! forwarding entry exists to prevent. A later `begin_split` must then
+//! resume the dead migrator's drain and retire the forwarding entry.
+
+#![cfg(feature = "faults")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use hash_kit::SplitMix64;
+use mccuckoo_core::{testhooks, McConfig, ShardedMcCuckoo};
+
+/// Preloaded key domain; never shrinks, so availability is decidable.
+const DOMAIN: u64 = 384;
+/// Writers rewrite each key's value as `(key << 8) | generation`.
+const MAX_GEN: u64 = 5;
+
+fn check_value(k: u64, v: u64, who: &str) {
+    assert_eq!(v >> 8, k, "{who}: foreign value {v:#x} under key {k}");
+    assert!((v & 0xFF) <= MAX_GEN, "{who}: phantom generation in {v:#x}");
+}
+
+#[test]
+fn crashed_migrator_under_fire_stays_consistent_and_resumes() {
+    let t = ShardedMcCuckoo::<u64, u64>::new(2, McConfig::paper(256, 0xFA17_5EED));
+    for k in 0..DOMAIN {
+        t.insert(k, k << 8).expect("preload fits");
+    }
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writers: pure upserts, generation-tagged so readers can tell a
+        // legitimate rewrite from a torn or foreign value.
+        let mut workers = Vec::new();
+        for tid in 0..2u64 {
+            let t = &t;
+            workers.push(scope.spawn(move || {
+                for gen in 1..=MAX_GEN {
+                    for k in (tid * DOMAIN / 2)..((tid + 1) * DOMAIN / 2) {
+                        t.insert(k, (k << 8) | gen).expect("upsert fits");
+                    }
+                }
+            }));
+        }
+        // Readers: every probe must hit — a miss is a key dropped in the
+        // crash window. One point reader, one batched reader.
+        for rid in 0..2u64 {
+            let t = &t;
+            let stop = &stop;
+            workers.push(scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xBEEF ^ rid);
+                let mut batch = [0u64; 16];
+                while !stop.load(Ordering::Acquire) {
+                    if rid == 0 {
+                        let k = rng.next_below(DOMAIN);
+                        let v = t.get(&k).unwrap_or_else(|| {
+                            panic!("reader lost key {k} during the crashed split")
+                        });
+                        check_value(k, v, "reader");
+                    } else {
+                        for slot in batch.iter_mut() {
+                            *slot = rng.next_below(DOMAIN);
+                        }
+                        for (k, hit) in batch.iter().zip(t.lookup_batch(&batch)) {
+                            let v = hit.unwrap_or_else(|| {
+                                panic!("batch reader lost key {k} during the crashed split")
+                            });
+                            check_value(*k, v, "batch reader");
+                        }
+                    }
+                }
+            }));
+        }
+
+        // The migrator: dies mid-drain, then comes back and resumes.
+        let migrator = scope.spawn(|| {
+            // Thread-local: only the migrator is sabotaged. The split
+            // has ~DOMAIN/2 keys to visit, so the 40th visit is well
+            // inside the drain.
+            testhooks::arm_panic_in_migration(40);
+            let crash = catch_unwind(AssertUnwindSafe(|| t.begin_split(0)));
+            testhooks::disarm();
+            let err = crash.expect_err("the armed drain must die");
+            let msg = err
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                msg.contains("injected panic mid-migration"),
+                "migrator died of the wrong cause: {msg:?}"
+            );
+            // The child shard was already published; the forwarding
+            // entry is what keeps its keys reachable right now.
+            assert_eq!(t.shard_count(), 3, "crash must not unpublish the child");
+
+            // Resume: the second call picks the dead drain back up and
+            // retires the forwarding entry.
+            let report = t.begin_split(0).expect("resume must succeed");
+            assert!(report.resumed, "second split call must resume, not restart");
+            assert_eq!(report.failed, 0, "resume left keys behind");
+            assert!(report.forwarding_cleared, "forwarding must retire");
+
+            // And a fresh split of the recovered table still works.
+            let report = t.begin_split(1).expect("later split must succeed");
+            assert!(!report.resumed);
+            assert_eq!(t.shard_count(), 4);
+        });
+
+        for h in workers.drain(..2) {
+            h.join().expect("writer died");
+        }
+        migrator
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        stop.store(true, Ordering::Release);
+        for h in workers {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+
+    // Settled state: every key present at its final generation range,
+    // structure valid, stats coherent.
+    t.check_invariants().expect("post-crash invariants");
+    for k in 0..DOMAIN {
+        let v = t
+            .get(&k)
+            .unwrap_or_else(|| panic!("key {k} lost after recovery"));
+        check_value(k, v, "final sweep");
+    }
+    let stats = t.stats();
+    // Three begin_split calls: crash (started, not completed), resume
+    // (started + completed) and the fresh split (started + completed).
+    assert_eq!(stats.migration.splits_started, 3);
+    assert_eq!(stats.migration.splits_completed, 2);
+    assert!(stats.migration.forwarding_hits > 0 || stats.migration.keys_moved > 0);
+}

@@ -71,7 +71,7 @@ fn maintenance_soup_against_model() {
                 // Snapshot round-trip: the restored table replaces the
                 // live one mid-stream.
                 let snap = t.to_snapshot();
-                t = McCuckoo::from_snapshot(snap);
+                t = McCuckoo::try_from_snapshot(snap).expect("stash-backed restore fits");
                 snapshots += 1;
             }
             97 if live.len() < 50 => {

@@ -1,0 +1,437 @@
+//! Grow-under-fire torture: incremental shard splits racing live
+//! traffic.
+//!
+//! Two layers, mirroring `concurrent_torture`:
+//!
+//! * A **single-threaded differential** run drives a seeded
+//!   `GrowUnderFire` op stream (plus periodic batched ops) against a
+//!   `HashMap` oracle while `begin_split` fires at fixed op indices —
+//!   every result must match the oracle *exactly*, including ops that
+//!   land mid-drain on forwarded keys.
+//! * A **multi-threaded torture** run: 2 writers hammer overlapping key
+//!   ranges and 2 batched readers sweep `lookup_batch` while a dedicated
+//!   migration thread splits shard after shard. With overlapping writers
+//!   no per-key final value is decidable, but the allowed-value set is:
+//!   every value observed by a reader, a writer or the post-run sweep
+//!   must be one some writer's deterministic stream wrote to that key.
+//!   Post-run, the invariant validator runs and the obs counters are
+//!   reconciled against the issued-op tallies — the exactness identities
+//!   must survive migration (the cursor's own transfers are unrecorded).
+//!
+//! Replay: a failure prints the `MCC_MIGRATION_SEED` /
+//! `MCC_MIGRATION_ITERS` pair to re-run just that schedule.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use hash_kit::SplitMix64;
+use mccuckoo_core::{McConfig, ShardedMcCuckoo, SplitReport};
+use mccuckoo_testkit::{gen_ops, MixProfile, TableOp};
+
+const WRITERS: usize = 2;
+const READERS: usize = 2;
+const OPS_PER_WRITER: usize = 300;
+/// Writers share this whole domain — every key is contended.
+const KEY_DOMAIN: u64 = 96;
+/// Splits issued by the migration thread per iteration: 2 → 8 shards.
+const SPLITS: usize = 6;
+/// Keys per reader `lookup_batch` call.
+const BATCH: usize = 16;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// Per-writer deterministic schedule, derived from the iteration seed.
+fn writer_ops(iter_seed: u64, tid: usize) -> Vec<TableOp> {
+    gen_ops(
+        iter_seed.wrapping_add((tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        MixProfile::GrowUnderFire,
+        OPS_PER_WRITER,
+        KEY_DOMAIN,
+    )
+}
+
+/// Overlapping ranges: writer 0 uses the generated key verbatim, writer
+/// 1 is shifted by a quarter of the domain — every key has both writers
+/// racing on it somewhere in the run.
+fn key_of(generated: u64, tid: usize) -> u64 {
+    match tid {
+        0 => generated,
+        _ => (generated + KEY_DOMAIN / 4) % KEY_DOMAIN,
+    }
+}
+
+/// The allowed-value oracle: for each key, every value ANY writer's
+/// stream could store there. A superset of reachable states, which is
+/// exactly what membership assertions need.
+fn allowed_values(iter_seed: u64) -> HashMap<u64, HashSet<u64>> {
+    let mut allowed: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for tid in 0..WRITERS {
+        for op in writer_ops(iter_seed, tid) {
+            match op {
+                TableOp::Insert(k, v) | TableOp::InsertNew(k, v) => {
+                    allowed.entry(key_of(k, tid)).or_default().insert(v);
+                }
+                _ => {}
+            }
+        }
+    }
+    allowed
+}
+
+/// Issued-op tallies, summed across threads and reconciled against the
+/// table's own obs counters after the run.
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    insert_attempts: u64,
+    lookups: u64,
+    removes_hit: u64,
+    removes_miss: u64,
+}
+
+/// One grow-under-fire iteration. Returns the summed tally and the
+/// split reports from the migration thread.
+fn torture_once(table: &ShardedMcCuckoo<u64, u64>, iter_seed: u64) -> (Tally, Vec<SplitReport>) {
+    let allowed = allowed_values(iter_seed);
+    let stop = AtomicBool::new(false);
+    let ctx = |detail: &str| {
+        format!(
+            "migration torture: {detail}\n\
+             replay: MCC_MIGRATION_SEED={iter_seed:#x} MCC_MIGRATION_ITERS=1 \
+             cargo test --test migration_torture"
+        )
+    };
+
+    let (tally, reports) = std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        for tid in 0..WRITERS {
+            let allowed = &allowed;
+            let ctx = &ctx;
+            writers.push(scope.spawn(move || {
+                let mut tl = Tally::default();
+                for op in writer_ops(iter_seed, tid) {
+                    match op {
+                        TableOp::Insert(k, v) | TableOp::InsertNew(k, v) => {
+                            // InsertNew downgrades to upsert: with
+                            // overlapping writers "believed absent" is
+                            // undecidable, and the allowed-set already
+                            // contains the value either way.
+                            tl.insert_attempts += 1;
+                            let _ = table.insert(key_of(k, tid), v);
+                        }
+                        TableOp::Get(k) | TableOp::Contains(k) => {
+                            let k = key_of(k, tid);
+                            tl.lookups += 1;
+                            if let Some(v) = table.get(&k) {
+                                assert!(
+                                    allowed.get(&k).is_some_and(|s| s.contains(&v)),
+                                    "{}",
+                                    ctx(&format!(
+                                        "writer {tid} read foreign value {v} under key {k}"
+                                    ))
+                                );
+                            }
+                        }
+                        TableOp::Remove(k) => {
+                            if table.remove(&key_of(k, tid)).is_some() {
+                                tl.removes_hit += 1;
+                            } else {
+                                tl.removes_miss += 1;
+                            }
+                        }
+                        TableOp::Clear | TableOp::RefreshStash => {
+                            unreachable!("GrowUnderFire never emits these")
+                        }
+                    }
+                }
+                tl
+            }));
+        }
+
+        // The migration thread splits shard after shard while the
+        // writers and readers run. The shard ids are deterministic
+        // (children are appended in order), so the final layout is too.
+        let migrator = scope.spawn(|| {
+            let mut reports = Vec::with_capacity(SPLITS);
+            for shard in 0..SPLITS {
+                let report = table
+                    .begin_split(shard)
+                    .unwrap_or_else(|e| panic!("{}", ctx(&format!("split {shard}: {e}"))));
+                assert_eq!(
+                    report.failed,
+                    0,
+                    "{}",
+                    ctx(&format!("split {shard} left keys behind"))
+                );
+                assert!(
+                    report.forwarding_cleared,
+                    "{}",
+                    ctx(&format!("split {shard} left forwarding active"))
+                );
+                reports.push(report);
+                // Give the writers a window between splits so traffic
+                // lands on settled routing too, not only mid-drain.
+                std::thread::yield_now();
+            }
+            reports
+        });
+
+        let mut readers = Vec::new();
+        for rid in 0..READERS {
+            let stop = &stop;
+            let allowed = &allowed;
+            let ctx = &ctx;
+            readers.push(scope.spawn(move || {
+                let mut tl = Tally::default();
+                let mut rng = SplitMix64::new(iter_seed ^ (0xBEEF + rid as u64));
+                let mut batch = [0u64; BATCH];
+                while !stop.load(Ordering::Acquire) {
+                    for slot in batch.iter_mut() {
+                        *slot = rng.next_below(KEY_DOMAIN);
+                    }
+                    tl.lookups += BATCH as u64;
+                    for (k, hit) in batch.iter().zip(table.lookup_batch(&batch)) {
+                        if let Some(v) = hit {
+                            assert!(
+                                allowed.get(k).is_some_and(|s| s.contains(&v)),
+                                "{}",
+                                ctx(&format!(
+                                    "reader {rid} read foreign value {v} under key {k}"
+                                ))
+                            );
+                        }
+                    }
+                }
+                tl
+            }));
+        }
+
+        // Writers and the migrator finish on their own; the readers spin
+        // until released. A panicking thread re-raises its own assertion
+        // message (which carries the replay line).
+        let mut sum = Tally::default();
+        let mut join = |h: std::thread::ScopedJoinHandle<'_, Tally>| match h.join() {
+            Ok(tl) => {
+                sum.insert_attempts += tl.insert_attempts;
+                sum.lookups += tl.lookups;
+                sum.removes_hit += tl.removes_hit;
+                sum.removes_miss += tl.removes_miss;
+            }
+            Err(e) => {
+                stop.store(true, Ordering::Release);
+                std::panic::resume_unwind(e);
+            }
+        };
+        for h in writers {
+            join(h);
+        }
+        let reports = match migrator.join() {
+            Ok(reports) => reports,
+            Err(e) => {
+                stop.store(true, Ordering::Release);
+                std::panic::resume_unwind(e);
+            }
+        };
+        stop.store(true, Ordering::Release);
+        for h in readers {
+            join(h);
+        }
+        (sum, reports)
+    });
+
+    // Post-run: the table settles into SOME serializable history — every
+    // surviving value must be one a writer wrote.
+    let mut tally = tally;
+    for k in 0..KEY_DOMAIN {
+        tally.lookups += 1;
+        if let Some(v) = table.get(&k) {
+            assert!(
+                allowed.get(&k).is_some_and(|s| s.contains(&v)),
+                "{}",
+                ctx(&format!(
+                    "post-run sweep found foreign value {v} under key {k}"
+                ))
+            );
+        }
+    }
+    table
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{}", ctx(&format!("invariants violated: {e}"))));
+    (tally, reports)
+}
+
+/// Reconcile the table's obs counters against the issued-op tally: the
+/// migration cursor's transfers are unrecorded, so the identities from
+/// the sequential suite must hold verbatim under a live split.
+fn reconcile(stats: mccuckoo_core::TableStats, tally: Tally, iter_seed: u64) {
+    let attempts = stats.ops.inserts + stats.ops.updates + stats.ops.failed_inserts;
+    assert_eq!(
+        attempts, tally.insert_attempts,
+        "seed {iter_seed:#x}: insert attempts"
+    );
+    assert_eq!(
+        stats.ops.lookup_hits + stats.ops.lookup_misses,
+        tally.lookups,
+        "seed {iter_seed:#x}: lookups"
+    );
+    assert_eq!(
+        stats.probe_hist.count, tally.lookups,
+        "seed {iter_seed:#x}: probe histogram"
+    );
+    assert_eq!(
+        stats.ops.removes, tally.removes_hit,
+        "seed {iter_seed:#x}: removes"
+    );
+    assert_eq!(
+        stats.ops.remove_misses, tally.removes_miss,
+        "seed {iter_seed:#x}: remove misses"
+    );
+    assert_eq!(
+        stats.kick_hist.count,
+        stats.ops.inserts + stats.ops.failed_inserts,
+        "seed {iter_seed:#x}: kick histogram counts fresh attempts only"
+    );
+}
+
+#[test]
+fn torture_sharded_under_migration() {
+    let base = env_u64("MCC_MIGRATION_SEED", 0x6120_u64);
+    let iters = env_u64("MCC_MIGRATION_ITERS", 150);
+    let mut rng = SplitMix64::new(base);
+    for _ in 0..iters {
+        // When replaying a single schedule, the seed IS the schedule.
+        let iter_seed = if iters == 1 { base } else { rng.next_u64() };
+        let t = ShardedMcCuckoo::<u64, u64>::new(2, McConfig::paper(48, iter_seed));
+        let (tally, reports) = torture_once(&t, iter_seed);
+
+        assert_eq!(t.shard_count(), 2 + SPLITS, "seed {iter_seed:#x}");
+        assert_eq!(reports.len(), SPLITS);
+        let stats = t.stats();
+        assert_eq!(
+            stats.migration.splits_started, SPLITS as u64,
+            "seed {iter_seed:#x}: splits started"
+        );
+        assert_eq!(
+            stats.migration.splits_completed, SPLITS as u64,
+            "seed {iter_seed:#x}: splits completed"
+        );
+        let moved: u64 = reports.iter().map(|r| r.moved).sum();
+        assert_eq!(
+            stats.migration.keys_moved, moved,
+            "seed {iter_seed:#x}: keys moved"
+        );
+        assert_eq!(
+            stats.migration.move_failures, 0,
+            "seed {iter_seed:#x}: move failures"
+        );
+        reconcile(stats, tally, iter_seed);
+    }
+}
+
+/// Single-threaded grow-under-fire differential: with one mutator the
+/// oracle is exact, so every op — including the ones that land mid-
+/// drain and take the forwarding path — must agree with a `HashMap`
+/// bit for bit. Batched lookups, inserts and removes run on a cadence
+/// so the batch planner also crosses live splits.
+#[test]
+fn grow_under_fire_differential_matches_oracle() {
+    const N: usize = 4_000;
+    for seed in [0x6120_AA01_u64, 0x6120_AA02, 0x6120_AA03] {
+        let t = ShardedMcCuckoo::<u64, u64>::new(2, McConfig::paper(96, seed));
+        let domain = MixProfile::GrowUnderFire.key_domain(t.capacity());
+        let ops = gen_ops(seed, MixProfile::GrowUnderFire, N, domain);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut rng = SplitMix64::new(seed ^ 0xD1FF);
+        let mut splits = 0usize;
+
+        for (i, op) in ops.iter().enumerate() {
+            // Four splits at fixed op indices: 2 → 6 shards, each drain
+            // racing the op stream logically (same thread, so the split
+            // interleaves between ops, and forwarding entries are live
+            // for the ops that follow a mid-split snapshot of routing).
+            if i > 0 && i % (N / 5) == 0 && splits < 4 {
+                let report = t.begin_split(splits).expect("split must succeed");
+                assert_eq!(report.failed, 0, "seed {seed:#x}: split left keys");
+                assert!(report.forwarding_cleared, "seed {seed:#x}");
+                splits += 1;
+                t.check_invariants().expect("post-split invariants");
+                assert_eq!(t.len(), oracle.len(), "seed {seed:#x} after split {splits}");
+            }
+            match *op {
+                TableOp::Insert(k, v) => {
+                    t.insert(k, v).expect("capacity is ample");
+                    oracle.insert(k, v);
+                }
+                TableOp::InsertNew(k, v) => {
+                    // Downgrade to upsert when the oracle knows the key
+                    // is live, exactly like the testkit runner.
+                    if oracle.contains_key(&k) {
+                        t.insert(k, v).expect("capacity is ample");
+                    } else {
+                        t.insert_new(k, v).expect("capacity is ample");
+                    }
+                    oracle.insert(k, v);
+                }
+                TableOp::Get(k) => {
+                    assert_eq!(t.get(&k), oracle.get(&k).copied(), "seed {seed:#x} op {i}");
+                }
+                TableOp::Contains(k) => {
+                    assert_eq!(t.contains(&k), oracle.contains_key(&k), "seed {seed:#x}");
+                }
+                TableOp::Remove(k) => {
+                    assert_eq!(t.remove(&k), oracle.remove(&k), "seed {seed:#x} op {i}");
+                }
+                TableOp::Clear | TableOp::RefreshStash => {
+                    unreachable!("GrowUnderFire never emits these")
+                }
+            }
+            // Batched traffic on a cadence, off-phase with the splits.
+            if i % 97 == 31 {
+                let keys: Vec<u64> = (0..32).map(|_| rng.next_below(domain)).collect();
+                let hits = t.lookup_batch(&keys);
+                for (k, hit) in keys.iter().zip(hits) {
+                    assert_eq!(hit, oracle.get(k).copied(), "seed {seed:#x} batch at {i}");
+                }
+            }
+            if i % 89 == 13 {
+                let items: Vec<(u64, u64)> = (0..8)
+                    .map(|j| (rng.next_below(domain), i as u64 + j))
+                    .collect();
+                for (r, (k, v)) in t.insert_batch(&items).into_iter().zip(&items) {
+                    r.expect("capacity is ample");
+                    oracle.insert(*k, *v);
+                }
+            }
+            if i % 101 == 57 {
+                let keys: Vec<u64> = (0..8).map(|_| rng.next_below(domain)).collect();
+                // remove_batch on duplicate keys removes the first hit
+                // only, matching sequential removal order.
+                for (r, k) in t.remove_batch(&keys).into_iter().zip(&keys) {
+                    assert_eq!(r, oracle.remove(k), "seed {seed:#x} remove batch at {i}");
+                }
+            }
+        }
+
+        assert_eq!(splits, 4, "all planned splits must have fired");
+        assert_eq!(t.shard_count(), 6);
+        assert_eq!(t.len(), oracle.len(), "seed {seed:#x}");
+        for (k, v) in &oracle {
+            assert_eq!(t.get(k), Some(*v), "seed {seed:#x}: key {k}");
+        }
+        for k in domain..domain + 64 {
+            assert_eq!(t.get(&k), None, "seed {seed:#x}: phantom key {k}");
+        }
+        t.check_invariants().expect("final invariants");
+    }
+}
