@@ -47,6 +47,20 @@
 //! migration would show); or (c) op-log replay did not rebuild a
 //! logically identical table (`recovery_identical != 1`).
 //!
+//! With `--maint-only` only the background-maintenance gate runs: it
+//! reads the fresh `results/maintenance_pause.csv` (written by
+//! `maintenance_pause --features maint-faults` in the same job; header
+//! `phase,ticks,reader_ops,lookup_errors,retirements,compactions,
+//! records_truncated,forwarding_live_end,recovery_identical`) and fails
+//! when (a) any reader observed a lookup error while the maintenance
+//! loop retired a degraded split's forwarding entries under live
+//! traffic; (b) `forwarding_live_end != 0` — the loop never drove the
+//! forwarding count back to zero; (c) fewer than one retirement pass or
+//! one watermark compaction actually ran, meaning the harness did not
+//! exercise the loop at all; or (d) the loop's newest managed snapshot
+//! plus the retained log tail did not rebuild a logically identical
+//! table (`recovery_identical != 1`).
+//!
 //! With `--first-failure-only` only the kick-policy gate runs: it reads
 //! the fresh `results/fig11_kick_policies.csv` (written by
 //! `fig11_first_failure` in the same job; header
@@ -378,6 +392,118 @@ fn gate_migration() {
     );
 }
 
+/// One parsed `maintenance_pause.csv` row.
+#[derive(Debug)]
+struct MaintRow {
+    phase: String,
+    lookup_errors: u64,
+    retirements: u64,
+    compactions: u64,
+    forwarding_live_end: u64,
+    recovery_identical: u64,
+}
+
+/// Parse the CSV text written by `maintenance_pause` (header
+/// `phase,ticks,reader_ops,lookup_errors,retirements,compactions,records_truncated,forwarding_live_end,recovery_identical`).
+fn maint_rows(csv: &str) -> Result<Vec<MaintRow>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in csv.lines().enumerate().skip(1) {
+        let f: Vec<&str> = line.trim().split(',').collect();
+        if f.len() != 9 {
+            return Err(format!(
+                "line {}: expected 9 fields, got {line:?}",
+                lineno + 1
+            ));
+        }
+        let err = |e| format!("line {}: {e} in {line:?}", lineno + 1);
+        rows.push(MaintRow {
+            phase: f[0].to_string(),
+            lookup_errors: f[3].parse().map_err(|e| err(format!("{e}")))?,
+            retirements: f[4].parse().map_err(|e| err(format!("{e}")))?,
+            compactions: f[5].parse().map_err(|e| err(format!("{e}")))?,
+            forwarding_live_end: f[7].parse().map_err(|e| err(format!("{e}")))?,
+            recovery_identical: f[8].parse().map_err(|e| err(format!("{e}")))?,
+        });
+    }
+    if !rows.iter().any(|r| r.phase == "maint") {
+        return Err("no maint-phase row".into());
+    }
+    Ok(rows)
+}
+
+fn gate_maintenance() {
+    let path = csv_path("maintenance_pause");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot read {}: {e}", path.display());
+        eprintln!("[gate] run `maintenance_pause` (--features maint-faults) first");
+        exit(2);
+    });
+    let rows = maint_rows(&raw).unwrap_or_else(|e| {
+        eprintln!("[gate] cannot interpret {}: {e}", path.display());
+        exit(2);
+    });
+    let mut failed = false;
+    for r in &rows {
+        println!(
+            "[gate] {:<8} lookup errors {}, retirements {}, compactions {}, \
+             forwarding live at end {}, recovery {}",
+            r.phase,
+            r.lookup_errors,
+            r.retirements,
+            r.compactions,
+            r.forwarding_live_end,
+            r.recovery_identical
+        );
+        if r.lookup_errors > 0 {
+            eprintln!(
+                "[gate] FAIL: readers lost {} lookup(s) while the maintenance loop \
+                 ran — retirement dropped a live key (see DESIGN.md \"Background \
+                 maintenance\")",
+                r.lookup_errors
+            );
+            failed = true;
+        }
+        if r.phase == "maint" {
+            if r.forwarding_live_end != 0 {
+                eprintln!(
+                    "[gate] FAIL: {} forwarding entr{} still live after the loop \
+                     settled — retirement never converged",
+                    r.forwarding_live_end,
+                    if r.forwarding_live_end == 1 {
+                        "y is"
+                    } else {
+                        "ies are"
+                    }
+                );
+                failed = true;
+            }
+            if r.retirements < 1 || r.compactions < 1 {
+                eprintln!(
+                    "[gate] FAIL: loop ran {} retirement(s) and {} compaction(s) — \
+                     the harness did not exercise background maintenance",
+                    r.retirements, r.compactions
+                );
+                failed = true;
+            }
+            if r.recovery_identical != 1 {
+                eprintln!(
+                    "[gate] FAIL: managed snapshot + retained tail did not rebuild \
+                     an identical table (recovery_identical = {})",
+                    r.recovery_identical
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+    println!(
+        "[gate] pass: the maintenance loop retired forwarding and compacted the log \
+         under fire, with zero reader errors and exact recovery"
+    );
+}
+
 fn load(path: &PathBuf) -> SmokeReport {
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("[gate] cannot read {}: {e}", path.display());
@@ -404,6 +530,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--migration-only") {
         gate_migration();
+        return;
+    }
+    if std::env::args().any(|a| a == "--maint-only") {
+        gate_maintenance();
         return;
     }
     let fresh_path = csv_path("bench_smoke").with_extension("json");
@@ -558,6 +688,35 @@ mod tests {
             .unwrap_err()
             .contains("no split-phase row"));
         assert!(pause_rows("phase,x\nsplit,broken\n").is_err());
+    }
+
+    #[test]
+    fn maint_rows_parse_the_maint_phase() {
+        let csv = "phase,ticks,reader_ops,lookup_errors,retirements,compactions,records_truncated,forwarding_live_end,recovery_identical\n\
+                   maint,310,480000,0,3,2,41000,0,1\n";
+        let rows = maint_rows(csv).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].phase, "maint");
+        assert_eq!(rows[0].lookup_errors, 0);
+        assert_eq!(rows[0].retirements, 3);
+        assert_eq!(rows[0].compactions, 2);
+        assert_eq!(rows[0].forwarding_live_end, 0);
+        assert_eq!(rows[0].recovery_identical, 1);
+    }
+
+    #[test]
+    fn maint_rows_reject_incomplete_sweeps() {
+        let header = "phase,ticks,reader_ops,lookup_errors,retirements,compactions,records_truncated,forwarding_live_end,recovery_identical\n";
+        assert!(maint_rows(header)
+            .unwrap_err()
+            .contains("no maint-phase row"));
+        let wrong_phase = format!("{header}baseline,1,1,0,0,0,0,0,1\n");
+        assert!(maint_rows(&wrong_phase)
+            .unwrap_err()
+            .contains("no maint-phase row"));
+        assert!(maint_rows("phase,x\nmaint,broken\n").is_err());
+        let bad_field = format!("{header}maint,1,1,zero,0,0,0,0,1\n");
+        assert!(maint_rows(&bad_field).is_err());
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Maintenance-under-fire sweep: does the background loop repair a
+//! degraded split and compact the op-log while readers and a churn
+//! writer hammer the table — without a single reader error, and with
+//! recovery across the automated compaction boundary staying exact?
+//!
+//! Requires `--features maint-faults` (forwards
+//! `mccuckoo-core/testhooks`): the degraded split is manufactured by
+//! forcing every child placement of one `begin_split` drain to fail, so
+//! the whole slice starts the run served through live forwarding
+//! entries — the state [`Maintainer::tick`] exists to retire.
+//!
+//! One measured phase, written to `results/maintenance_pause.csv`
+//! (header `phase,ticks,reader_ops,lookup_errors,retirements,
+//! compactions,records_truncated,forwarding_live_end,recovery_identical`):
+//!
+//! * **maint** — 2 readers loop over a stable key set (every probe must
+//!   hit with its exact preload value) and 1 writer churns disjoint
+//!   logged keys, while the main thread drives a [`Maintainer`] until
+//!   the forwarding count returns to 0 and at least one watermark
+//!   compaction has run. `lookup_errors` must stay 0 and
+//!   `forwarding_live_end` must be 0 — both CI-gated by
+//!   `bench_gate --maint-only`, alongside `recovery_identical`: the
+//!   loop's newest managed snapshot plus the retained log tail must
+//!   rebuild a logically identical table.
+//!
+//! Wall-clock pacing, so run with `--release`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mccuckoo_bench::report::{write_csv, Table};
+use mccuckoo_core::maint::{MaintConfig, Maintainer};
+use mccuckoo_core::oplog::{parse_log, LogSink, OpLog, OpRecord, VecSink};
+use mccuckoo_core::{testhooks, McConfig, ShardedMcCuckoo};
+
+/// Buckets per table per shard of the 2-shard starting layout.
+const BUCKETS: usize = 1 << 14;
+/// Stable keys preloaded before the run; every reader probe must hit.
+const STABLE: u64 = 20_000;
+/// Churn keys live in a disjoint range so they never shadow stable keys.
+const CHURN_BASE: u64 = 1 << 32;
+/// Writer's sliding window of live churn keys.
+const CHURN_WINDOW: usize = 8_000;
+/// Retained-record watermark that trips the automated compaction (the
+/// preload alone crosses it, so the first tick always compacts).
+const WATERMARK: usize = 10_000;
+/// Minimum time the loop keeps ticking under traffic.
+const RUN_MS: u64 = 300;
+/// Hard cap against a retirement that never converges.
+const DEADLINE_SECS: u64 = 30;
+
+fn main() {
+    let table: Arc<ShardedMcCuckoo<u64, u64>> = Arc::new(ShardedMcCuckoo::new(
+        2,
+        McConfig::paper(BUCKETS, 0x3A17_7A3B),
+    ));
+    let sink = VecSink::new();
+    let log = OpLog::new(sink.clone());
+    for k in 0..STABLE {
+        table.insert(k, k ^ 0xF00D).expect("preload fits");
+        log.record(&OpRecord::Insert {
+            key: k,
+            value: k ^ 0xF00D,
+        });
+    }
+
+    // Manufacture the degraded state the loop exists to repair: every
+    // child placement of this split fails, so the whole slice stays in
+    // the parent behind live forwarding entries.
+    testhooks::arm_fail_child_placement(u32::MAX);
+    let degraded = table.begin_split(0).expect("split publishes");
+    testhooks::disarm();
+    log.record(&OpRecord::<u64, u64>::Split { shard: 0 });
+    assert!(
+        degraded.failed > 0 && !degraded.forwarding_cleared,
+        "degraded split must leave forwarding up"
+    );
+    let forwarding_start = table.forwarding_live();
+
+    let mut maint = Maintainer::new(
+        table.clone(),
+        sink.clone(),
+        MaintConfig {
+            compact_watermark: WATERMARK,
+            ..MaintConfig::default()
+        },
+    );
+
+    let stop = AtomicBool::new(false);
+    let (reader_ops, lookup_errors, ticks) = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for rid in 0..2u64 {
+            let table = Arc::clone(&table);
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let (mut ops, mut errors) = (0u64, 0u64);
+                let mut k = rid * 31;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = k % STABLE;
+                    if table.get(&key) != Some(key ^ 0xF00D) {
+                        errors += 1;
+                    }
+                    ops += 1;
+                    k += 13;
+                }
+                (ops, errors)
+            }));
+        }
+        let writer = {
+            let table = Arc::clone(&table);
+            let log = &log;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut next = CHURN_BASE;
+                let mut window: Vec<u64> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let k = next;
+                    next += 1;
+                    if table.insert(k, k).is_ok() {
+                        log.record(&OpRecord::Insert { key: k, value: k });
+                        window.push(k);
+                    }
+                    if window.len() > CHURN_WINDOW {
+                        let victim = window.swap_remove(0);
+                        table.remove(&victim);
+                        log.record(&OpRecord::<u64, u64>::Remove { key: victim });
+                    }
+                }
+            })
+        };
+
+        // The maintenance loop runs on the main thread, under fire:
+        // keep ticking until the traffic window has passed AND the
+        // directory is clean AND at least one compaction has run.
+        let mut ticks = 0u64;
+        let window_end = Instant::now() + Duration::from_millis(RUN_MS);
+        let deadline = Instant::now() + Duration::from_secs(DEADLINE_SECS);
+        loop {
+            maint.tick();
+            ticks += 1;
+            let settled = Instant::now() >= window_end
+                && table.forwarding_live() == 0
+                && table.stats().maint.compactions >= 1;
+            if settled || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("churn writer died");
+        let (mut ops, mut errors) = (0u64, 0u64);
+        for r in readers {
+            let (o, e) = r.join().expect("reader died");
+            ops += o;
+            errors += e;
+        }
+        (ops, errors, ticks)
+    });
+
+    // Recovery across the automated compaction boundary: the newest
+    // managed snapshot plus the sink's retained tail must rebuild the
+    // table that served the traffic, exactly.
+    let ms = maint
+        .latest_snapshot()
+        .expect("the watermark compaction must have captured a snapshot");
+    let offset = ms
+        .tail_offset(sink.first_record_index())
+        .expect("tail truncated past the capture");
+    let lines = sink.lines();
+    let tail = parse_log::<u64, u64>(&lines[offset..]).expect("log parses");
+    let recovered =
+        ShardedMcCuckoo::recover(ms.snapshot.clone(), &tail).expect("recovery succeeds");
+    let mut live_items = table.to_snapshot().items;
+    let mut rec_items = recovered.to_snapshot().items;
+    live_items.sort_unstable();
+    rec_items.sort_unstable();
+    let identical = recovered.shard_count() == table.shard_count()
+        && recovered.len() == table.len()
+        && live_items == rec_items;
+
+    let s = table.stats();
+    let mut out = Table::new(
+        "Maintenance under fire: retirement + automated compaction with live traffic",
+        &[
+            "phase",
+            "ticks",
+            "reader_ops",
+            "lookup_errors",
+            "retirements",
+            "compactions",
+            "records_truncated",
+            "forwarding_live_end",
+            "recovery_identical",
+        ],
+    );
+    out.row(vec![
+        "maint".into(),
+        ticks.to_string(),
+        reader_ops.to_string(),
+        lookup_errors.to_string(),
+        s.maint.retirements_attempted.to_string(),
+        s.maint.compactions.to_string(),
+        s.maint.records_truncated.to_string(),
+        table.forwarding_live().to_string(),
+        (identical as u32).to_string(),
+    ]);
+    out.print();
+    write_csv("maintenance_pause", &out);
+    println!(
+        "(degraded split started with {} forwarding entr{} live, loop retired them in \
+         {} tick(s) with {} retirement pass(es); {} compaction(s) truncated {} record(s), \
+         {} retained; readers saw {} error(s) over {} ops)",
+        forwarding_start,
+        if forwarding_start == 1 { "y" } else { "ies" },
+        ticks,
+        s.maint.retirements_attempted,
+        s.maint.compactions,
+        s.maint.records_truncated,
+        sink.record_count(),
+        lookup_errors,
+        reader_ops,
+    );
+    assert_eq!(table.forwarding_live(), 0, "maintenance left forwarding up");
+}

@@ -449,6 +449,15 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
         s
     }
 
+    /// The table's observability recorder. Wrapper layers that serve a
+    /// key from *outside* the table proper (e.g. [`crate::McMap`]'s
+    /// parked buffer) record the operation here themselves, so
+    /// [`Engine::stats`] still counts every logical operation exactly
+    /// once.
+    pub(crate) fn obs(&self) -> &crate::obs::Obs {
+        &self.obs
+    }
+
     /// Deletion mode the table was configured with.
     pub fn deletion_mode(&self) -> DeletionMode {
         self.deletion
@@ -624,6 +633,22 @@ impl<K: KeyHash + Eq + Clone, V: Clone, L: BucketLayout> Engine<K, V, L> {
             Err(full) => self.obs.record_insert(&full.report),
         }
         out
+    }
+
+    /// [`Engine::insert`] without observability recording. Wrapper
+    /// layers that can rescue a full-table failure (e.g.
+    /// [`crate::McMap`]'s growth path) go through this and record the
+    /// *final* outcome once via [`Engine::obs`], so a rescued insert is
+    /// never counted as the `Failed` the inner table saw.
+    pub(crate) fn insert_unrecorded(
+        &mut self,
+        key: K,
+        value: V,
+    ) -> Result<InsertReport, McFull<K, V>> {
+        if let Some(report) = self.try_update(&key, &value) {
+            return Ok(report);
+        }
+        self.insert_new_unrecorded(key, value)
     }
 
     /// [`Engine::insert_new`] without observability recording. Internal

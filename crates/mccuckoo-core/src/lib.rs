@@ -48,6 +48,9 @@
 //! * [`concurrent`] — one-writer-many-readers wrapper (§III.H),
 //! * [`shard`] — N-way sharded multi-writer serving layer with batched
 //!   operations, built from independent [`concurrent`] shards,
+//! * [`maint`] — cooperative background maintenance for the sharded
+//!   layer: forwarding retirement, automated op-log compaction, managed
+//!   snapshots,
 //! * [`multiset`] — multiset indexing via an external record arena
 //!   (§III.H),
 //! * [`invariant`] — exhaustive structural validators used by the test
@@ -74,6 +77,7 @@ pub mod counters;
 pub mod engine;
 pub mod invariant;
 pub mod kick;
+pub mod maint;
 pub mod map;
 pub mod multiset;
 pub mod obs;
@@ -94,15 +98,17 @@ pub use concurrent::ConcurrentMcCuckoo;
 pub use config::{DeletionMode, KickPolicyKind, McConfig, ResolutionPolicy, StashPolicy};
 pub use counters::CounterArray;
 pub use engine::McFull;
+pub use maint::{CompactReport, Compactor, MaintConfig, MaintHandle, Maintainer, ManagedSnapshot};
 pub use map::{GrowError, McMap};
 pub use multiset::MultisetIndex;
-pub use obs::{Histogram, MigrationStats, OpStats, ShardStats, TableStats};
+pub use obs::{Histogram, MaintStats, MigrationStats, OpStats, ShardStats, TableStats};
 pub use oplog::{parse_log, LogSink, OpLog, OpRecord, RecoverError, VecSink};
 pub use pad::CachePadded;
 pub use persist::{BlockedSnapshot, SnapshotOverflow, TableSnapshot};
 pub use rehash::{RehashOverflow, RehashReport};
 pub use shard::{
-    ShardedMcCuckoo, ShardedSnapshot, SplitError, SplitReport, SHARDED_SNAPSHOT_FORMAT,
+    RetireReport, ShardedMcCuckoo, ShardedSnapshot, SplitError, SplitReport,
+    SHARDED_SNAPSHOT_FORMAT,
 };
 pub use single::McCuckoo;
 pub use table::McTable;

@@ -23,6 +23,7 @@ use mem_model::{InsertOutcome, InsertReport, MemStats};
 
 use crate::config::{DeletionMode, McConfig};
 use crate::obs::TableStats;
+use crate::persist::TableSnapshot;
 use crate::single::McCuckoo;
 use crate::table::McTable;
 
@@ -177,17 +178,24 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
     /// A `Stashed` outcome describes the pre-growth placement; the item
     /// is in the main table by the time this returns.
     fn insert_report(&mut self, key: K, value: V) -> InsertReport {
-        // A parked copy is the authoritative one; update it in place.
+        // A parked copy is the authoritative one; update it in place —
+        // and record the update, so the parked detour stays visible to
+        // `stats()` like any other operation.
         if let Some(slot) = self.parked.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
-            return InsertReport {
+            let report = InsertReport {
                 outcome: InsertOutcome::Updated,
                 kickouts: 0,
                 collision: false,
                 copies_written: 0,
             };
+            self.table.obs().record_insert(&report);
+            return report;
         }
-        let report = match self.table.insert(key, value) {
+        // Unrecorded: a full-table `Err` below is rescued by growth, so
+        // the outcome the inner table saw may not be the outcome the
+        // caller gets. Record the final report exactly once, here.
+        let report = match self.table.insert_unrecorded(key, value) {
             Ok(r) => r,
             // Stash-less table full. The failed kick walk placed the
             // offered pair and handed back whatever fell off the end of
@@ -196,11 +204,13 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
             // dropped — then report the insert as stored.
             Err(full) => {
                 let mut report = full.report;
-                let _ = self.grow_carrying(vec![full.evicted]);
                 report.outcome = InsertOutcome::Placed;
+                self.table.obs().record_insert(&report);
+                let _ = self.grow_carrying(vec![full.evicted]);
                 return report;
             }
         };
+        self.table.obs().record_insert(&report);
         if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
             let _ = self.grow_carrying(Vec::new());
         }
@@ -266,9 +276,14 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
 
     /// Get a reference to the value for `key`.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.table
-            .get(key)
-            .or_else(|| self.parked.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        // A parked key is never also in the table, so consult the side
+        // buffer first: a parked hit must be recorded as a lookup hit,
+        // not as the table miss the inner probe would log.
+        if let Some((_, v)) = self.parked.iter().find(|(k, _)| k == key) {
+            self.table.obs().record_lookup(true, 0);
+            return Some(v);
+        }
+        self.table.get(key)
     }
 
     /// Whether `key` is present.
@@ -278,10 +293,13 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
 
     /// Remove `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        self.table.remove(key).or_else(|| {
-            let at = self.parked.iter().position(|(k, _)| k == key)?;
-            Some(self.parked.swap_remove(at).1)
-        })
+        // Same ordering as `get`: a parked removal is a remove hit and
+        // must not leave a spurious `remove_misses` in the table stats.
+        if let Some(at) = self.parked.iter().position(|(k, _)| k == key) {
+            self.table.obs().record_remove(true);
+            return Some(self.parked.swap_remove(at).1);
+        }
+        self.table.remove(key)
     }
 
     /// Iterate `(key, value)` pairs (parked stragglers included).
@@ -297,6 +315,35 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McMap<K, V> {
         self.parked.clear();
     }
 
+    /// Capture a logical snapshot of the map — parked stragglers
+    /// included, so a map that overflowed a growth round-trips without
+    /// losing anything. The format is the plain [`TableSnapshot`]:
+    /// parked items are appended to `items` (a snapshot is logical and
+    /// unordered, so they are indistinguishable from table residents)
+    /// and simply re-offered on restore.
+    pub fn to_snapshot(&self) -> TableSnapshot<K, V> {
+        let mut snap = self.table.to_snapshot();
+        snap.items
+            .extend(self.parked.iter().map(|(k, v)| (k.clone(), v.clone())));
+        snap
+    }
+
+    /// Rebuild a map from a snapshot. Restores are **total**: items the
+    /// rebuilt table cannot place (a stash-less overfull snapshot) are
+    /// parked — served, counted, re-offered to the next growth — never
+    /// dropped. That is why this restore, unlike
+    /// [`McCuckoo::try_from_snapshot`], has no error to return.
+    pub fn from_snapshot(snapshot: TableSnapshot<K, V>) -> Self {
+        let mut m = Self::with_config(snapshot.config.clone());
+        for (k, v) in snapshot.items {
+            // Unrecorded: each item was counted when first inserted.
+            if let Err(full) = m.table.insert_new_unrecorded(k, v) {
+                m.parked.push(full.evicted);
+            }
+        }
+        m
+    }
+
     /// Access the underlying table (metering, diagnostics).
     pub fn table(&self) -> &McCuckoo<K, V> {
         &self.table
@@ -309,17 +356,21 @@ impl<K: KeyHash + Eq + Clone, V: Clone> McTable<K, V> for McMap<K, V> {
     }
 
     fn insert_new(&mut self, key: K, value: V) -> InsertReport {
-        let report = match self.table.insert_new(key, value) {
+        // Unrecorded for the same reason as the upsert path: the final
+        // outcome after a growth rescue is recorded here, exactly once.
+        let report = match self.table.insert_new_unrecorded(key, value) {
             Ok(r) => r,
             // Same recovery as the upsert path: the walk placed the
             // offered pair; grow carrying the evictee.
             Err(full) => {
                 let mut report = full.report;
-                let _ = self.grow_carrying(vec![full.evicted]);
                 report.outcome = InsertOutcome::Placed;
+                self.table.obs().record_insert(&report);
+                let _ = self.grow_carrying(vec![full.evicted]);
                 return report;
             }
         };
+        self.table.obs().record_insert(&report);
         if report.outcome == InsertOutcome::Stashed || self.stash_pressure() {
             let _ = self.grow_carrying(Vec::new());
         }
@@ -556,6 +607,132 @@ mod tests {
         assert_eq!(m.remove(&7), Some(999));
         assert_eq!(m.len(), 499);
         m.table().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parked_path_operations_are_recorded_exactly_once() {
+        let mut m: McMap<u64, u64> = McMap::with_capacity_and_seed(64, 9);
+        for k in 0..10u64 {
+            m.insert(k, k);
+        }
+        // Manufacture the post-overflow state directly: a parked key is
+        // exactly "in the side buffer, not in the table".
+        m.parked.push((1_000, 5));
+        let s0 = m.table().stats();
+        assert_eq!(m.len(), 11);
+        assert_eq!(m.iter().count(), 11);
+
+        assert!(!m.insert(1_000, 6)); // parked update
+        assert_eq!(m.get(&1_000), Some(&6)); // parked lookup hit
+        assert_eq!(m.get(&2_000), None); // genuine miss
+        assert_eq!(m.remove(&1_000), Some(6)); // parked remove hit
+        assert_eq!(m.remove(&1_000), None); // genuine remove miss
+
+        let s = m.table().stats();
+        assert_eq!(s.ops.updates, s0.ops.updates + 1, "parked update lost");
+        assert_eq!(s.ops.inserts, s0.ops.inserts, "update counted as insert");
+        assert_eq!(s.ops.lookup_hits, s0.ops.lookup_hits + 1);
+        assert_eq!(
+            s.ops.lookup_misses,
+            s0.ops.lookup_misses + 1,
+            "parked hit must not log a table miss"
+        );
+        assert_eq!(s.ops.removes, s0.ops.removes + 1);
+        assert_eq!(s.ops.remove_misses, s0.ops.remove_misses + 1);
+        assert_eq!(s.ops.failed_inserts, 0);
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn growth_rescues_never_count_as_failed_inserts() {
+        use crate::config::StashPolicy;
+        // Stash-less + tiny + short maxloop: the inner table returns
+        // `Err(McFull)` routinely and every one is rescued by growth, so
+        // the user-visible failure count must stay zero and each logical
+        // op must be counted exactly once.
+        let mut m: McMap<u64, u64> = McMap::with_config(
+            McConfig::paper(8, 31)
+                .with_stash(StashPolicy::None)
+                .with_maxloop(8)
+                .with_deletion(DeletionMode::Reset),
+        );
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = hash_kit::SplitMix64::new(32);
+        let (mut new_keys, mut updates) = (0u64, 0u64);
+        let (mut hits, mut misses, mut rm_hits, mut rm_misses) = (0u64, 0u64, 0u64, 0u64);
+        for step in 0..4_000u64 / SCALE as u64 {
+            let k = rng.next_below(1_500 / SCALE as u64);
+            match rng.next_below(4) {
+                0 | 1 => {
+                    let was_new = model.insert(k, step).is_none();
+                    if was_new {
+                        new_keys += 1;
+                    } else {
+                        updates += 1;
+                    }
+                    assert_eq!(m.insert(k, step), was_new, "step {step} key {k}");
+                }
+                2 => {
+                    let got = m.get(&k).copied();
+                    assert_eq!(got, model.get(&k).copied());
+                    if got.is_some() {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                }
+                _ => {
+                    let got = m.remove(&k);
+                    assert_eq!(got, model.remove(&k));
+                    if got.is_some() {
+                        rm_hits += 1;
+                    } else {
+                        rm_misses += 1;
+                    }
+                }
+            }
+        }
+        let s = m.table().stats();
+        assert_eq!(s.ops.failed_inserts, 0, "rescued inserts counted as failed");
+        assert_eq!(s.ops.inserts, new_keys);
+        assert_eq!(s.ops.updates, updates);
+        assert_eq!(s.ops.lookup_hits, hits);
+        assert_eq!(s.ops.lookup_misses, misses);
+        assert_eq!(s.ops.removes, rm_hits);
+        assert_eq!(s.ops.remove_misses, rm_misses);
+        assert_eq!(m.len(), model.len());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_parked_keys() {
+        use crate::config::StashPolicy;
+        let mut m: McMap<u64, u64> = McMap::with_config(
+            McConfig::paper(8, 41)
+                .with_stash(StashPolicy::None)
+                .with_maxloop(8)
+                .with_deletion(DeletionMode::Reset),
+        );
+        for k in 0..300u64 {
+            m.insert(k, k * 7);
+        }
+        // Park two keys by hand so the round-trip exercises the parked
+        // buffer even on seeds where growth never overflows.
+        m.parked.push((9_001, 1));
+        m.parked.push((9_002, 2));
+        let snap = m.to_snapshot();
+        assert_eq!(
+            snap.items.len(),
+            m.len(),
+            "parked keys missing from snapshot"
+        );
+        let json = jsonlite::to_string(&snap);
+        let back: crate::persist::TableSnapshot<u64, u64> = jsonlite::from_str(&json).unwrap();
+        let restored = McMap::from_snapshot(back);
+        assert_eq!(restored.len(), m.len());
+        for (k, v) in m.iter() {
+            assert_eq!(restored.get(k), Some(v), "key {k} lost in round-trip");
+        }
+        restored.table().check_invariants().unwrap();
     }
 
     #[test]

@@ -387,6 +387,122 @@ impl MigrationObs {
     }
 }
 
+/// Counters for the cooperative maintenance loop ([`crate::maint`]):
+/// forwarding retirement, automated log compaction, managed snapshots.
+/// All-zero for tables nobody maintains. Counters are monotonic except
+/// the two labelled gauges, which report the state at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintStats {
+    /// Retirement drains attempted (one per live forwarding pair per
+    /// [`retire_forwarding`](crate::ShardedMcCuckoo::retire_forwarding)
+    /// pass).
+    pub retirements_attempted: u64,
+    /// Retirement drains that fully emptied and cleared their
+    /// forwarding entries.
+    pub retirements_succeeded: u64,
+    /// **Gauge**: directory entries currently carrying a forwarding tag
+    /// (0 = every split fully retired; lookups everywhere one-sided).
+    pub forwarding_live: u64,
+    /// Automated log compactions run (capture-position-then-truncate).
+    pub compactions: u64,
+    /// Op-log records dropped by compaction.
+    pub records_truncated: u64,
+    /// Op-log bytes dropped by compaction.
+    pub bytes_truncated: u64,
+    /// Managed snapshots taken (cadence snapshots plus the capture each
+    /// compaction takes).
+    pub snapshots_taken: u64,
+    /// **Gauge**: maintenance ticks since the last managed snapshot
+    /// (equals the current tick count while none has been taken).
+    pub last_snapshot_age: u64,
+}
+
+impl_json_struct!(MaintStats {
+    retirements_attempted,
+    retirements_succeeded,
+    forwarding_live,
+    compactions,
+    records_truncated,
+    bytes_truncated,
+    snapshots_taken,
+    last_snapshot_age
+});
+
+impl MaintStats {
+    /// Accumulate `other` into `self` (gauges are summed too — merging
+    /// tables sums their live forwarding entries and takes the larger
+    /// snapshot age as the staler of the two loops).
+    pub fn merge(&mut self, other: &MaintStats) {
+        self.retirements_attempted += other.retirements_attempted;
+        self.retirements_succeeded += other.retirements_succeeded;
+        self.forwarding_live += other.forwarding_live;
+        self.compactions += other.compactions;
+        self.records_truncated += other.records_truncated;
+        self.bytes_truncated += other.bytes_truncated;
+        self.snapshots_taken += other.snapshots_taken;
+        self.last_snapshot_age = self.last_snapshot_age.max(other.last_snapshot_age);
+    }
+}
+
+/// Relaxed-atomic recorder behind [`MaintStats`] — one per sharded
+/// table, bumped by retirement passes and the [`crate::maint`] driver.
+/// The `forwarding_live` gauge is *not* stored here: the table computes
+/// it from the directory at snapshot time.
+#[derive(Debug, Default)]
+pub(crate) struct MaintObs {
+    retirements_attempted: AtomicU64,
+    retirements_succeeded: AtomicU64,
+    compactions: AtomicU64,
+    records_truncated: AtomicU64,
+    bytes_truncated: AtomicU64,
+    snapshots_taken: AtomicU64,
+    /// Maintenance ticks seen so far (the driver's clock).
+    ticks: AtomicU64,
+    /// Tick of the most recent managed snapshot.
+    last_snapshot_tick: AtomicU64,
+}
+
+impl MaintObs {
+    pub(crate) fn record_retirement_attempt(&self) {
+        self.retirements_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retirement_success(&self) {
+        self.retirements_succeeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_compaction(&self, records: u64, bytes: u64) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.records_truncated.fetch_add(records, Ordering::Relaxed);
+        self.bytes_truncated.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_snapshot(&self) {
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        self.last_snapshot_tick
+            .store(self.ticks.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tick(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MaintStats {
+        let ticks = self.ticks.load(Ordering::Relaxed);
+        MaintStats {
+            retirements_attempted: self.retirements_attempted.load(Ordering::Relaxed),
+            retirements_succeeded: self.retirements_succeeded.load(Ordering::Relaxed),
+            forwarding_live: 0,
+            compactions: self.compactions.load(Ordering::Relaxed),
+            records_truncated: self.records_truncated.load(Ordering::Relaxed),
+            bytes_truncated: self.bytes_truncated.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            last_snapshot_age: ticks
+                .saturating_sub(self.last_snapshot_tick.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// Plain-data statistics snapshot returned by
 /// [`McTable::stats`](crate::McTable::stats).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -410,6 +526,9 @@ pub struct TableStats {
     /// Shard-split migration counters; all-zero for tables that never
     /// split (every unsharded table).
     pub migration: MigrationStats,
+    /// Maintenance-loop counters (retirements, compactions, snapshot
+    /// cadence); all-zero for tables without a maintenance loop.
+    pub maint: MaintStats,
 }
 
 impl_json_struct!(TableStats {
@@ -419,7 +538,8 @@ impl_json_struct!(TableStats {
     batch_hist,
     shards,
     kick_policy,
-    migration
+    migration,
+    maint
 });
 
 impl TableStats {
@@ -436,6 +556,7 @@ impl TableStats {
             self.kick_policy = other.kick_policy.clone();
         }
         self.migration.merge(&other.migration);
+        self.maint.merge(&other.maint);
     }
 
     /// Occupancy skew across shards: max shard load divided by mean
@@ -641,6 +762,7 @@ impl Obs {
             shards: Vec::new(),
             kick_policy: String::new(),
             migration: MigrationStats::default(),
+            maint: MaintStats::default(),
         }
     }
 

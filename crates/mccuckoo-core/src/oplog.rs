@@ -23,7 +23,9 @@
 //! snapshot they follow. Logged shard ids are interpreted against the
 //! recovering table's state, so the log must be replayed onto the
 //! snapshot it was written against (standard log-shipping discipline:
-//! a snapshot capture notes the log position and truncates up to it).
+//! a snapshot capture notes the log position and truncates up to it —
+//! [`crate::maint::Compactor`] automates exactly that protocol through
+//! [`LogSink::truncate_front`], on a watermark, under the split lock).
 //! Records are idempotent at the value level (`Insert` is an upsert,
 //! `Remove` of a missing key is a no-op), so replaying a suffix that
 //! straddles a *live* snapshot capture converges to the same state.
@@ -133,18 +135,52 @@ impl<K: FromJson, V: FromJson> FromJson for OpRecord<K, V> {
 /// Where serialised log lines go. Implementations own the durability
 /// policy — buffer, rotate, fsync, replicate — the table layer never
 /// blocks on it. `append` must be safe to call from multiple threads.
+///
+/// The truncation side of the trait is what [`crate::maint::Compactor`]
+/// drives: a compaction captures the retained record count, takes a
+/// snapshot, then drops everything before the capture with
+/// [`Self::truncate_front`]. Positions are **absolute** — record `i` is
+/// the `i`-th record ever appended, and [`Self::first_record_index`]
+/// says where the retained tail starts — so a snapshot taken at
+/// position `p` replays the retained records from offset
+/// `p - first_record_index()` onward.
 pub trait LogSink {
     /// Persist one serialised record (a single JSON object, no
     /// trailing newline).
     fn append(&self, line: &str);
+
+    /// Records currently retained (appended and not yet truncated).
+    fn record_count(&self) -> usize;
+
+    /// Total serialised bytes of the retained records.
+    fn byte_len(&self) -> u64;
+
+    /// Absolute index of the oldest retained record: the total number
+    /// of records ever dropped by [`Self::truncate_front`] (0 until the
+    /// first truncation).
+    fn first_record_index(&self) -> u64;
+
+    /// Drop the oldest `records` retained records (clamped to the
+    /// retained count). Returns the serialised bytes dropped.
+    fn truncate_front(&self, records: usize) -> u64;
 }
 
 /// The reference in-memory sink: a shared, thread-safe line buffer.
 /// Clones share the same buffer, so the writer side hands a clone to
-/// the log and keeps one for reading the lines back.
+/// the log and keeps one for reading the lines back. Truncation drops
+/// retained lines from the front and remembers how many records (and
+/// bytes) it has dropped, so absolute positions stay meaningful across
+/// compactions.
 #[derive(Clone, Default)]
 pub struct VecSink {
-    lines: Arc<Mutex<Vec<String>>>,
+    inner: Arc<Mutex<VecSinkInner>>,
+}
+
+#[derive(Default)]
+struct VecSinkInner {
+    lines: Vec<String>,
+    dropped_records: u64,
+    dropped_bytes: u64,
 }
 
 impl VecSink {
@@ -153,17 +189,23 @@ impl VecSink {
         Self::default()
     }
 
-    /// A copy of every line appended so far, in append order.
+    /// A copy of every *retained* line (append order). After a
+    /// compaction this is exactly the tail to replay over the
+    /// compaction snapshot.
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().expect("oplog sink poisoned").clone()
+        self.inner
+            .lock()
+            .expect("oplog sink poisoned")
+            .lines
+            .clone()
     }
 
-    /// Lines appended so far.
+    /// Retained lines (appended and not yet truncated).
     pub fn len(&self) -> usize {
-        self.lines.lock().expect("oplog sink poisoned").len()
+        self.record_count()
     }
 
-    /// Whether nothing has been appended.
+    /// Whether no lines are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -171,10 +213,41 @@ impl VecSink {
 
 impl LogSink for VecSink {
     fn append(&self, line: &str) {
-        self.lines
+        self.inner
             .lock()
             .expect("oplog sink poisoned")
+            .lines
             .push(line.to_owned());
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.lock().expect("oplog sink poisoned").lines.len()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("oplog sink poisoned")
+            .lines
+            .iter()
+            .map(|l| l.len() as u64)
+            .sum()
+    }
+
+    fn first_record_index(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("oplog sink poisoned")
+            .dropped_records
+    }
+
+    fn truncate_front(&self, records: usize) -> u64 {
+        let mut inner = self.inner.lock().expect("oplog sink poisoned");
+        let n = records.min(inner.lines.len());
+        let bytes: u64 = inner.lines.drain(..n).map(|l| l.len() as u64).sum();
+        inner.dropped_records += n as u64;
+        inner.dropped_bytes += bytes;
+        bytes
     }
 }
 
@@ -305,5 +378,37 @@ mod tests {
         b.append("y");
         assert_eq!(a.lines(), vec!["x".to_owned(), "y".to_owned()]);
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn truncate_front_drops_the_oldest_records_and_tracks_positions() {
+        let sink = VecSink::new();
+        for i in 0..5 {
+            sink.append(&format!("rec-{i}"));
+        }
+        assert_eq!(sink.record_count(), 5);
+        assert_eq!(sink.first_record_index(), 0);
+        assert_eq!(sink.byte_len(), 5 * "rec-0".len() as u64);
+
+        let dropped = sink.truncate_front(2);
+        assert_eq!(dropped, 2 * "rec-0".len() as u64);
+        assert_eq!(sink.record_count(), 3);
+        assert_eq!(sink.first_record_index(), 2);
+        assert_eq!(
+            sink.lines(),
+            vec!["rec-2".to_owned(), "rec-3".to_owned(), "rec-4".to_owned()]
+        );
+
+        // Appends after a truncation keep absolute positions meaningful.
+        sink.append("rec-5");
+        assert_eq!(sink.first_record_index() + sink.record_count() as u64, 6);
+
+        // Over-asking clamps to the retained count.
+        let dropped = sink.truncate_front(100);
+        assert_eq!(dropped, 4 * "rec-0".len() as u64);
+        assert!(sink.is_empty());
+        assert_eq!(sink.first_record_index(), 6);
+        assert_eq!(sink.byte_len(), 0);
+        assert_eq!(sink.truncate_front(1), 0);
     }
 }

@@ -84,7 +84,7 @@ use parking_lot::Mutex;
 
 use crate::concurrent::{ConcurrentMcCuckoo, MigrateOutcome};
 use crate::config::McConfig;
-use crate::obs::{InsertTally, LookupTally, MigrationObs, Obs, ShardStats, TableStats};
+use crate::obs::{InsertTally, LookupTally, MaintObs, MigrationObs, Obs, ShardStats, TableStats};
 use crate::pad::CachePadded;
 use crate::persist::SnapshotOverflow;
 
@@ -159,6 +159,13 @@ pub enum SplitError {
         /// The shard whose prefix cannot narrow further.
         shard: usize,
     },
+    /// Every one of the directory's 256 table slots is live, so no shard
+    /// can allocate a split child any more. The table keeps serving —
+    /// growth has simply reached the directory's hard ceiling.
+    DirectoryFull {
+        /// The shard that asked to split.
+        shard: usize,
+    },
     /// The shard is itself the still-filling child of an unfinished
     /// split; resume by splitting its parent again.
     PendingInbound {
@@ -178,6 +185,10 @@ impl fmt::Display for SplitError {
             SplitError::DepthExhausted { shard } => write!(
                 f,
                 "shard {shard} owns a single route entry and cannot split further"
+            ),
+            SplitError::DirectoryFull { shard } => write!(
+                f,
+                "shard {shard} cannot split: all {DIR_SIZE} directory table slots are live"
             ),
             SplitError::PendingInbound { shard, parent } => write!(
                 f,
@@ -212,6 +223,27 @@ pub struct SplitReport {
     /// `true` when the drain fully emptied the migrating slice and the
     /// forwarding entries were cleared (the split is complete).
     pub forwarding_cleared: bool,
+}
+
+/// What one [`ShardedMcCuckoo::retire_forwarding`] pass did: every live
+/// `(child, parent)` forwarding pair was re-drained, and pairs whose
+/// drain fully emptied had their forwarding entries cleared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetireReport {
+    /// Distinct forwarding pairs the pass re-drained.
+    pub attempted: usize,
+    /// Pairs whose forwarding entries were cleared (drain emptied).
+    pub retired: usize,
+    /// Keys moved parent → child across all pairs.
+    pub moved: u64,
+    /// Drain visits that found the key already gone.
+    pub skipped: u64,
+    /// Move attempts whose child placement overflowed again (those
+    /// pairs keep their forwarding entries for a later pass).
+    pub failed: u64,
+    /// Directory entries still carrying a forwarding tag after the pass
+    /// (0 means every split is fully retired).
+    pub forwarding_live: usize,
 }
 
 /// N-way sharded, multi-writer multi-copy cuckoo table with incremental
@@ -258,6 +290,15 @@ pub struct ShardedMcCuckoo<K, V> {
     /// Split-migration counters (keys moved, forwarding hits, split
     /// durations).
     migration: MigrationObs,
+    /// Maintenance counters (retirements, compactions, snapshot age);
+    /// the maintenance loop in [`crate::maint`] records into this so
+    /// [`Self::stats`] exposes the whole loop.
+    maint: MaintObs,
+    /// Parent ids of every completed-or-started split, in allocation
+    /// order (guarded by `split_lock`). Snapshots persist this history
+    /// so a restore reproduces the grown layout even after the op log's
+    /// `Split` records have been compacted away.
+    splits: Mutex<Vec<usize>>,
     /// Serialises splits (and `clear`) — one drain at a time.
     split_lock: Mutex<()>,
 }
@@ -328,6 +369,8 @@ where
             config,
             obs: Obs::default(),
             migration: MigrationObs::default(),
+            maint: MaintObs::default(),
+            splits: Mutex::new(Vec::new()),
             split_lock: Mutex::new(()),
         }
     }
@@ -412,6 +455,8 @@ where
         // policy label is uniform across the breakdown.
         agg.kick_policy = self.config.kick.label().to_string();
         agg.migration = self.migration.snapshot();
+        agg.maint = self.maint.snapshot();
+        agg.maint.forwarding_live = self.forwarding_live() as u64;
         for t in 0..self.shard_count() {
             let table = self.table(t);
             let s = table.stats();
@@ -733,9 +778,11 @@ where
     /// callers queue.
     ///
     /// On `failed > 0` (a child placement overflowed) the forwarding
-    /// entries stay permanently: the table keeps serving correctly with
-    /// two-sided lookups for that slice, and a later `begin_split` of
-    /// the same shard retries the stragglers.
+    /// entries stay up: the table keeps serving correctly with
+    /// two-sided lookups for that slice, and either a later
+    /// `begin_split` of the same shard or a
+    /// [`Self::retire_forwarding`] pass (the [`crate::maint`] loop
+    /// drives one on a backoff schedule) retries the stragglers.
     pub fn begin_split(&self, shard: usize) -> Result<SplitReport, SplitError> {
         let _split = self.split_lock.lock();
         let ntables = self.shard_count();
@@ -760,6 +807,12 @@ where
                     return Err(SplitError::PendingInbound { shard, parent });
                 }
             }
+        }
+        // Checked before the depth leg: at the 256-table ceiling every
+        // shard is also depth-exhausted, but the actionable condition is
+        // the full directory (no arena slot left to allocate into).
+        if resume_child.is_none() && ntables >= DIR_SIZE {
+            return Err(SplitError::DirectoryFull { shard });
         }
         if resume_child.is_none() && self.slots[shard].depth.load(Ordering::Acquire) >= DIR_BITS {
             return Err(SplitError::DepthExhausted { shard });
@@ -809,6 +862,10 @@ where
                         e.store(encode_entry(child, Some(shard)), Ordering::Release);
                     }
                 }
+                // Record the allocation (not resumes — the original
+                // entry already covers them) so snapshots can persist
+                // the layout after log compaction.
+                self.splits.lock().push(shard);
                 (child, false)
             }
         };
@@ -858,8 +915,13 @@ where
                     // forwarded upsert) the child may already hold the
                     // key — the fresher copy wins and the parent's is
                     // still safely retired.
-                    let outcome = ptab
-                        .migrate_out(&key, |k, v| ctab.insert_if_absent_unrecorded(k, v).is_ok());
+                    let outcome = ptab.migrate_out(&key, |k, v| {
+                        #[cfg(feature = "testhooks")]
+                        if crate::testhooks::take_fail_child_placement() {
+                            return false;
+                        }
+                        ctab.insert_if_absent_unrecorded(k, v).is_ok()
+                    });
                     match outcome {
                         MigrateOutcome::Moved => {
                             moved += 1;
@@ -882,6 +944,82 @@ where
             }
         }
         (moved, skipped, failed)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance hooks (driven by `crate::maint`)
+    // ------------------------------------------------------------------
+
+    /// Directory entries currently carrying a forwarding tag. Non-zero
+    /// means at least one split is unfinished (crashed migrator or
+    /// overflowed child placements) and lookups on those routes pay the
+    /// two-sided probe; the maintenance loop drives this back to 0.
+    pub fn forwarding_live(&self) -> usize {
+        self.dir
+            .iter()
+            .filter(|e| decode_entry(e.load(Ordering::Acquire)).1.is_some())
+            .count()
+    }
+
+    /// Retry every unfinished split in one pass: re-drain each distinct
+    /// `(child, parent)` forwarding pair and clear its forwarding
+    /// entries once the drain fully empties, exactly like the tail of
+    /// [`Self::begin_split`]. Readers keep serving lock-free
+    /// throughout, and a crash mid-pass leaves the table in the same
+    /// consistent, resumable state a crashed migrator would — the next
+    /// pass (or a `begin_split` of the parent) picks up where it died.
+    ///
+    /// A pair whose drain still has `failed > 0` keeps its forwarding
+    /// entries for a later pass; [`crate::maint::Maintainer`] schedules
+    /// those retries on a backoff.
+    pub fn retire_forwarding(&self) -> RetireReport {
+        let _split = self.split_lock.lock();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for e in self.dir.iter() {
+            let (tid, fwd) = decode_entry(e.load(Ordering::Acquire));
+            if let Some(parent) = fwd {
+                if !pairs.contains(&(tid, parent)) {
+                    pairs.push((tid, parent));
+                }
+            }
+        }
+        let mut report = RetireReport {
+            attempted: pairs.len(),
+            ..RetireReport::default()
+        };
+        for &(child, parent) in &pairs {
+            self.maint.record_retirement_attempt();
+            let (moved, skipped, failed) = self.drain(parent, child);
+            report.moved += moved;
+            report.skipped += skipped;
+            report.failed += failed;
+            if failed == 0 {
+                for e in self.dir.iter() {
+                    let (tid, fwd) = decode_entry(e.load(Ordering::Acquire));
+                    if tid == child && fwd == Some(parent) {
+                        e.store(encode_entry(child, None), Ordering::Release);
+                    }
+                }
+                report.retired += 1;
+                self.maint.record_retirement_success();
+            }
+        }
+        report.forwarding_live = self.forwarding_live();
+        report
+    }
+
+    /// The split serialisation lock, for maintenance passes that need a
+    /// layout-stable capture (the compactor holds it across
+    /// position-capture + snapshot so no `Split` record can straddle a
+    /// truncation boundary).
+    pub(crate) fn split_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.split_lock.lock()
+    }
+
+    /// The maintenance counter block, for `crate::maint` to record
+    /// compactions and snapshot cadence into.
+    pub(crate) fn maint_obs(&self) -> &MaintObs {
+        &self.maint
     }
 
     // ------------------------------------------------------------------
@@ -1155,22 +1293,24 @@ where
     }
 
     /// Capture a serialisable snapshot: the format version, the master
-    /// configuration, the *constructed* shard count and every stored
-    /// pair. Split-grown geometry is not persisted — growth is an op-log
-    /// event ([`crate::oplog`]), so a restore rebuilds the base shards
-    /// and replaying logged `Split` records reproduces the grown layout
-    /// (per-shard and per-child seeds re-derive deterministically from
-    /// the master seed). Snapshots taken mid-split are safe: the
-    /// migrating slice is deduplicated, preferring the newer copy. The
-    /// caller must ensure no writers are active while the capture runs
-    /// (each shard is read under its own writer lock, but there is no
-    /// cross-shard atomicity); use [`Self::snapshot_live`] to capture
-    /// without blocking writers.
+    /// configuration, the *constructed* shard count, the split history
+    /// and every stored pair. The history (parent ids in allocation
+    /// order) lets [`Self::try_from_snapshot`] reproduce the grown
+    /// layout directly — per-shard and per-child seeds re-derive
+    /// deterministically from the master seed — so a snapshot stays
+    /// restorable even after log compaction has truncated the `Split`
+    /// records that originally grew the table. Snapshots taken
+    /// mid-split are safe: the migrating slice is deduplicated,
+    /// preferring the newer copy. The caller must ensure no writers are
+    /// active while the capture runs (each shard is read under its own
+    /// writer lock, but there is no cross-shard atomicity); use
+    /// [`Self::snapshot_live`] to capture without blocking writers.
     pub fn to_snapshot(&self) -> ShardedSnapshot<K, V> {
         ShardedSnapshot {
             format: SHARDED_SNAPSHOT_FORMAT,
             config: self.config.clone(),
             shards: self.base_shards,
+            splits: self.splits.lock().clone(),
             items: self.collect_items(false),
         }
     }
@@ -1188,6 +1328,7 @@ where
             format: SHARDED_SNAPSHOT_FORMAT,
             config: self.config.clone(),
             shards: self.base_shards,
+            splits: self.splits.lock().clone(),
             items: self.collect_items(true),
         }
     }
@@ -1201,6 +1342,17 @@ where
         snapshot: ShardedSnapshot<K, V>,
     ) -> Result<Self, SnapshotOverflow<K, V>> {
         let t = Self::new(snapshot.shards, snapshot.config);
+        // Replay the recorded split history before placing any item:
+        // the drains are trivial (every table is still empty) and each
+        // item then routes straight to its final serving table. A
+        // history entry that cannot replay (only possible on a
+        // hand-edited snapshot) stops the replay — the table falls back
+        // to a coarser but still fully consistent layout.
+        for &parent in &snapshot.splits {
+            if t.begin_split(parent).is_err() {
+                break;
+            }
+        }
         let mut leftover = Vec::new();
         for (k, v) in snapshot.items {
             // Unrecorded (restores must not count as user inserts) and
@@ -1228,6 +1380,13 @@ where
     /// original table used, so the recovered table is logically
     /// identical to the writer at its last logged operation: same
     /// items, same shard layout, same routing.
+    ///
+    /// The log slice must be the **tail from the snapshot's capture
+    /// position** — a format-3 snapshot already carries its split
+    /// history, so replaying `Split` records from *before* the capture
+    /// would double-apply them. The [`crate::maint::Compactor`] upholds
+    /// this automatically: it captures the position and the snapshot
+    /// under the split lock, then truncates everything before it.
     pub fn recover(
         snapshot: ShardedSnapshot<K, V>,
         log: &[crate::oplog::OpRecord<K, V>],
@@ -1298,15 +1457,21 @@ fn failed_report() -> InsertReport {
 /// Current [`ShardedSnapshot`] serialisation format. Format 1 (implicit
 /// — snapshots without a `format` field) predates split-growth; format
 /// 2 adds the explicit version so future geometry changes can be
-/// rejected instead of silently mis-routing.
-pub const SHARDED_SNAPSHOT_FORMAT: u32 = 2;
+/// rejected instead of silently mis-routing; format 3 adds the split
+/// history (`splits`), making grown snapshots self-contained so the op
+/// log's `Split` records can be compacted away. Formats 1 and 2 still
+/// parse (their history is empty — the layout comes from log replay,
+/// as before).
+pub const SHARDED_SNAPSHOT_FORMAT: u32 = 3;
 
 /// A serialisable snapshot of a sharded table. Per-shard hash seeds are
 /// derived (not stored): rebuilding with the same master `config` and
 /// `shards` count reproduces both the shard selector and every shard's
 /// hash functions, so restored keys route identically. Snapshots from a
-/// split-grown table record the *base* shard count; the grown layout is
-/// reproduced by replaying the op log (see [`crate::oplog`]).
+/// split-grown table record the *base* shard count plus the split
+/// history; [`ShardedMcCuckoo::try_from_snapshot`] replays the history
+/// to reproduce the grown layout without needing the op log's `Split`
+/// records (see [`crate::oplog`] and [`crate::maint`]).
 #[derive(Debug, Clone)]
 pub struct ShardedSnapshot<K, V> {
     /// Serialisation format version (see [`SHARDED_SNAPSHOT_FORMAT`]).
@@ -1315,6 +1480,9 @@ pub struct ShardedSnapshot<K, V> {
     pub config: McConfig,
     /// Constructed shard count (a non-zero power of two).
     pub shards: usize,
+    /// Split history: the parent shard id of every child allocation, in
+    /// order. Empty for ungrown tables and for format-1/2 snapshots.
+    pub splits: Vec<usize>,
     /// Every stored pair, unordered.
     pub items: Vec<(K, V)>,
 }
@@ -1325,6 +1493,7 @@ impl<K: ToJson, V: ToJson> ToJson for ShardedSnapshot<K, V> {
             ("format".to_owned(), self.format.to_json()),
             ("config".to_owned(), self.config.to_json()),
             ("shards".to_owned(), self.shards.to_json()),
+            ("splits".to_owned(), self.splits.to_json()),
             ("items".to_owned(), self.items.to_json()),
         ])
     }
@@ -1353,6 +1522,12 @@ impl<K: FromJson, V: FromJson> FromJson for ShardedSnapshot<K, V> {
             format,
             config: FromJson::from_json(field("config")?)?,
             shards: FromJson::from_json(field("shards")?)?,
+            // Formats 1 and 2 predate the split history; their grown
+            // layout (if any) comes from op-log `Split` replay.
+            splits: match j.get("splits") {
+                None => Vec::new(),
+                Some(s) => FromJson::from_json(s)?,
+            },
             items: FromJson::from_json(field("items")?)?,
         })
     }
@@ -1563,9 +1738,11 @@ mod tests {
             t.insert(k, k).unwrap();
         }
         let mut json = jsonlite::to_string(&t.to_snapshot());
-        // Strip the format field to fake a pre-versioning snapshot.
-        json = json.replacen("\"format\":2,", "", 1);
-        assert!(!json.contains("format"));
+        // Strip the format and split-history fields to fake a faithful
+        // pre-versioning (format 1) snapshot: `{config, shards, items}`.
+        json = json.replacen("\"format\":3,", "", 1);
+        json = json.replacen("\"splits\":[],", "", 1);
+        assert!(!json.contains("format") && !json.contains("splits"));
         let snap: ShardedSnapshot<u64, u64> =
             FromJson::from_json(&jsonlite::parse(&json).unwrap()).unwrap();
         assert_eq!(snap.format, 1);
@@ -1581,7 +1758,7 @@ mod tests {
         let t = table(2, 64, 22);
         t.insert(1, 1).unwrap();
         let json =
-            jsonlite::to_string(&t.to_snapshot()).replacen("\"format\":2", "\"format\":99", 1);
+            jsonlite::to_string(&t.to_snapshot()).replacen("\"format\":3", "\"format\":99", 1);
         let err =
             <ShardedSnapshot<u64, u64> as FromJson>::from_json(&jsonlite::parse(&json).unwrap())
                 .unwrap_err();
@@ -1928,6 +2105,215 @@ mod tests {
         for &k in &ks {
             let expect = if k == ks[0] { 999 } else { k + 1 };
             assert_eq!(t.get(&k), Some(expect));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_at_directory_cap_is_a_typed_error() {
+        let t = table(1, 64, 77);
+        for k in 0u64..100 {
+            t.insert(k, k + 7).unwrap();
+        }
+        // Breadth-first: split every live table once per round, doubling
+        // 1 → 2 → … → 256 (the directory's hard ceiling).
+        while t.shard_count() < DIR_SIZE {
+            let n = t.shard_count();
+            for s in 0..n {
+                let r = t.begin_split(s).unwrap();
+                assert!(r.forwarding_cleared);
+            }
+        }
+        assert_eq!(t.shard_count(), DIR_SIZE);
+        // Every arena slot is live: the refusal is the full directory
+        // (checked ahead of depth — at the ceiling both hold, but the
+        // actionable condition is "no slot left to allocate into").
+        for s in 0..DIR_SIZE {
+            assert_eq!(
+                t.begin_split(s),
+                Err(SplitError::DirectoryFull { shard: s })
+            );
+        }
+        // The table keeps serving at the ceiling.
+        assert_eq!(t.len(), 100);
+        for k in 0u64..100 {
+            assert_eq!(t.get(&k), Some(k + 7));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_split_history_restores_grown_layout_without_the_log() {
+        let t = table(2, 128, 33);
+        let mut keys = UniqueKeys::new(34);
+        let ks = keys.take_vec(300);
+        for &k in &ks {
+            t.insert(k, k ^ 7).unwrap();
+        }
+        t.begin_split(0).unwrap();
+        t.begin_split(1).unwrap();
+        t.begin_split(0).unwrap();
+        assert_eq!(t.shard_count(), 5);
+        let snap = t.to_snapshot();
+        assert_eq!(snap.format, SHARDED_SNAPSHOT_FORMAT);
+        assert_eq!(snap.splits, vec![0, 1, 0]);
+        // JSON round-trip, then restore with no op log at all — the
+        // history alone reproduces the grown layout.
+        let snap: ShardedSnapshot<u64, u64> =
+            FromJson::from_json(&jsonlite::parse(&jsonlite::to_string(&snap)).unwrap()).unwrap();
+        assert_eq!(snap.splits, vec![0, 1, 0]);
+        let r = ShardedMcCuckoo::try_from_snapshot(snap).unwrap();
+        assert_eq!(r.shard_count(), t.shard_count());
+        assert_eq!(r.len(), t.len());
+        for &k in &ks {
+            assert_eq!(r.get(&k), Some(k ^ 7));
+            assert_eq!(r.shard_of(&k), t.shard_of(&k), "routing diverged at {k}");
+        }
+        for s in 0..t.shard_count() {
+            assert_eq!(
+                r.shard(s).len(),
+                t.shard(s).len(),
+                "shard {s} residency diverged"
+            );
+        }
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn explicit_format_1_and_2_snapshots_parse_without_split_history() {
+        let t = table(2, 64, 23);
+        for k in 0u64..40 {
+            t.insert(k, k * 3).unwrap();
+        }
+        let current = jsonlite::to_string(&t.to_snapshot());
+        for old in [1u32, 2] {
+            // A faithful older snapshot: explicit version, no `splits`
+            // field (that history is a format-3 addition).
+            let json = current
+                .replacen("\"format\":3", &format!("\"format\":{old}"), 1)
+                .replacen("\"splits\":[],", "", 1);
+            assert!(!json.contains("splits"));
+            let snap: ShardedSnapshot<u64, u64> =
+                FromJson::from_json(&jsonlite::parse(&json).unwrap()).unwrap();
+            assert_eq!(snap.format, old);
+            assert!(snap.splits.is_empty());
+            let r = ShardedMcCuckoo::try_from_snapshot(snap).unwrap();
+            assert_eq!(r.len(), 40);
+            for k in 0u64..40 {
+                assert_eq!(r.get(&k), Some(k * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn format_zero_snapshots_are_rejected() {
+        let t = table(2, 64, 24);
+        t.insert(5, 50).unwrap();
+        let json =
+            jsonlite::to_string(&t.to_snapshot()).replacen("\"format\":3", "\"format\":0", 1);
+        let err =
+            <ShardedSnapshot<u64, u64> as FromJson>::from_json(&jsonlite::parse(&json).unwrap())
+                .unwrap_err();
+        assert!(err.0.contains("format 0"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn retire_forwarding_without_unfinished_splits_is_a_noop() {
+        let t = table(2, 64, 25);
+        for k in 0u64..60 {
+            t.insert(k, k).unwrap();
+        }
+        t.begin_split(0).unwrap(); // completes — nothing left to retire
+        assert_eq!(t.forwarding_live(), 0);
+        let r = t.retire_forwarding();
+        assert_eq!(r, RetireReport::default());
+        assert_eq!(t.stats().maint.retirements_attempted, 0);
+    }
+
+    #[cfg(feature = "testhooks")]
+    #[test]
+    fn failed_child_placement_is_retired_by_retire_forwarding() {
+        let t = table(2, 256, 51);
+        let mut keys = UniqueKeys::new(52);
+        let ks = keys.take_vec(400);
+        for &k in &ks {
+            t.insert(k, k + 3).unwrap();
+        }
+        // Force every child placement to fail: the split completes
+        // degraded, with the slice's keys still in the parent behind
+        // live forwarding entries.
+        crate::testhooks::arm_fail_child_placement(u32::MAX);
+        let report = t.begin_split(0).unwrap();
+        crate::testhooks::disarm();
+        assert!(report.failed > 0, "the armed hook must fail placements");
+        assert!(!report.forwarding_cleared);
+        let live = t.forwarding_live();
+        assert!(live > 0);
+        assert_eq!(t.stats().maint.forwarding_live, live as u64);
+        // Degraded, not broken: every key still readable two-sided.
+        for &k in &ks {
+            assert_eq!(t.get(&k), Some(k + 3));
+        }
+        // One retirement pass (hook disarmed) finishes the drain and
+        // clears the forwarding entries.
+        let r = t.retire_forwarding();
+        assert_eq!(r.attempted, 1);
+        assert_eq!(r.retired, 1);
+        assert_eq!(r.failed, 0);
+        assert!(r.moved > 0);
+        assert_eq!(r.forwarding_live, 0);
+        assert_eq!(t.forwarding_live(), 0);
+        for &k in &ks {
+            assert_eq!(t.get(&k), Some(k + 3));
+        }
+        let s = t.stats();
+        assert_eq!(s.maint.retirements_attempted, 1);
+        assert_eq!(s.maint.retirements_succeeded, 1);
+        assert_eq!(s.maint.forwarding_live, 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[cfg(feature = "testhooks")]
+    #[test]
+    fn crashed_retirement_is_consistent_and_resumable() {
+        let t = std::sync::Arc::new(table(2, 256, 53));
+        let mut keys = UniqueKeys::new(54);
+        let ks = keys.take_vec(400);
+        for &k in &ks {
+            t.insert(k, k + 9).unwrap();
+        }
+        // Degrade a split, then crash the *retirement* mid-drain.
+        crate::testhooks::arm_fail_child_placement(u32::MAX);
+        assert!(t.begin_split(0).unwrap().failed > 0);
+        crate::testhooks::disarm();
+        assert!(t.forwarding_live() > 0);
+        let crashed = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                crate::testhooks::arm_panic_in_migration(10);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    t.retire_forwarding()
+                }));
+                crate::testhooks::disarm();
+                r.is_err()
+            })
+            .join()
+            .unwrap()
+        };
+        assert!(crashed, "the armed hook must fire mid-retirement");
+        // Exactly like a crashed migrator: consistent, two-sided, and
+        // resumable by the next pass.
+        assert!(t.forwarding_live() > 0);
+        assert_eq!(t.len(), ks.len());
+        for &k in &ks {
+            assert_eq!(t.get(&k), Some(k + 9), "key {k} lost in the crash");
+        }
+        t.check_invariants().unwrap();
+        let r = t.retire_forwarding();
+        assert_eq!(r.retired, r.attempted);
+        assert_eq!(r.forwarding_live, 0);
+        for &k in &ks {
+            assert_eq!(t.get(&k), Some(k + 9));
         }
         t.check_invariants().unwrap();
     }

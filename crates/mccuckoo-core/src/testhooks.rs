@@ -24,6 +24,16 @@ thread_local! {
     /// Countdown to a migration-cursor crash: the N-th key visit of a
     /// `begin_split` drain panics before that key is touched. 0 = inert.
     static PANIC_IN_MIGRATION: Cell<u32> = const { Cell::new(0) };
+
+    /// How many upcoming child placements of a split drain should be
+    /// forced to fail (reported as `MigrateOutcome::Failed`, the key
+    /// staying in the parent behind forwarding). `u32::MAX` = all.
+    static FAIL_CHILD_PLACEMENT: Cell<u32> = const { Cell::new(0) };
+
+    /// Countdown to a compactor crash: the N-th compaction on this
+    /// thread panics after its snapshot capture but before the log is
+    /// truncated. 0 = inert.
+    static PANIC_IN_COMPACTION: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Arm the fault: the next `n` calls to `McCuckoo::remove` that find the
@@ -59,11 +69,34 @@ pub fn arm_panic_in_migration(n: u32) {
     PANIC_IN_MIGRATION.with(|c| c.set(n));
 }
 
+/// Arm the fault: the next `n` child placements attempted by a split
+/// drain (or a retirement pass) on this thread are forced to fail, as
+/// if the child table overflowed — the key stays in the parent and the
+/// split finishes degraded, with its forwarding entries live. This is
+/// how tests manufacture the "permanent forwarding" state the
+/// maintenance loop exists to retire. Pass `u32::MAX` to fail every
+/// placement (until [`disarm`]).
+pub fn arm_fail_child_placement(n: u32) {
+    FAIL_CHILD_PLACEMENT.with(|c| c.set(n));
+}
+
+/// Arm the fault: the `n`-th upcoming compaction on this thread panics
+/// after capturing its snapshot but *before* truncating the log — the
+/// compactor dies at the worst point of the capture-then-truncate
+/// protocol, proving a crashed compaction loses nothing (the log is
+/// still intact and the previous baseline still replays). `n` counts
+/// down: `1` crashes the very next compaction.
+pub fn arm_panic_in_compaction(n: u32) {
+    PANIC_IN_COMPACTION.with(|c| c.set(n));
+}
+
 /// Disarm all hooks on this thread.
 pub fn disarm() {
     SKIP_COUNTER_RESETS.with(|c| c.set(0));
     PANIC_IN_KICK.with(|c| c.set(0));
     PANIC_IN_MIGRATION.with(|c| c.set(0));
+    FAIL_CHILD_PLACEMENT.with(|c| c.set(0));
+    PANIC_IN_COMPACTION.with(|c| c.set(0));
 }
 
 /// Consumed by the deletion path: returns `true` if this deletion should
@@ -96,6 +129,38 @@ pub(crate) fn fire_panic_in_kick() {
     });
     if armed {
         panic!("testhooks: injected panic mid-kick-walk");
+    }
+}
+
+/// Consumed by the split drain's child-placement closure: returns
+/// `true` if this placement should be reported as failed.
+pub(crate) fn take_fail_child_placement() -> bool {
+    FAIL_CHILD_PLACEMENT.with(|c| {
+        let n = c.get();
+        if n == 0 {
+            return false;
+        }
+        if n != u32::MAX {
+            c.set(n - 1);
+        }
+        true
+    })
+}
+
+/// Consumed by the compactor between snapshot capture and truncation:
+/// panics when the armed countdown reaches zero (the injected compactor
+/// death).
+pub(crate) fn fire_panic_in_compaction() {
+    let fire = PANIC_IN_COMPACTION.with(|c| {
+        let n = c.get();
+        if n == 0 {
+            return false;
+        }
+        c.set(n - 1);
+        n == 1
+    });
+    if fire {
+        panic!("testhooks: injected panic mid-compaction");
     }
 }
 

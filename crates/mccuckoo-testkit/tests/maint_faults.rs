@@ -1,0 +1,240 @@
+//! Crash the maintenance loop at its two worst points and prove neither
+//! loses anything.
+//!
+//! Requires `--features faults` (forwards `mccuckoo-core/testhooks`).
+//!
+//! * **Retirement.** A degraded split (every child placement forced to
+//!   fail) leaves its whole slice served through forwarding. The
+//!   retirement pass that should repair it is killed mid-drain, on its
+//!   own thread, while readers hammer the forwarded keys and a writer
+//!   keeps inserting. Any reader miss is a key lost in the crash window.
+//!   A later pass must resume and drive the forwarding count to zero.
+//!
+//! * **Compaction.** The compactor dies *between* capturing its
+//!   snapshot and truncating the log — the one spot where a naive
+//!   implementation could lose the tail. The log must still be intact,
+//!   full-log replay must still reproduce the table, and a clean re-run
+//!   must compact and recover bit-identically across the boundary.
+
+#![cfg(feature = "faults")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hash_kit::SplitMix64;
+use mccuckoo_core::maint::{Compactor, ManagedSnapshot};
+use mccuckoo_core::oplog::{parse_log, LogSink, OpLog, OpRecord, VecSink};
+use mccuckoo_core::{testhooks, McConfig, ShardedMcCuckoo};
+
+/// Preloaded key domain; the maintenance tests never delete from it, so
+/// availability is decidable for the readers.
+const DOMAIN: u64 = 384;
+/// Fresh keys the writer inserts while retirement runs.
+const FRESH: u64 = 256;
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default()
+}
+
+#[test]
+fn crashed_retirement_under_fire_stays_consistent_and_resumes() {
+    let t = ShardedMcCuckoo::<u64, u64>::new(2, McConfig::paper(256, 0x7E71_4E5D));
+    for k in 0..DOMAIN {
+        t.insert(k, k << 8).expect("preload fits");
+    }
+    // Degrade a split: every child placement fails, so the whole slice
+    // stays in the parent behind live forwarding entries — the state the
+    // maintenance loop exists to repair.
+    testhooks::arm_fail_child_placement(u32::MAX);
+    let degraded = t.begin_split(0).expect("split publishes");
+    testhooks::disarm();
+    assert!(degraded.failed > 0 && !degraded.forwarding_cleared);
+    assert!(
+        t.forwarding_live() > 0,
+        "degraded split must leave forwarding up"
+    );
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Readers hammer the preloaded (forwarded) keys. The writer only
+        // touches fresh keys, so every probe must hit the exact preload
+        // value — a miss is a key dropped by the crashed retirement.
+        let mut readers = Vec::new();
+        for rid in 0..2u64 {
+            let t = &t;
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xD00D ^ rid);
+                let mut batch = [0u64; 16];
+                while !stop.load(Ordering::Acquire) {
+                    if rid == 0 {
+                        let k = rng.next_below(DOMAIN);
+                        assert_eq!(t.get(&k), Some(k << 8), "reader lost key {k}");
+                    } else {
+                        for slot in batch.iter_mut() {
+                            *slot = rng.next_below(DOMAIN);
+                        }
+                        for (k, hit) in batch.iter().zip(t.lookup_batch(&batch)) {
+                            assert_eq!(hit, Some(*k << 8), "batch reader lost key {k}");
+                        }
+                    }
+                }
+            }));
+        }
+        // A writer keeps the table moving: fresh inserts route through
+        // the degraded child's slice too (forwarded births).
+        let writer = scope.spawn(|| {
+            for k in DOMAIN..DOMAIN + FRESH {
+                t.insert(k, k << 8).expect("fresh insert fits");
+            }
+        });
+
+        // The maintenance pass: dies mid-retirement, then comes back.
+        let maint = scope.spawn(|| {
+            // Thread-local: only this thread is sabotaged. The degraded
+            // slice holds ~DOMAIN/2 keys, so the 10th visit is well
+            // inside the drain.
+            testhooks::arm_panic_in_migration(10);
+            let crash = catch_unwind(AssertUnwindSafe(|| t.retire_forwarding()));
+            testhooks::disarm();
+            let err = crash.expect_err("the armed retirement must die");
+            let msg = panic_message(err);
+            assert!(
+                msg.contains("injected panic mid-migration"),
+                "retirement died of the wrong cause: {msg:?}"
+            );
+            // The crash keeps the forwarding entries up — degraded, not
+            // broken. Later passes resume the drain and finish the job
+            // (bounded retries: concurrent writers can make single
+            // passes come up short).
+            let mut last = t.retire_forwarding();
+            for _ in 0..50 {
+                if last.forwarding_live == 0 {
+                    break;
+                }
+                last = t.retire_forwarding();
+            }
+            assert_eq!(last.forwarding_live, 0, "retirement never converged");
+            assert_eq!(last.failed, 0, "final pass left keys behind");
+        });
+
+        writer
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        maint
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        stop.store(true, Ordering::Release);
+        for h in readers {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+
+    // Settled state: every key present, structure valid, the directory
+    // clean, and the maintenance counters coherent.
+    t.check_invariants().expect("post-crash invariants");
+    for k in 0..DOMAIN + FRESH {
+        assert_eq!(t.get(&k), Some(k << 8), "key {k} lost after recovery");
+    }
+    assert_eq!(t.forwarding_live(), 0);
+    let s = t.stats();
+    assert!(
+        s.maint.retirements_attempted >= 2,
+        "crash + resume attempts"
+    );
+    assert!(s.maint.retirements_succeeded >= 1);
+    assert_eq!(s.maint.forwarding_live, 0);
+}
+
+#[test]
+fn crashed_compaction_loses_nothing_and_reruns_cleanly() {
+    let t = Arc::new(ShardedMcCuckoo::<u64, u64>::new(
+        2,
+        McConfig::paper(256, 0xC0DE_CAFE),
+    ));
+    let genesis = t.snapshot_live();
+    let sink = VecSink::new();
+    let log = OpLog::new(sink.clone());
+    for k in 0..150u64 {
+        t.insert(k, k.wrapping_mul(3)).unwrap();
+        log.record(&OpRecord::Insert {
+            key: k,
+            value: k.wrapping_mul(3),
+        });
+    }
+    t.begin_split(0).unwrap();
+    log.record(&OpRecord::<u64, u64>::Split { shard: 0 });
+    let records_before = sink.record_count();
+    let compactor = Compactor::new(t.clone(), sink.clone());
+
+    // Die at the worst point of capture-then-truncate: the snapshot
+    // exists, the log has not been touched yet.
+    testhooks::arm_panic_in_compaction(1);
+    let crash = catch_unwind(AssertUnwindSafe(|| compactor.compact()));
+    testhooks::disarm();
+    let msg = panic_message(crash.expect_err("the armed compaction must die"));
+    assert!(
+        msg.contains("injected panic mid-compaction"),
+        "compactor died of the wrong cause: {msg:?}"
+    );
+
+    // Nothing was truncated: the full log is intact and genesis replay
+    // still reproduces the live table exactly.
+    assert_eq!(sink.record_count(), records_before);
+    assert_eq!(sink.first_record_index(), 0);
+    let ops = parse_log::<u64, u64>(&sink.lines()).unwrap();
+    let replayed = ShardedMcCuckoo::recover(genesis.clone(), &ops).unwrap();
+    assert_eq!(replayed.len(), t.len());
+    assert_eq!(replayed.shard_count(), t.shard_count());
+
+    // A clean re-run compacts for real…
+    let (snapshot, cr) = compactor.compact();
+    assert_eq!(cr.records_dropped, records_before);
+    assert_eq!(sink.record_count(), 0);
+    assert_eq!(sink.first_record_index(), records_before as u64);
+    let ms = ManagedSnapshot {
+        at_tick: 0,
+        log_pos: cr.log_pos,
+        snapshot,
+    };
+
+    // …and writes across the boundary recover bit-identically from the
+    // capture plus the retained tail.
+    for k in 300..360u64 {
+        t.insert(k, k.wrapping_mul(3)).unwrap();
+        log.record(&OpRecord::Insert {
+            key: k,
+            value: k.wrapping_mul(3),
+        });
+    }
+    for k in 0..20u64 {
+        t.remove(&k);
+        log.record(&OpRecord::<u64, u64>::Remove { key: k });
+    }
+    let offset = ms
+        .tail_offset(sink.first_record_index())
+        .expect("tail must not be truncated past the capture");
+    let lines = sink.lines();
+    let tail = parse_log::<u64, u64>(&lines[offset..]).unwrap();
+    let recovered = ShardedMcCuckoo::recover(ms.snapshot.clone(), &tail).unwrap();
+    assert_eq!(recovered.len(), t.len());
+    assert_eq!(recovered.shard_count(), t.shard_count());
+    let mut a = t.to_snapshot().items;
+    let mut b = recovered.to_snapshot().items;
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "recovery diverged across the compaction boundary");
+    for &(k, _) in &a {
+        assert_eq!(
+            recovered.shard_of(&k),
+            t.shard_of(&k),
+            "routing diverged at {k}"
+        );
+    }
+    recovered.check_invariants().unwrap();
+}
